@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Extension experiment: end-to-end latency under load.
+ *
+ * The paper evaluates throughput and CPU efficiency; latency is the
+ * natural companion metric for the architecture comparison (and the
+ * reason user-level networking -- CDNA's ancestor, section 6 -- cares
+ * about OS bypass).  This bench reports mean/p50/p99 data-frame latency
+ * for the software-virtualized and CDNA paths at increasing guest
+ * counts, both directions.
+ *
+ * Expectation: CDNA's latency stays near the wire+coalescing floor
+ * because packets cross one driver and one (batched) hypercall, while
+ * Xen's grows with driver-domain queueing as the CPU saturates.
+ */
+
+#include "bench_util.hh"
+
+using namespace cdna;
+using namespace cdna::bench;
+
+namespace {
+
+void
+sweep(bool transmit)
+{
+    std::printf("--- %s ---\n", transmit ? "transmit (stack -> peer)"
+                                         : "receive (wire -> user)");
+    std::printf("%6s | %26s | %26s\n", "guests",
+                "xen mean/p50/p99 (us)", "cdna mean/p50/p99 (us)");
+    for (std::uint32_t g : {1u, 4u, 8u}) {
+        auto xen = runConfig(core::makeXenIntelConfig(g, transmit));
+        auto cdna = runConfig(core::makeCdnaConfig(g, transmit));
+        std::printf("%6u | %8.0f %8.0f %8.0f | %8.0f %8.0f %8.0f\n", g,
+                    xen.latencyMeanUs, xen.latencyP50Us, xen.latencyP99Us,
+                    cdna.latencyMeanUs, cdna.latencyP50Us,
+                    cdna.latencyP99Us);
+        std::fflush(stdout);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Extension: end-to-end latency under load, "
+                "2 NICs ===\n");
+    sweep(true);
+    sweep(false);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 4 of the paper: aggregate receive throughput of Xen (Intel
+ * NIC) and CDNA over two NICs versus guest count.
+ *
+ * Paper series: Xen declines from 1112 Mb/s to 558 Mb/s at 24 guests;
+ * CDNA holds ~1874 Mb/s while idle falls 40.9% -> 29.1% -> 12.6% -> 0%
+ * by 8 guests.  At 24 guests CDNA receives 3.3x more than Xen.
+ */
+
+#include "bench_util.hh"
+
+using namespace cdna;
+using namespace cdna::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 4: receive throughput vs guest count ===\n");
+    std::printf("%6s %10s %10s %10s %10s\n", "guests", "xen Mb/s",
+                "cdna Mb/s", "cdna idle%", "cdna/xen");
+    double xen24 = 0, cdna24 = 0;
+    for (std::uint32_t g : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
+        auto xen = runConfig(core::makeXenIntelConfig(g, false));
+        auto cdna = runConfig(core::makeCdnaConfig(g, false));
+        std::printf("%6u %10.0f %10.0f %10.1f %10.2f\n", g, xen.mbps,
+                    cdna.mbps, cdna.idlePct, cdna.mbps / xen.mbps);
+        std::fflush(stdout);
+        if (g == 24) {
+            xen24 = xen.mbps;
+            cdna24 = cdna.mbps;
+        }
+    }
+    std::printf("\nCDNA advantage at 24 guests: %.2fx (paper: 3.3x)\n",
+                cdna24 / xen24);
+    return 0;
+}

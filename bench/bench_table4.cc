@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 4 of the paper: CDNA with and without DMA memory protection,
+ * transmit and receive.  Disabling protection establishes the upper
+ * bound a context-aware hardware IOMMU could reach (section 5.3).
+ *
+ * Paper reference rows (Mb/s | Hyp DrvOS DrvU GstOS GstU Idle | irq/s):
+ *   TX enabled   1867 | 10.2 0.3 0.2 37.8 0.7 50.8 | 0 13659
+ *   TX disabled  1867 |  1.9 0.2 0.2 37.0 0.3 60.4 | 0 13680
+ *   RX enabled   1874 |  9.9 0.3 0.2 48.0 0.7 40.9 | 0  7402
+ *   RX disabled  1874 |  1.9 0.2 0.2 47.2 0.3 50.2 | 0  7243
+ */
+
+#include "bench_util.hh"
+
+using namespace cdna;
+using namespace cdna::bench;
+
+int
+main()
+{
+    std::printf("=== Table 4: CDNA with/without DMA protection ===\n");
+    printProfileHeader();
+    printProfileRow(runConfig(core::makeCdnaConfig(1, true, true)),
+                    "1867 | 10.2 0.3 0.2 37.8 0.7 50.8 | 0 13659");
+    printProfileRow(runConfig(core::makeCdnaConfig(1, true, false)),
+                    "1867 |  1.9 0.2 0.2 37.0 0.3 60.4 | 0 13680");
+    printProfileRow(runConfig(core::makeCdnaConfig(1, false, true)),
+                    "1874 |  9.9 0.3 0.2 48.0 0.7 40.9 | 0  7402");
+    printProfileRow(runConfig(core::makeCdnaConfig(1, false, false)),
+                    "1874 |  1.9 0.2 0.2 47.2 0.3 50.2 | 0  7243");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benchmark binaries.
+ *
+ * Each bench binary regenerates one table or figure of the paper and
+ * prints the simulated results next to the paper's published numbers
+ * so the shape comparison is immediate.
+ */
+
+#ifndef CDNA_BENCH_BENCH_UTIL_HH
+#define CDNA_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/system.hh"
+
+namespace cdna::bench {
+
+inline constexpr sim::Time kWarmup = sim::milliseconds(100);
+inline constexpr sim::Time kMeasure = sim::milliseconds(400);
+
+/** Run one configuration and return its report. */
+inline core::Report
+runConfig(core::SystemConfig cfg, sim::Time warmup = kWarmup,
+          sim::Time measure = kMeasure)
+{
+    core::System sys(std::move(cfg));
+    return sys.run(warmup, measure);
+}
+
+/** Print one paper-style profile row with a paper-reference column. */
+inline void
+printProfileRow(const core::Report &r, const char *paper_ref)
+{
+    std::printf("%-22s %6.0f | %5.1f %5.1f %5.1f %5.1f %5.1f %5.1f | "
+                "%7.0f %7.0f | paper: %s\n",
+                r.label.c_str(), r.mbps, r.hypPct, r.drvOsPct, r.drvUserPct,
+                r.guestOsPct, r.guestUserPct, r.idlePct, r.drvIntrPerSec,
+                r.guestIntrPerSec, paper_ref);
+}
+
+inline void
+printProfileHeader()
+{
+    std::printf("%-22s %6s | %5s %5s %5s %5s %5s %5s | %7s %7s |\n",
+                "config", "Mb/s", "Hyp", "DrvOS", "DrvU", "GstOS", "GstU",
+                "Idle", "drvIrq", "gstIrq");
+}
+
+} // namespace cdna::bench
+
+#endif // CDNA_BENCH_BENCH_UTIL_HH

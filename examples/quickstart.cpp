@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Quickstart: run the three I/O virtualization architectures the paper
+ * compares -- Xen software virtualization over an Intel NIC, Xen over
+ * the (CDNA-capable) RiceNIC, and CDNA itself -- with one guest and two
+ * Gigabit NICs, for both transmit and receive, and print paper-style
+ * report rows (compare with Tables 2 and 3 of the paper).
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/system.hh"
+
+using namespace cdna;
+
+int
+main()
+{
+    std::printf("CDNA quickstart: 1 guest, 2 Gigabit NICs\n\n");
+    std::printf("%s\n", core::Report::header().c_str());
+
+    for (bool transmit : {true, false}) {
+        core::SystemConfig configs[] = {
+            core::makeXenIntelConfig(1, transmit),
+            core::makeXenRiceConfig(1, transmit),
+            core::makeCdnaConfig(1, transmit),
+        };
+        for (auto &cfg : configs) {
+            core::System sys(cfg);
+            core::Report r = sys.run(sim::milliseconds(50),
+                                     sim::milliseconds(400));
+            std::printf("%s\n", r.row().c_str());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

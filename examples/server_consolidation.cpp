@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Server-consolidation scenario (the paper's motivating workload).
+ *
+ * An organization consolidates many Internet-facing services onto one
+ * physical machine.  This example sweeps the consolidation density
+ * (number of guest VMs) for a transmit-heavy service mix and compares
+ * what an operator cares about: aggregate throughput, per-VM
+ * throughput, fairness between tenants, and how much CPU headroom is
+ * left for the services themselves.
+ *
+ * It reproduces the paper's core operational claim: with software I/O
+ * virtualization the network tax grows with density until bandwidth
+ * collapses, while CDNA holds line rate and converts the saved cycles
+ * into headroom.
+ */
+
+#include <cstdio>
+
+#include "core/system.hh"
+
+using namespace cdna;
+
+namespace {
+
+void
+sweep(const char *name,
+      core::SystemConfig (*make)(std::uint32_t, bool))
+{
+    std::printf("--- %s ---\n", name);
+    std::printf("%5s %10s %12s %10s %10s\n", "VMs", "agg Mb/s",
+                "per-VM Mb/s", "fairness", "idle %");
+    for (std::uint32_t vms : {1u, 4u, 8u, 16u, 24u}) {
+        core::System sys(make(vms, /*transmit=*/true));
+        core::Report r = sys.run(sim::milliseconds(100),
+                                 sim::milliseconds(400));
+        std::printf("%5u %10.0f %12.1f %10.2f %10.1f\n", vms, r.mbps,
+                    r.mbps / vms, r.fairness(), r.idlePct);
+        std::fflush(stdout);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Server consolidation: transmit-heavy services, "
+                "2 Gigabit NICs, one Opteron-class core\n\n");
+    sweep("Xen software I/O virtualization", core::makeXenIntelConfig);
+    sweep("CDNA (concurrent direct network access)",
+          [](std::uint32_t g, bool tx) {
+              return core::makeCdnaConfig(g, tx, true);
+          });
+
+    std::printf("Reading: with CDNA each tenant keeps its share of the "
+                "wire as density grows;\nwith software virtualization the "
+                "driver domain becomes the machine's bottleneck.\n");
+    return 0;
+}

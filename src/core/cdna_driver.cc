@@ -1,0 +1,243 @@
+#include "core/cdna_driver.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::core {
+
+CdnaGuestDriver::CdnaGuestDriver(sim::SimContext &ctx, std::string name,
+                                 vmm::Domain &dom, CdnaNic &nic,
+                                 CdnaNic::ContextId cxt, DmaProtection &prot,
+                                 const CostModel &costs, net::MacAddr mac)
+    : sim::SimObject(ctx, std::move(name)),
+      dom_(dom),
+      nic_(nic),
+      cxt_(cxt),
+      prot_(prot),
+      costs_(costs),
+      mac_(mac),
+      nDoorbells_(stats().addCounter("doorbells")),
+      nTxPkts_(stats().addCounter("tx_packets")),
+      nRxPkts_(stats().addCounter("rx_packets")),
+      nFaultsSeen_(stats().addCounter("faults_seen"))
+{
+}
+
+std::uint64_t
+CdnaGuestDriver::sgPages(const mem::SgList &sg) const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : sg)
+        n += mem::pageOf(e.addr + (e.len ? e.len - 1 : 0)) -
+             mem::pageOf(e.addr) + 1;
+    return n;
+}
+
+void
+CdnaGuestDriver::attach()
+{
+    txHandle_ = prot_.registerRing(nic_, cxt_, dom_.id(), /*is_tx=*/true);
+    rxHandle_ = prot_.registerRing(nic_, cxt_, dom_.id(), /*is_tx=*/false);
+
+    std::uint32_t entries = nic_.rxRing(cxt_).size();
+    rxSlotPage_.assign(entries, 0);
+    auto pages = dom_.hypervisor().mem().alloc(dom_.id(), entries);
+    SIM_ASSERT(!pages.empty(), "out of memory for CDNA RX buffers");
+    for (auto p : pages)
+        rxRefillStage_.push_back(p);
+    flushRxRefills();
+}
+
+void
+CdnaGuestDriver::detach()
+{
+    if (detached_)
+        return;
+    detached_ = true;
+    txBacklog_.clear();
+    rxRefillStage_.clear();
+    prot_.unpinAll(txHandle_);
+    prot_.unpinAll(rxHandle_);
+}
+
+bool
+CdnaGuestDriver::canTransmit() const
+{
+    if (detached_)
+        return false;
+    std::uint32_t inflight = txEnqueued_ - txDrained_;
+    return inflight + txBacklog_.size() + 1 < nic_.txRing(cxt_).size();
+}
+
+void
+CdnaGuestDriver::transmit(net::Packet pkt)
+{
+    SIM_ASSERT(canTransmit(), "CDNA transmit past ring capacity");
+    txBacklog_.push_back(std::move(pkt));
+    if (!canTransmit())
+        txWasFull_ = true;
+}
+
+void
+CdnaGuestDriver::flush()
+{
+    if (txFlushPending_ || txBacklog_.empty() || detached_)
+        return;
+    txFlushPending_ = true;
+
+    std::uint64_t pages = 0;
+    for (const auto &p : txBacklog_)
+        pages += sgPages(p.hostSg);
+    sim::Time cost =
+        static_cast<sim::Time>(txBacklog_.size()) * costs_.cdnaDrvTxPerPacket +
+        static_cast<sim::Time>(pages) * costs_.cdnaTranslatePerPage +
+        costs_.drvPioWrite;
+    if (!prot_.enabled()) {
+        // Direct ring writes replace the enqueue hypercall.
+        cost += static_cast<sim::Time>(txBacklog_.size()) *
+                (costs_.protEnqueuePerDesc / 3);
+    }
+
+    dom_.vcpu().post(cpu::Bucket::kOs, cost, [this] {
+        txFlushPending_ = false;
+        std::vector<DmaProtection::Request> reqs;
+        reqs.reserve(txBacklog_.size());
+        while (!txBacklog_.empty()) {
+            net::Packet pkt = std::move(txBacklog_.front());
+            txBacklog_.pop_front();
+            txInflightBytes_.push_back(pkt.payloadBytes);
+            nTxPkts_.inc();
+            DmaProtection::Request req;
+            req.sg = pkt.hostSg;
+            req.pkt = std::move(pkt);
+            reqs.push_back(std::move(req));
+        }
+        auto n = static_cast<std::uint32_t>(reqs.size());
+        auto finish = [this, n](DmaProtection::Result res) {
+            if (detached_)
+                return; // revoked while the hypercall was in flight
+            if (res.fault != vmm::Fault::kNone) {
+                nFaultsSeen_.inc();
+                for (std::uint32_t i = res.accepted; i < n; ++i)
+                    txInflightBytes_.pop_back();
+            }
+            txEnqueued_ = res.producer;
+            nic_.pioWriteMailbox(cxt_, nic::kMboxTxProducer, res.producer);
+            nDoorbells_.inc();
+        };
+        if (prot_.enabled())
+            prot_.enqueue(txHandle_, std::move(reqs), finish);
+        else
+            finish(prot_.enqueueDirect(txHandle_, std::move(reqs)));
+    });
+}
+
+void
+CdnaGuestDriver::handleIrq()
+{
+    if (detached_)
+        return;
+    std::uint32_t completed = nic_.txConsumer(cxt_) - txDrained_;
+    // Claim the completions now so an overlapping IRQ cannot
+    // double-count them; the task below surfaces them in order.
+    txDrained_ += completed;
+    auto deliveries = nic_.drainRx(cxt_);
+    if (completed == 0 && deliveries.empty())
+        return;
+
+    sim::Time cost = costs_.drvIrqHandler +
+        completed * costs_.cdnaDrvCompletion +
+        static_cast<sim::Time>(deliveries.size()) * costs_.cdnaDrvRxPerPacket;
+
+    dom_.vcpu().post(cpu::Bucket::kOs, cost,
+                     [this, completed,
+                      deliveries = std::move(deliveries)]() mutable {
+        for (std::uint32_t i = 0; i < completed; ++i) {
+            SIM_ASSERT(!txInflightBytes_.empty(), "completion underflow");
+            std::uint64_t bytes = txInflightBytes_.front();
+            txInflightBytes_.pop_front();
+            deliverTxComplete(bytes);
+        }
+
+        // Backend mode: delivered pages are about to be page-flipped to
+        // guests, which requires their DMA pins dropped now rather than
+        // at the next enqueue.
+        if (!autoRefill_ && prot_.enabled() && !deliveries.empty())
+            prot_.syncUnpin(rxHandle_);
+
+        for (auto &d : deliveries) {
+            nRxPkts_.inc();
+            std::uint32_t slot = d.pos % rxSlotPage_.size();
+            mem::PageNum page = rxSlotPage_[slot];
+            d.pkt.hostSg = {{mem::addrOf(page),
+                             d.pkt.payloadBytes + net::kTcpIpHeader}};
+            if (autoRefill_)
+                rxRefillStage_.push_back(page);
+            deliverRx(std::move(d.pkt));
+        }
+        flushRxRefills();
+
+        if (txWasFull_ && canTransmit()) {
+            txWasFull_ = false;
+            deliverTxSpace();
+        }
+    });
+}
+
+void
+CdnaGuestDriver::refillRx(mem::PageNum page)
+{
+    rxRefillStage_.push_back(page);
+    flushRxRefills();
+}
+
+void
+CdnaGuestDriver::flushRxRefills()
+{
+    if (rxFlushPending_ || rxRefillStage_.empty() || detached_)
+        return;
+    rxFlushPending_ = true;
+    auto n = static_cast<std::uint32_t>(rxRefillStage_.size());
+    sim::Time cost = n * costs_.cdnaTranslatePerPage + costs_.drvPioWrite;
+    if (!prot_.enabled())
+        cost += n * (costs_.protEnqueuePerDesc / 3);
+
+    dom_.vcpu().post(cpu::Bucket::kOs, cost, [this] {
+        rxFlushPending_ = false;
+        std::vector<mem::PageNum> pages(rxRefillStage_.begin(),
+                                        rxRefillStage_.end());
+        rxRefillStage_.clear();
+        std::vector<DmaProtection::Request> reqs;
+        reqs.reserve(pages.size());
+        for (auto p : pages) {
+            DmaProtection::Request req;
+            req.sg = {{mem::addrOf(p), net::kMtu}};
+            reqs.push_back(std::move(req));
+        }
+        auto finish = [this, pages = std::move(pages)]
+                      (DmaProtection::Result res) {
+            if (detached_)
+                return; // revoked while the hypercall was in flight
+            // Record which ring slot each accepted page landed in.
+            std::uint32_t first = res.producer -
+                                  static_cast<std::uint32_t>(res.accepted);
+            for (std::uint32_t i = 0; i < res.accepted; ++i) {
+                std::uint32_t slot = (first + i) % rxSlotPage_.size();
+                rxSlotPage_[slot] = pages[i];
+            }
+            if (res.fault != vmm::Fault::kNone)
+                nFaultsSeen_.inc();
+            rxEnqueued_ = res.producer;
+            nic_.pioWriteMailbox(cxt_, nic::kMboxRxProducer, res.producer);
+            nDoorbells_.inc();
+        };
+        if (prot_.enabled())
+            prot_.enqueue(rxHandle_, std::move(reqs), finish);
+        else
+            finish(prot_.enqueueDirect(rxHandle_, std::move(reqs)));
+    });
+}
+
+} // namespace cdna::core

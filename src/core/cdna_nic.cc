@@ -1,0 +1,594 @@
+#include "core/cdna_nic.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::core {
+
+namespace {
+
+/** Prefix of a scatter/gather list covering @p bytes. */
+mem::SgList
+sgPrefix(const mem::SgList &sg, std::uint64_t bytes)
+{
+    mem::SgList out;
+    for (const auto &e : sg) {
+        if (bytes == 0)
+            break;
+        auto take = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(e.len, bytes));
+        out.push_back({e.addr, take});
+        bytes -= take;
+    }
+    return out;
+}
+
+} // namespace
+
+CdnaNic::CdnaNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
+                 mem::PhysMemory &mem, mem::DeviceId dev, net::EthLink &link,
+                 net::EthLink::Side side, CdnaNicParams params)
+    : nic::NicBase(ctx, std::move(name), bus, mem, dev, link, side),
+      params_(params),
+      fw_(ctx, this->name() + ".fw"),
+      txBuf_(params.txBufferBytes),
+      rxBuf_(params.rxBufferBytes),
+      contexts_(params.numContexts),
+      nTxPackets_(stats().addCounter("tx_packets")),
+      nRxPackets_(stats().addCounter("rx_packets")),
+      nGhostTx_(stats().addCounter("ghost_tx")),
+      nSeqnoFaults_(stats().addCounter("seqno_faults")),
+      nMailboxEvents_(stats().addCounter("mailbox_events")),
+      nBitVectors_(stats().addCounter("bit_vectors")),
+      nIommuDrops_(stats().addCounter("iommu_drops"))
+{
+    SIM_ASSERT(params.numContexts >= 1 &&
+                   params.numContexts <= nic::kMaxContexts,
+               "context count out of range");
+    setCoalesce(params.coalesce);
+}
+
+CdnaNic::Context &
+CdnaNic::cxt(ContextId id)
+{
+    SIM_ASSERT(id < contexts_.size(), "context id out of range");
+    return contexts_[id];
+}
+
+const CdnaNic::Context &
+CdnaNic::cxt(ContextId id) const
+{
+    SIM_ASSERT(id < contexts_.size(), "context id out of range");
+    return contexts_[id];
+}
+
+std::optional<CdnaNic::ContextId>
+CdnaNic::allocContext(mem::DomainId dom, net::MacAddr mac)
+{
+    for (ContextId i = 0; i < contexts_.size(); ++i) {
+        if (!contexts_[i].allocated) {
+            contexts_[i] = Context{};
+            contexts_[i].allocated = true;
+            contexts_[i].dom = dom;
+            contexts_[i].mac = mac;
+            macMap_[mac.hash()] = i;
+            return i;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+CdnaNic::revokeContext(ContextId id)
+{
+    Context &c = cxt(id);
+    SIM_ASSERT(c.allocated, "revoking unallocated context");
+    macMap_.erase(c.mac.hash());
+    hier_.clearContext(id);
+    auto it = std::find(txArb_.begin(), txArb_.end(), id);
+    if (it != txArb_.end())
+        txArb_.erase(it);
+    pendingVector_ &= ~(1u << id);
+    c = Context{};
+}
+
+void
+CdnaNic::configureContextRings(ContextId id, std::uint32_t tx_entries,
+                               mem::PhysAddr tx_base,
+                               std::uint32_t rx_entries,
+                               mem::PhysAddr rx_base)
+{
+    Context &c = cxt(id);
+    SIM_ASSERT(c.allocated, "configuring unallocated context");
+    c.txRing.emplace(tx_entries, tx_base);
+    c.rxRing.emplace(rx_entries, rx_base);
+}
+
+void
+CdnaNic::setStatusPage(ContextId id, mem::PhysAddr addr)
+{
+    cxt(id).statusAddr = addr;
+}
+
+void
+CdnaNic::setInterruptRing(mem::PhysAddr base)
+{
+    intrRing_.emplace(params_.intrRingSlots, base);
+}
+
+bool
+CdnaNic::contextAllocated(ContextId id) const
+{
+    return id < contexts_.size() && contexts_[id].allocated;
+}
+
+mem::DomainId
+CdnaNic::contextDomain(ContextId id) const
+{
+    return cxt(id).dom;
+}
+
+bool
+CdnaNic::contextFaulted(ContextId id) const
+{
+    return cxt(id).faulted;
+}
+
+std::uint32_t
+CdnaNic::allocatedContexts() const
+{
+    std::uint32_t n = 0;
+    for (const auto &c : contexts_)
+        if (c.allocated)
+            ++n;
+    return n;
+}
+
+void
+CdnaNic::pioWriteMailbox(ContextId id, std::uint32_t mbox,
+                         std::uint32_t value)
+{
+    Context &c = cxt(id);
+    SIM_ASSERT(c.allocated, "PIO to unallocated context");
+    c.mailboxes.write(mbox, value);
+    hier_.post(id, mbox);
+    nMailboxEvents_.inc();
+    fw_.exec(params_.fwMailboxEvent, [this] {
+        std::uint32_t cid, mb;
+        if (hier_.popLowest(&cid, &mb))
+            handleMailbox(cid, mb);
+    });
+}
+
+void
+CdnaNic::handleMailbox(ContextId id, std::uint32_t mbox)
+{
+    Context &c = cxt(id);
+    if (!c.allocated || c.faulted)
+        return;
+    switch (mbox) {
+      case nic::kMboxTxProducer:
+        c.txProducer = c.mailboxes.read(mbox);
+        startTxFetch(id);
+        break;
+      case nic::kMboxRxProducer:
+        c.rxProducer = c.mailboxes.read(mbox);
+        startRxFetch(id);
+        break;
+      default:
+        break; // control mailboxes: nothing to do in this model
+    }
+}
+
+void
+CdnaNic::startTxFetch(ContextId id)
+{
+    Context &c = cxt(id);
+    if (c.txFetchBusy || c.faulted || !c.txRing)
+        return;
+    std::uint32_t avail = c.txProducer - c.txFetched;
+    if (avail == 0)
+        return;
+    std::uint32_t n = std::min({avail, params_.fetchBatch,
+                                c.txRing->size()});
+    c.txFetchBusy = true;
+
+    mem::SgList sg;
+    std::uint32_t first_slot = c.txRing->slotOf(c.txFetched);
+    std::uint32_t till_wrap = std::min(n, c.txRing->size() - first_slot);
+    sg.push_back({c.txRing->slotAddr(c.txFetched),
+                  till_wrap * nic::kDescBytes});
+    if (till_wrap < n)
+        sg.push_back({c.txRing->slotAddr(c.txFetched + till_wrap),
+                      (n - till_wrap) * nic::kDescBytes});
+
+    std::uint32_t first = c.txFetched;
+    dma_.read(sg, c.dom, id, [this, id, first, n](mem::DmaResult) {
+        Context &cc = cxt(id);
+        if (!cc.allocated)
+            return; // revoked mid-fetch
+        cc.txFetchBusy = false;
+        cc.txFetched = first + n;
+        fw_.exec(n * params_.fwPerDescriptor, [this, id, first, n] {
+            validateFetched(id, true, first, n);
+        });
+        startTxFetch(id);
+    });
+}
+
+void
+CdnaNic::startRxFetch(ContextId id)
+{
+    Context &c = cxt(id);
+    if (c.rxFetchBusy || c.faulted || !c.rxRing)
+        return;
+    std::uint32_t avail = c.rxProducer - c.rxFetched;
+    if (avail == 0)
+        return;
+    std::uint32_t n = std::min({avail, params_.fetchBatch,
+                                c.rxRing->size()});
+    c.rxFetchBusy = true;
+
+    mem::SgList sg;
+    std::uint32_t first_slot = c.rxRing->slotOf(c.rxFetched);
+    std::uint32_t till_wrap = std::min(n, c.rxRing->size() - first_slot);
+    sg.push_back({c.rxRing->slotAddr(c.rxFetched),
+                  till_wrap * nic::kDescBytes});
+    if (till_wrap < n)
+        sg.push_back({c.rxRing->slotAddr(c.rxFetched + till_wrap),
+                      (n - till_wrap) * nic::kDescBytes});
+
+    std::uint32_t first = c.rxFetched;
+    dma_.read(sg, c.dom, id, [this, id, first, n](mem::DmaResult) {
+        Context &cc = cxt(id);
+        if (!cc.allocated)
+            return;
+        cc.rxFetchBusy = false;
+        cc.rxFetched = first + n;
+        fw_.exec(n * params_.fwPerDescriptor, [this, id, first, n] {
+            validateFetched(id, false, first, n);
+        });
+        startRxFetch(id);
+    });
+}
+
+bool
+CdnaNic::checkSeqno(Context &c, std::uint64_t seqno, std::uint64_t *next)
+{
+    (void)c;
+    std::uint64_t expected = *next;
+    if (params_.seqnoModulus != 0)
+        expected %= params_.seqnoModulus;
+    if (seqno != expected)
+        return false;
+    ++*next;
+    return true;
+}
+
+void
+CdnaNic::validateFetched(ContextId id, bool is_tx, std::uint32_t first,
+                         std::uint32_t count)
+{
+    Context &c = cxt(id);
+    if (!c.allocated || c.faulted)
+        return;
+    nic::DescRing &ring = is_tx ? *c.txRing : *c.rxRing;
+    std::uint64_t *next = is_tx ? &c.txNextSeqno : &c.rxNextSeqno;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t pos = first + i;
+        const nic::DmaDescriptor &desc = ring.at(pos);
+        if (params_.seqnoCheck &&
+            (!desc.valid() || !checkSeqno(c, desc.seqno, next))) {
+            enterFault(id, vmm::Fault::kBadSeqno);
+            return;
+        }
+        (is_tx ? c.txReady : c.rxReady).push_back(pos);
+    }
+    if (is_tx)
+        enqueueTxArb(id);
+}
+
+void
+CdnaNic::enterFault(ContextId id, vmm::Fault f)
+{
+    Context &c = cxt(id);
+    c.faulted = true;
+    c.txReady.clear();
+    c.rxReady.clear();
+    if (f == vmm::Fault::kBadSeqno)
+        nSeqnoFaults_.inc();
+    log_.warn("context %u fault: %s", id, vmm::faultName(f));
+    if (faultHandler_)
+        faultHandler_(id, c.dom, f);
+}
+
+void
+CdnaNic::enqueueTxArb(ContextId id)
+{
+    Context &c = cxt(id);
+    if (c.inTxArb || c.txReady.empty() || c.faulted)
+        return;
+    c.inTxArb = true;
+    txArb_.push_back(id);
+    pumpTx();
+}
+
+void
+CdnaNic::pumpTx()
+{
+    if (txDataBusy_ || txArb_.empty())
+        return;
+    ContextId id = txArb_.front();
+    Context &c = cxt(id);
+    if (!c.allocated || c.faulted || c.txReady.empty()) {
+        txArb_.pop_front();
+        c.inTxArb = false;
+        pumpTx();
+        return;
+    }
+    std::uint32_t pos = c.txReady.front();
+    const nic::DmaDescriptor desc = c.txRing->at(pos);
+    auto pkt_opt = c.txRing->detachPacket(pos);
+    std::uint64_t bytes = pkt_opt ? pkt_opt->payloadBytes : desc.len();
+    if (bytes == 0)
+        bytes = 64; // minimum frame from a degenerate descriptor
+    if (!txBuf_.tryReserve(bytes)) {
+        if (pkt_opt)
+            c.txRing->attachPacket(pos, std::move(*pkt_opt));
+        txWaitingBuffer_ = true;
+        return;
+    }
+    c.txReady.pop_front();
+    txArb_.pop_front();
+    txDataBusy_ = true;
+
+    // Fair interleave: rotate the context to the arbiter tail while this
+    // packet streams in, so other contexts transmit between its packets.
+    if (!c.txReady.empty())
+        txArb_.push_back(id);
+    else
+        c.inTxArb = false;
+    if (c.txFetched - c.txConsumer < params_.fetchBatch)
+        startTxFetch(id);
+
+    net::Packet pkt;
+    if (pkt_opt) {
+        pkt = std::move(*pkt_opt);
+        nTxPackets_.inc();
+    } else {
+        // Stale/forged descriptor with protection off: the hardware
+        // happily transmits whatever the (possibly reallocated) buffer
+        // holds.
+        pkt.src = c.mac;
+        pkt.dst = net::MacAddr::fromId(0xFFFFFFu);
+        pkt.payloadBytes = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(bytes, net::kMaxTsoBytes));
+        pkt.srcDomain = c.dom;
+        nGhostTx_.inc();
+    }
+
+    dma_.read(desc.sg, c.dom, id,
+              [this, id, bytes,
+               pkt = std::move(pkt)](mem::DmaResult dr) mutable {
+        fw_.exec(params_.fwPerPacket,
+                 [this, id, bytes, dr, pkt = std::move(pkt)]() mutable {
+            txDataBusy_ = false;
+            if (dr.blockedPages > 0) {
+                // The IOMMU refused the payload fetch: nothing valid to
+                // transmit.  Complete the descriptor without a frame.
+                nIommuDrops_.inc();
+                txBuf_.release(bytes);
+                Context &cc = cxt(id);
+                if (cc.allocated) {
+                    ++cc.txConsumer;
+                    scheduleWriteback(id);
+                    noteContextUpdate(id);
+                }
+                if (std::exchange(txWaitingBuffer_, false))
+                    pumpTx();
+                pumpTx();
+                return;
+            }
+            sim::Time gap = params_.txInterFrameGap *
+                            static_cast<sim::Time>(pkt.wireFrames());
+            link_.send(side_, std::move(pkt), gap, [this, id, bytes] {
+                txBuf_.release(bytes);
+                Context &cc = cxt(id);
+                if (cc.allocated) {
+                    ++cc.txConsumer;
+                    scheduleWriteback(id);
+                    noteContextUpdate(id);
+                }
+                if (std::exchange(txWaitingBuffer_, false))
+                    pumpTx();
+            });
+            pumpTx();
+        });
+    });
+}
+
+void
+CdnaNic::receiveFrame(net::Packet pkt)
+{
+    auto it = macMap_.find(pkt.dst.hash());
+    ContextId id;
+    if (it != macMap_.end()) {
+        id = it->second;
+    } else if (promiscuousCxt_.has_value()) {
+        id = *promiscuousCxt_;
+    } else {
+        nRxDropFilter_.inc();
+        return;
+    }
+    Context &c = cxt(id);
+    if (c.faulted) {
+        nRxDropFilter_.inc();
+        return;
+    }
+    if (c.rxReady.empty()) {
+        nRxDropNoDesc_.inc();
+        startRxFetch(id);
+        return;
+    }
+    std::uint64_t bytes = pkt.payloadBytes;
+    if (!rxBuf_.tryReserve(bytes)) {
+        nRxDropNoBuf_.inc();
+        return;
+    }
+    std::uint32_t pos = c.rxReady.front();
+    c.rxReady.pop_front();
+    if (c.rxReady.size() < params_.fetchBatch / 2)
+        startRxFetch(id);
+    const nic::DmaDescriptor desc = c.rxRing->at(pos);
+
+    fw_.exec(params_.fwPerPacket,
+             [this, id, pos, bytes, desc,
+              pkt = std::move(pkt)]() mutable {
+        mem::SgList sg = sgPrefix(desc.sg, bytes + net::kTcpIpHeader);
+        Context &cc = cxt(id);
+        dma_.write(sg, cc.dom, id,
+                   [this, id, pos, bytes,
+                    pkt = std::move(pkt)](mem::DmaResult dr) mutable {
+            rxBuf_.release(bytes);
+            Context &ccc = cxt(id);
+            if (!ccc.allocated)
+                return;
+            if (dr.blockedPages > 0) {
+                // IOMMU refused the buffer write: the frame is lost,
+                // but the descriptor is consumed.
+                nIommuDrops_.inc();
+                ++ccc.rxConsumer;
+                scheduleWriteback(id);
+                noteContextUpdate(id);
+                return;
+            }
+            nRxPackets_.inc();
+            ccc.rxDeliveries.push_back(RxDelivery{pos, std::move(pkt)});
+            ++ccc.rxConsumer;
+            scheduleWriteback(id);
+            noteContextUpdate(id);
+        });
+    });
+}
+
+std::uint32_t
+CdnaNic::txConsumer(ContextId id) const
+{
+    return cxt(id).txConsumerHost;
+}
+
+std::uint32_t
+CdnaNic::rxConsumer(ContextId id) const
+{
+    return cxt(id).rxConsumerHost;
+}
+
+std::vector<CdnaNic::RxDelivery>
+CdnaNic::drainRx(ContextId id)
+{
+    return std::exchange(cxt(id).rxDeliveries, {});
+}
+
+nic::DescRing &
+CdnaNic::txRing(ContextId id)
+{
+    Context &c = cxt(id);
+    SIM_ASSERT(c.txRing.has_value(), "TX ring not configured");
+    return *c.txRing;
+}
+
+nic::DescRing &
+CdnaNic::rxRing(ContextId id)
+{
+    Context &c = cxt(id);
+    SIM_ASSERT(c.rxRing.has_value(), "RX ring not configured");
+    return *c.rxRing;
+}
+
+void
+CdnaNic::scheduleWriteback(ContextId id)
+{
+    Context &c = cxt(id);
+    if (c.statusAddr == 0) {
+        // No status page configured (unit tests): publish immediately.
+        c.txConsumerHost = c.txConsumer;
+        c.rxConsumerHost = c.rxConsumer;
+        return;
+    }
+    if (c.wbBusy) {
+        c.wbAgain = true;
+        return;
+    }
+    c.wbBusy = true;
+    mem::SgList sg{{c.statusAddr, 16}};
+    dma_.write(sg, c.dom, id, [this, id](mem::DmaResult) {
+        Context &cc = cxt(id);
+        cc.wbBusy = false;
+        if (!cc.allocated)
+            return;
+        cc.txConsumerHost = cc.txConsumer;
+        cc.rxConsumerHost = cc.rxConsumer;
+        if (std::exchange(cc.wbAgain, false))
+            scheduleWriteback(id);
+    });
+}
+
+void
+CdnaNic::noteContextUpdate(ContextId id)
+{
+    pendingVector_ |= (1u << id);
+    ++pendingUpdates_;
+    if (pendingUpdates_ >= coalesce().eventThreshold) {
+        if (vecTimer_ != sim::kInvalidEvent) {
+            events().cancel(vecTimer_);
+            vecTimer_ = sim::kInvalidEvent;
+        }
+        fireBitVector();
+        return;
+    }
+    if (vecTimer_ == sim::kInvalidEvent) {
+        vecTimer_ = events().schedule(coalesce().delay, [this] {
+            vecTimer_ = sim::kInvalidEvent;
+            fireBitVector();
+        });
+    }
+}
+
+void
+CdnaNic::fireBitVector()
+{
+    if (pendingVector_ == 0)
+        return;
+    if (!intrRing_) {
+        // No hypervisor ring configured (unit tests): raise directly.
+        pendingVector_ = 0;
+        pendingUpdates_ = 0;
+        raiseIrq();
+        return;
+    }
+    if (intrRing_->full() || vecDmaBusy_) {
+        // Host is behind; retry shortly (producer/consumer protocol).
+        if (vecTimer_ == sim::kInvalidEvent) {
+            vecTimer_ = events().schedule(sim::microseconds(5), [this] {
+                vecTimer_ = sim::kInvalidEvent;
+                fireBitVector();
+            });
+        }
+        return;
+    }
+    std::uint32_t vec = std::exchange(pendingVector_, 0);
+    pendingUpdates_ = 0;
+    vecDmaBusy_ = true;
+    mem::SgList sg{{intrRing_->producerAddr(), 4}};
+    dma_.write(sg, mem::kDomHypervisor, mem::kWholeDevice,
+               [this, vec](mem::DmaResult) {
+        vecDmaBusy_ = false;
+        intrRing_->push(vec);
+        nBitVectors_.inc();
+        raiseIrq();
+    });
+}
+
+} // namespace cdna::core

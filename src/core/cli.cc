@@ -1,0 +1,222 @@
+#include "core/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdna::core {
+
+std::string
+cliUsage()
+{
+    return
+        "usage: cdna_sim [options]\n"
+        "\n"
+        "I/O architecture:\n"
+        "  --mode MODE         native | xen | cdna (default cdna)\n"
+        "  --nic KIND          intel | rice (xen mode only; default intel)\n"
+        "  --no-protection     disable CDNA DMA memory protection\n"
+        "  --iommu MODE        none | device | context (default none)\n"
+        "\n"
+        "topology & workload:\n"
+        "  --guests N          number of guest VMs (default 1)\n"
+        "  --nics N            number of physical NICs (default 2)\n"
+        "  --direction DIR     tx | rx (default tx)\n"
+        "  --connections N     connections per interface (default 2)\n"
+        "\n"
+        "run control:\n"
+        "  --warmup MS         warmup before measuring (default 100)\n"
+        "  --seconds S         measurement window (default 0.5)\n"
+        "  --seed N            simulation seed (default 1)\n"
+        "  --json              emit the report as JSON\n"
+        "  --help              this text\n";
+}
+
+namespace {
+
+bool
+parseU32(const std::string &s, std::uint32_t *out)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        return false;
+    *out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+bool
+parseF(const std::string &s, double *out)
+{
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+std::optional<CliOptions>
+parseCli(const std::vector<std::string> &args, std::string *error)
+{
+    CliOptions opt;
+    auto fail = [&](const std::string &msg) -> std::optional<CliOptions> {
+        if (error)
+            *error = msg;
+        return std::nullopt;
+    };
+
+    std::string mode = "cdna";
+    std::string nic = "intel";
+    std::string iommu = "none";
+    std::string direction = "tx";
+    bool protection = true;
+    std::uint32_t guests = 1;
+    std::uint32_t nics = 2;
+    std::uint32_t connections = 2;
+    std::uint32_t warmup_ms = 100;
+    double seconds = 0.5;
+    std::uint32_t seed = 1;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](std::string *out) {
+            if (i + 1 >= args.size())
+                return false;
+            *out = args[++i];
+            return true;
+        };
+        std::string v;
+        if (a == "--help" || a == "-h") {
+            opt.help = true;
+            return opt;
+        } else if (a == "--json") {
+            opt.json = true;
+        } else if (a == "--no-protection") {
+            protection = false;
+        } else if (a == "--mode") {
+            if (!next(&mode))
+                return fail("--mode needs a value");
+        } else if (a == "--nic") {
+            if (!next(&nic))
+                return fail("--nic needs a value");
+        } else if (a == "--iommu") {
+            if (!next(&iommu))
+                return fail("--iommu needs a value");
+        } else if (a == "--direction") {
+            if (!next(&direction))
+                return fail("--direction needs a value");
+        } else if (a == "--guests") {
+            if (!next(&v) || !parseU32(v, &guests) || guests == 0)
+                return fail("--guests needs a positive integer");
+        } else if (a == "--nics") {
+            if (!next(&v) || !parseU32(v, &nics) || nics == 0)
+                return fail("--nics needs a positive integer");
+        } else if (a == "--connections") {
+            if (!next(&v) || !parseU32(v, &connections) ||
+                connections == 0)
+                return fail("--connections needs a positive integer");
+        } else if (a == "--warmup") {
+            if (!next(&v) || !parseU32(v, &warmup_ms))
+                return fail("--warmup needs milliseconds");
+        } else if (a == "--seconds") {
+            if (!next(&v) || !parseF(v, &seconds) || seconds <= 0)
+                return fail("--seconds needs a positive number");
+        } else if (a == "--seed") {
+            if (!next(&v) || !parseU32(v, &seed))
+                return fail("--seed needs an integer");
+        } else {
+            return fail("unknown option: " + a);
+        }
+    }
+
+    bool transmit;
+    if (direction == "tx")
+        transmit = true;
+    else if (direction == "rx")
+        transmit = false;
+    else
+        return fail("--direction must be tx or rx");
+
+    SystemConfig cfg;
+    if (mode == "native") {
+        cfg = makeNativeConfig(nics, transmit);
+    } else if (mode == "xen") {
+        if (nic == "intel")
+            cfg = makeXenIntelConfig(guests, transmit);
+        else if (nic == "rice")
+            cfg = makeXenRiceConfig(guests, transmit);
+        else
+            return fail("--nic must be intel or rice");
+        cfg.numNics = nics;
+    } else if (mode == "cdna") {
+        cfg = makeCdnaConfig(guests, transmit, protection);
+        cfg.numNics = nics;
+    } else {
+        return fail("--mode must be native, xen, or cdna");
+    }
+
+    if (iommu == "none")
+        cfg.iommuMode = mem::Iommu::Mode::kNone;
+    else if (iommu == "device")
+        cfg.iommuMode = mem::Iommu::Mode::kPerDevice;
+    else if (iommu == "context")
+        cfg.iommuMode = mem::Iommu::Mode::kPerContext;
+    else
+        return fail("--iommu must be none, device, or context");
+
+    cfg.connectionsPerVif = connections;
+    cfg.seed = seed;
+    opt.config = std::move(cfg);
+    opt.warmup = sim::milliseconds(static_cast<double>(warmup_ms));
+    opt.measure = sim::seconds(seconds);
+    return opt;
+}
+
+std::string
+reportToJson(const Report &r)
+{
+    char buf[512];
+    std::string out = "{\n";
+    auto add = [&](const char *key, double value, bool last = false) {
+        std::snprintf(buf, sizeof(buf), "  \"%s\": %.4f%s\n", key, value,
+                      last ? "" : ",");
+        out += buf;
+    };
+    std::snprintf(buf, sizeof(buf), "  \"label\": \"%s\",\n",
+                  r.label.c_str());
+    out += buf;
+    add("mbps", r.mbps);
+    add("hyp_pct", r.hypPct);
+    add("drv_os_pct", r.drvOsPct);
+    add("drv_user_pct", r.drvUserPct);
+    add("guest_os_pct", r.guestOsPct);
+    add("guest_user_pct", r.guestUserPct);
+    add("idle_pct", r.idlePct);
+    add("drv_intr_per_sec", r.drvIntrPerSec);
+    add("guest_intr_per_sec", r.guestIntrPerSec);
+    add("phys_irq_per_sec", r.physIrqPerSec);
+    add("hypercall_per_sec", r.hypercallPerSec);
+    add("domain_switch_per_sec", r.domainSwitchPerSec);
+    add("latency_mean_us", r.latencyMeanUs);
+    add("latency_p50_us", r.latencyP50Us);
+    add("latency_p99_us", r.latencyP99Us);
+    add("fairness", r.fairness());
+    std::snprintf(buf, sizeof(buf),
+                  "  \"protection_faults\": %llu,\n"
+                  "  \"dma_violations\": %llu,\n",
+                  static_cast<unsigned long long>(r.protectionFaults),
+                  static_cast<unsigned long long>(r.dmaViolations));
+    out += buf;
+    out += "  \"per_guest_mbps\": [";
+    for (std::size_t i = 0; i < r.perGuestMbps.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%s%.2f", i ? ", " : "",
+                      r.perGuestMbps[i]);
+        out += buf;
+    }
+    out += "]\n}\n";
+    return out;
+}
+
+} // namespace cdna::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Command-line front end for the simulator.
+ *
+ * Turns argv into a SystemConfig + run parameters and renders reports
+ * as text or JSON, so scripts can sweep configurations without writing
+ * C++.  Used by the `cdna_sim` tool; exposed as a library so the
+ * parsing is unit-testable.
+ */
+
+#ifndef CDNA_CORE_CLI_HH
+#define CDNA_CORE_CLI_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+
+namespace cdna::core {
+
+/** Parsed command line. */
+struct CliOptions
+{
+    SystemConfig config;
+    sim::Time warmup = sim::milliseconds(100);
+    sim::Time measure = sim::milliseconds(500);
+    bool json = false;
+    bool help = false;
+};
+
+/** Usage text for the CLI. */
+std::string cliUsage();
+
+/**
+ * Parse arguments (excluding argv[0]).
+ * @param args   the argument vector
+ * @param error  receives a message when parsing fails
+ * @return options, or no value on error
+ */
+std::optional<CliOptions> parseCli(const std::vector<std::string> &args,
+                                   std::string *error);
+
+/** Render a report as a JSON object (stable key order). */
+std::string reportToJson(const Report &r);
+
+} // namespace cdna::core
+
+#endif // CDNA_CORE_CLI_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The calibrated CPU/firmware cost model.
+ *
+ * Every software action in the simulated system charges time from this
+ * table.  Defaults are calibrated so the six headline configurations
+ * land near the paper's measurements (Tables 1-4) and the guest sweeps
+ * reproduce Figures 3-4; EXPERIMENTS.md records measured-vs-paper.
+ *
+ * Calibration sources and caveats:
+ *  - TCP acknowledgments ARE simulated as real reverse-path frames
+ *    (the peer ACKs every ackPerFrames data frames; guests generate
+ *    delayed ACKs for received data), so the driver-domain and guest
+ *    cost of the ACK path on transmit tests emerges from the same
+ *    constants as the receive path.
+ *  - Costs are per *operation* (per segment, per page, per interrupt),
+ *    so batching effects -- the mechanism behind the paper's
+ *    scalability shapes -- emerge from the simulation rather than being
+ *    baked into the constants.
+ */
+
+#ifndef CDNA_CORE_COST_MODEL_HH
+#define CDNA_CORE_COST_MODEL_HH
+
+#include "cpu/sim_cpu.hh"
+#include "nic/nic_base.hh"
+#include "sim/time.hh"
+#include "vmm/hypervisor.hh"
+
+namespace cdna::core {
+
+using sim::Time;
+
+/** All calibrated software-path costs. */
+struct CostModel
+{
+    // ---- application (user mode) --------------------------------------
+    /** Per 64 KB socket write (syscall + buffer handling). */
+    Time appPerWrite = sim::microseconds(2.0);
+    /** Per 64 KB of received data consumed by the application. */
+    Time appPerRead = sim::microseconds(1.8);
+    /** Per payload byte touched in user mode (single reused buffer). */
+    double appPerByteNs = 0.004;
+
+    // ---- kernel network stack (OS mode) --------------------------------
+    /** Per TSO segment or frame pushed through the TX stack. */
+    Time stackTxPerPacket = sim::nanoseconds(550);
+    /** Per TX payload byte (user copy; checksum offloaded). */
+    double stackTxPerByteNs = 0.22;
+    /** Per frame delivered up the RX stack. */
+    Time stackRxPerPacket = sim::microseconds(1.15);
+    /** Per RX payload byte (copy to user). */
+    double stackRxPerByteNs = 0.40;
+    /** Processing an incoming TCP ACK (window update, skb free). */
+    Time stackAckRxCost = sim::nanoseconds(300);
+    /** Generating an outgoing TCP ACK. */
+    Time stackAckTxCost = sim::nanoseconds(450);
+    /** Send one ACK per this many received data frames (0 disables). */
+    std::uint32_t ackPerFrames = 2;
+
+    // ---- native NIC driver (driver domain or native Linux) -------------
+    Time drvTxPerPacket = sim::nanoseconds(800);
+    Time drvTxCompletion = sim::nanoseconds(400);
+    Time drvRxPerPacket = sim::nanoseconds(1200);
+    Time drvPioWrite = sim::nanoseconds(400);
+    /** Fixed handler cost per interrupt taken (beyond upcall entry). */
+    Time drvIrqHandler = sim::nanoseconds(1000);
+    /** Upcall/IRQ entry cost charged to the interrupted OS. */
+    Time irqEntry = sim::nanoseconds(900);
+
+    // ---- Xen paravirtual path (frontend / backend / bridge) ------------
+    // Xen's paravirtual costs are dominantly per-byte/per-page (grant
+    // machinery scales with the data spanned), which is why the paper's
+    // TSO (Intel) and non-TSO (RiceNIC) rows land so close together.
+    /** Frontend per TX packet: build request, issue grant (guest side). */
+    Time feTxPerPacket = sim::nanoseconds(200);
+    /** Frontend per TX payload byte (grant/page handling). */
+    double feTxPerByteNs = 1.35;
+    /** Frontend per TX response processed. */
+    Time feTxCompletion = sim::nanoseconds(150);
+    /** Frontend per RX packet: consume response, re-post buffer. */
+    Time feRxPerPacket = sim::nanoseconds(1000);
+    /** Backend per TX packet (map, build skb, hand to bridge). */
+    Time beTxPerPacket = sim::nanoseconds(200);
+    /** Backend per TX payload byte (map/copy machinery). */
+    double beTxPerByteNs = 0.60;
+    /** Backend per RX packet (flip bookkeeping, push response). */
+    Time beRxPerPacket = sim::nanoseconds(1700);
+    /** Backend per RX payload byte. */
+    double beRxPerByteNs = 0.80;
+    /**
+     * Copy-mode netback (the mechanism that later replaced page
+     * flipping in Xen): per-byte memcpy cost of moving a received
+     * frame into the guest's posted page.
+     */
+    double beRxCopyPerByteNs = 0.45;
+    /** Backend per TX completion (push response, free state). */
+    Time beTxCompletion = sim::nanoseconds(100);
+    /** Bridge forwarding decision per packet. */
+    Time bridgePerPacket = sim::nanoseconds(400);
+    /** Fixed cost per backend/driver-domain wakeup (scan vifs etc.). */
+    Time backendPerWake = sim::microseconds(1.6);
+
+    // ---- CDNA guest driver ----------------------------------------------
+    /** Virtual-to-physical translation library, per page (section 3.4). */
+    Time cdnaTranslatePerPage = sim::nanoseconds(150);
+    Time cdnaDrvTxPerPacket = sim::nanoseconds(450);
+    Time cdnaDrvRxPerPacket = sim::nanoseconds(400);
+    Time cdnaDrvCompletion = sim::nanoseconds(150);
+
+    // ---- hypervisor DMA memory protection (section 3.3) ----------------
+    /** Validate that the caller owns one referenced page. */
+    Time protValidatePerPage = sim::nanoseconds(100);
+    /** Increment the page reference count (pin). */
+    Time protPinPerPage = sim::nanoseconds(40);
+    /** Lazy unpin of a completed descriptor's page. */
+    Time protUnpinPerPage = sim::nanoseconds(40);
+    /** Stamp the sequence number and copy the descriptor into the ring. */
+    Time protEnqueuePerDesc = sim::nanoseconds(90);
+
+    // ---- background OS load ---------------------------------------------
+    /** Periodic timer tick cost per domain. */
+    Time timerTickCost = sim::microseconds(4.0);
+    /** Timer tick frequency per domain (Hz). */
+    int timerHz = 100;
+
+    // ---- hypervisor + scheduler ------------------------------------------
+    vmm::HvParams hv{};
+    cpu::CpuParams cpuParams{};
+
+    // ---- NIC coalescing ----------------------------------------------------
+    nic::CoalesceParams intelCoalesce{sim::microseconds(120), 48};
+    /** CDNA bit-vector windows (tuned per direction, as the paper tuned
+     *  "NIC coalescing options" per experiment). */
+    nic::CoalesceParams cdnaCoalesce{sim::microseconds(145), 1u << 30};
+    nic::CoalesceParams cdnaCoalesceRx{sim::microseconds(268), 1u << 30};
+};
+
+} // namespace cdna::core
+
+#endif // CDNA_CORE_COST_MODEL_HH

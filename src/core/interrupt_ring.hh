@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Circular buffer of interrupt bit vectors (paper section 3.2).
+ *
+ * The CDNA NIC tracks which contexts were updated since the last
+ * physical interrupt in a bit vector, DMA-writes the vector into this
+ * hypervisor-memory ring, then raises the interrupt line.  The
+ * producer/consumer protocol guarantees vectors are consumed by the
+ * hypervisor before the NIC overwrites them.
+ */
+
+#ifndef CDNA_CORE_INTERRUPT_RING_HH
+#define CDNA_CORE_INTERRUPT_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/phys_memory.hh"
+#include "sim/assert.hh"
+
+namespace cdna::core {
+
+class InterruptRing
+{
+  public:
+    /**
+     * @param slots ring capacity (bit vectors)
+     * @param base  hypervisor-memory address of slot 0
+     */
+    InterruptRing(std::uint32_t slots, mem::PhysAddr base)
+        : base_(base), slots_(slots, 0)
+    {
+        SIM_ASSERT(slots > 0, "empty interrupt ring");
+    }
+
+    bool full() const { return producer_ - consumer_ >= slots_.size(); }
+    bool empty() const { return producer_ == consumer_; }
+
+    std::uint32_t producer() const { return producer_; }
+    std::uint32_t consumer() const { return consumer_; }
+
+    /** Address the NIC DMA-writes the next vector to. */
+    mem::PhysAddr
+    producerAddr() const
+    {
+        return base_ + (producer_ % slots_.size()) * sizeof(std::uint32_t);
+    }
+
+    /** NIC side: publish a bit vector (call after the DMA completes). */
+    void
+    push(std::uint32_t vector)
+    {
+        SIM_ASSERT(!full(), "interrupt ring overflow");
+        slots_[producer_ % slots_.size()] = vector;
+        ++producer_;
+    }
+
+    /** Hypervisor side: consume the next vector. */
+    std::uint32_t
+    pop()
+    {
+        SIM_ASSERT(!empty(), "interrupt ring underflow");
+        std::uint32_t v = slots_[consumer_ % slots_.size()];
+        ++consumer_;
+        return v;
+    }
+
+  private:
+    mem::PhysAddr base_;
+    std::vector<std::uint32_t> slots_;
+    std::uint32_t producer_ = 0;
+    std::uint32_t consumer_ = 0;
+};
+
+} // namespace cdna::core
+
+#endif // CDNA_CORE_INTERRUPT_RING_HH

@@ -1,0 +1,38 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cdna::core {
+
+std::string
+Report::header()
+{
+    return "config                    Mb/s    Hyp  DrvOS DrvUsr  GstOS "
+           "GstUsr   Idle   drvIrq/s gstIrq/s";
+}
+
+std::string
+Report::row() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-22s %7.0f  %5.1f  %5.1f  %5.1f  %5.1f  %5.1f  %5.1f "
+                  "  %8.0f %8.0f",
+                  label.c_str(), mbps, hypPct, drvOsPct, drvUserPct,
+                  guestOsPct, guestUserPct, idlePct, drvIntrPerSec,
+                  guestIntrPerSec);
+    return buf;
+}
+
+double
+Report::fairness() const
+{
+    if (perGuestMbps.empty())
+        return 1.0;
+    double lo = *std::min_element(perGuestMbps.begin(), perGuestMbps.end());
+    double hi = *std::max_element(perGuestMbps.begin(), perGuestMbps.end());
+    return hi > 0 ? lo / hi : 1.0;
+}
+
+} // namespace cdna::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Experiment report: the columns of the paper's Tables 1-4.
+ *
+ * Throughput, the Xenoprof-style execution profile (hypervisor /
+ * driver-domain OS+user / guest OS+user / idle), and interrupt rates,
+ * plus protection-related counters used by the security experiments.
+ */
+
+#ifndef CDNA_CORE_REPORT_HH
+#define CDNA_CORE_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace cdna::core {
+
+struct Report
+{
+    std::string label;
+
+    /** Aggregate goodput in Mb/s over the measurement window. */
+    double mbps = 0.0;
+
+    // Execution profile (percent of elapsed time).
+    double hypPct = 0.0;
+    double drvOsPct = 0.0;
+    double drvUserPct = 0.0;
+    double guestOsPct = 0.0;
+    double guestUserPct = 0.0;
+    double idlePct = 0.0;
+
+    // Interrupt rates (per second of simulated time).
+    double drvIntrPerSec = 0.0;   //!< virtual interrupts to the driver dom
+    double guestIntrPerSec = 0.0; //!< virtual interrupts to all guests
+    double physIrqPerSec = 0.0;
+    double hypercallPerSec = 0.0;
+    double domainSwitchPerSec = 0.0;
+
+    // Protection / integrity counters (totals over the window).
+    std::uint64_t protectionFaults = 0;
+    std::uint64_t dmaViolations = 0;
+    std::uint64_t rxDropsNoDesc = 0;
+
+    /** Per-guest goodput (fairness analysis), Mb/s. */
+    std::vector<double> perGuestMbps;
+
+    /**
+     * End-to-end data-frame latency in microseconds (stack entry to
+     * peer on transmit tests; wire to user space on receive tests).
+     * Accumulated from simulation start (includes warmup).  P50/p99 are
+     * power-of-two bucket upper bounds.
+     */
+    double latencyMeanUs = 0.0;
+    double latencyP50Us = 0.0;
+    double latencyP99Us = 0.0;
+
+    sim::Time window = 0;
+
+    /** Paper-style table row. */
+    std::string row() const;
+
+    /** Header matching row(). */
+    static std::string header();
+
+    /** Min/max per-guest throughput ratio (1.0 = perfectly fair). */
+    double fairness() const;
+};
+
+} // namespace cdna::core
+
+#endif // CDNA_CORE_REPORT_HH

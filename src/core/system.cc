@@ -1,0 +1,565 @@
+#include "core/system.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::core {
+
+System::System(SystemConfig cfg) : cfg_(std::move(cfg)), ctx_(cfg_.seed)
+{
+    buildCommon();
+    switch (cfg_.mode) {
+      case IoMode::kNative:
+        buildNative();
+        break;
+      case IoMode::kXen:
+        buildXen();
+        break;
+      case IoMode::kCdna:
+        buildCdna();
+        break;
+    }
+    startTimers();
+}
+
+System::~System() = default;
+
+net::MacAddr
+System::guestMac(std::uint32_t guest, std::uint32_t nic) const
+{
+    return net::MacAddr::fromId(0x010000u + guest * 256u + nic);
+}
+
+void
+System::buildCommon()
+{
+    mem_ = std::make_unique<mem::PhysMemory>(ctx_, cfg_.memoryPages);
+    cpu_ = std::make_unique<cpu::SimCpu>(ctx_, "cpu0",
+                                         cfg_.costs.cpuParams);
+    hv_ = std::make_unique<vmm::Hypervisor>(ctx_, *cpu_, *mem_,
+                                            cfg_.costs.hv);
+    if (cfg_.iommuMode != mem::Iommu::Mode::kNone)
+        iommu_ = std::make_unique<mem::Iommu>(ctx_, *mem_, cfg_.iommuMode);
+
+    NicKind kind = cfg_.mode == IoMode::kNative ? NicKind::kIntel
+                                                : cfg_.nicKind;
+    for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
+        std::string suffix = std::to_string(i);
+        buses_.push_back(
+            std::make_unique<mem::PciBus>(ctx_, "pci" + suffix));
+        links_.push_back(
+            std::make_unique<net::EthLink>(ctx_, "eth" + suffix));
+        peers_.push_back(std::make_unique<net::TrafficPeer>(
+            ctx_, "peer" + suffix, *links_.back(),
+            net::EthLink::Side::kB));
+        peers_.back()->setAckEvery(cfg_.costs.ackPerFrames);
+        if (kind == NicKind::kIntel) {
+            auto params = cfg_.intelParams;
+            params.coalesce = cfg_.costs.intelCoalesce;
+            intelNics_.push_back(std::make_unique<nic::IntelNic>(
+                ctx_, "intel" + suffix, *buses_.back(), *mem_, i,
+                *links_.back(), net::EthLink::Side::kA, params));
+            if (iommu_)
+                intelNics_.back()->dma().setIommu(iommu_.get());
+        } else {
+            auto params = cfg_.cdnaParams;
+            params.coalesce = cfg_.transmit ? cfg_.costs.cdnaCoalesce
+                                            : cfg_.costs.cdnaCoalesceRx;
+            params.seqnoCheck = cfg_.dmaProtection;
+            cdnaNics_.push_back(std::make_unique<CdnaNic>(
+                ctx_, "cdna" + suffix, *buses_.back(), *mem_, i,
+                *links_.back(), net::EthLink::Side::kA, params));
+            if (iommu_)
+                cdnaNics_.back()->dma().setIommu(iommu_.get());
+            cxtChannels_.emplace_back(nic::kMaxContexts, nullptr);
+        }
+    }
+}
+
+void
+System::wireCdnaIsr(std::uint32_t i)
+{
+    CdnaNic &nic = *cdnaNics_[i];
+    mem::PageNum ring_page = mem_->allocOne(mem::kDomHypervisor);
+    nic.setInterruptRing(mem::addrOf(ring_page));
+    nic.setFaultHandler([this](CdnaNic::ContextId, mem::DomainId dom,
+                               vmm::Fault f) { hv_->recordFault(dom, f); });
+    nic.setIrqLine([this, i] {
+        hv_->physicalInterrupt(0, [this, i] {
+            InterruptRing *ring = cdnaNics_[i]->interruptRing();
+            while (!ring->empty()) {
+                std::uint32_t vec = ring->pop();
+                while (vec != 0) {
+                    auto b = static_cast<std::uint32_t>(
+                        __builtin_ctz(vec));
+                    vec &= vec - 1;
+                    vmm::EventChannel *ch = cxtChannels_[i][b];
+                    if (ch)
+                        hv_->deliverVirtIrq(*ch);
+                }
+            }
+        });
+    });
+    if (iommu_) {
+        // Whole-device accesses (interrupt bit vectors) act on behalf of
+        // the hypervisor.
+        iommu_->bindDevice(i, mem::kDomHypervisor);
+    }
+}
+
+void
+System::buildNative()
+{
+    vmm::Domain &native = hv_->createDomain(vmm::Domain::Kind::kGuest,
+                                            "native");
+    guests_.push_back(&native);
+
+    for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
+        auto mac = guestMac(0, i);
+        nativeDrivers_.push_back(std::make_unique<os::NativeDriver>(
+            ctx_, "natdrv" + std::to_string(i), native, *intelNics_[i],
+            cfg_.costs, os::NativeDriver::IrqRoute::kDirect, mac));
+        nativeDrivers_.back()->attach();
+        guestDevs_.push_back(nativeDrivers_.back().get());
+        stacks_.push_back(std::make_unique<os::NetStack>(
+            ctx_, "stack0." + std::to_string(i), native,
+            *nativeDrivers_.back(), cfg_.costs));
+        stacks_.back()->setDefaultDst(peers_[i]->mac());
+        workload::TrafficApp::Params ap;
+        ap.connections = cfg_.connectionsPerVif;
+        ap.transmit = cfg_.transmit;
+        apps_.push_back(std::make_unique<workload::TrafficApp>(
+            ctx_, "app0." + std::to_string(i), *stacks_.back(),
+            cfg_.costs, ap));
+    }
+}
+
+void
+System::buildXen()
+{
+    driverDom_ = &hv_->createDomain(vmm::Domain::Kind::kDriver, "dom0");
+    for (std::uint32_t g = 0; g < cfg_.numGuests; ++g)
+        guests_.push_back(&hv_->createDomain(vmm::Domain::Kind::kGuest,
+                                             "guest" + std::to_string(g)));
+
+    if (cfg_.nicKind == NicKind::kRice)
+        prot_ = std::make_unique<DmaProtection>(ctx_, *hv_, cfg_.costs,
+                                                /*enabled=*/true);
+
+    for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
+        os::NetDevice *phys = nullptr;
+        auto drv_mac = net::MacAddr::fromId(0x020000u + i);
+        if (cfg_.nicKind == NicKind::kIntel) {
+            nativeDrivers_.push_back(std::make_unique<os::NativeDriver>(
+                ctx_, "dom0drv" + std::to_string(i), *driverDom_,
+                *intelNics_[i], cfg_.costs,
+                os::NativeDriver::IrqRoute::kViaHypervisor, drv_mac));
+            nativeDrivers_.back()->attach();
+            // The bridge needs frames destined to guest MACs.
+            intelNics_[i]->setPromiscuous(true);
+            phys = nativeDrivers_.back().get();
+        } else {
+            CdnaNic &nic = *cdnaNics_[i];
+            wireCdnaIsr(i);
+            auto cxt = nic.allocContext(driverDom_->id(), drv_mac);
+            SIM_ASSERT(cxt.has_value(), "no context for driver domain");
+            mem::PageNum txp = mem_->allocOne(driverDom_->id());
+            mem::PageNum rxp = mem_->allocOne(driverDom_->id());
+            mem::PageNum stp = mem_->allocOne(driverDom_->id());
+            nic.configureContextRings(*cxt, 256, mem::addrOf(txp), 256,
+                                      mem::addrOf(rxp));
+            nic.setStatusPage(*cxt, mem::addrOf(stp));
+            drvDomCdnaDrivers_.push_back(std::make_unique<CdnaGuestDriver>(
+                ctx_, "dom0cdna" + std::to_string(i), *driverDom_, nic,
+                *cxt, *prot_, cfg_.costs, drv_mac));
+            CdnaGuestDriver *drv = drvDomCdnaDrivers_.back().get();
+            cxtChannels_[i][*cxt] = &hv_->createChannel(
+                *driverDom_, cfg_.costs.irqEntry,
+                [drv] { drv->handleIrq(); });
+            drv->attach();
+            if (iommu_)
+                iommu_->bindContext(i, *cxt, driverDom_->id());
+            // Software virtualization: the driver domain's context must
+            // accept frames for every guest MAC, since all traffic is
+            // routed through the bridge.
+            nic.setPromiscuousContext(*cxt);
+            phys = drv;
+        }
+        ddns_.push_back(std::make_unique<os::DriverDomainNet>(
+            ctx_, "ddn" + std::to_string(i), *driverDom_, *phys,
+            cfg_.costs));
+        ddns_.back()->setRxCopyMode(cfg_.xenRxCopyMode);
+
+        for (std::uint32_t g = 0; g < cfg_.numGuests; ++g) {
+            os::XenVif &vif = ddns_.back()->createVif(*guests_[g],
+                                                      guestMac(g, i));
+            guestDevs_.push_back(&vif);
+            stacks_.push_back(std::make_unique<os::NetStack>(
+                ctx_,
+                "stack" + std::to_string(g) + "." + std::to_string(i),
+                *guests_[g], vif, cfg_.costs));
+            stacks_.back()->setDefaultDst(peers_[i]->mac());
+            workload::TrafficApp::Params ap;
+            ap.connections = cfg_.connectionsPerVif;
+            ap.transmit = cfg_.transmit;
+            apps_.push_back(std::make_unique<workload::TrafficApp>(
+                ctx_, "app" + std::to_string(g) + "." + std::to_string(i),
+                *stacks_.back(), cfg_.costs, ap));
+        }
+    }
+}
+
+void
+System::buildCdna()
+{
+    driverDom_ = &hv_->createDomain(vmm::Domain::Kind::kDriver, "dom0");
+    for (std::uint32_t g = 0; g < cfg_.numGuests; ++g)
+        guests_.push_back(&hv_->createDomain(vmm::Domain::Kind::kGuest,
+                                             "guest" + std::to_string(g)));
+
+    prot_ = std::make_unique<DmaProtection>(ctx_, *hv_, cfg_.costs,
+                                            cfg_.dmaProtection);
+
+    for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
+        wireCdnaIsr(i);
+        CdnaNic &nic = *cdnaNics_[i];
+        for (std::uint32_t g = 0; g < cfg_.numGuests; ++g) {
+            vmm::Domain &guest = *guests_[g];
+            auto mac = guestMac(g, i);
+            auto cxt = nic.allocContext(guest.id(), mac);
+            SIM_ASSERT(cxt.has_value(), "out of NIC contexts");
+            mem::PageNum txp = mem_->allocOne(guest.id());
+            mem::PageNum rxp = mem_->allocOne(guest.id());
+            mem::PageNum stp = mem_->allocOne(guest.id());
+            nic.configureContextRings(*cxt, 256, mem::addrOf(txp), 256,
+                                      mem::addrOf(rxp));
+            nic.setStatusPage(*cxt, mem::addrOf(stp));
+
+            guestCdnaDrivers_.push_back(std::make_unique<CdnaGuestDriver>(
+                ctx_,
+                "cdnadrv" + std::to_string(g) + "." + std::to_string(i),
+                guest, nic, *cxt, *prot_, cfg_.costs, mac));
+            CdnaGuestDriver *drv = guestCdnaDrivers_.back().get();
+            cxtChannels_[i][*cxt] = &hv_->createChannel(
+                guest, cfg_.costs.irqEntry, [drv] { drv->handleIrq(); });
+            drv->attach();
+            if (iommu_ &&
+                cfg_.iommuMode == mem::Iommu::Mode::kPerContext)
+                iommu_->bindContext(i, *cxt, guest.id());
+
+            guestDevs_.push_back(drv);
+            stacks_.push_back(std::make_unique<os::NetStack>(
+                ctx_,
+                "stack" + std::to_string(g) + "." + std::to_string(i),
+                guest, *drv, cfg_.costs));
+            stacks_.back()->setDefaultDst(peers_[i]->mac());
+            workload::TrafficApp::Params ap;
+            ap.connections = cfg_.connectionsPerVif;
+            ap.transmit = cfg_.transmit;
+            apps_.push_back(std::make_unique<workload::TrafficApp>(
+                ctx_, "app" + std::to_string(g) + "." + std::to_string(i),
+                *stacks_.back(), cfg_.costs, ap));
+        }
+    }
+}
+
+void
+System::startTimers()
+{
+    sim::Time period = sim::kSecond / cfg_.costs.timerHz;
+    sim::Time cost = cfg_.costs.timerTickCost;
+    for (const auto &dom : hv_->domains()) {
+        vmm::Domain *d = dom.get();
+        auto tick = std::make_shared<std::function<void()>>();
+        *tick = [this, d, period, cost, tick] {
+            d->vcpu().post(cpu::Bucket::kOs, cost);
+            ctx_.events().schedule(period, *tick);
+        };
+        sim::Time phase = sim::microseconds(137.0) * d->id();
+        ctx_.events().schedule(phase + period, *tick);
+    }
+}
+
+void
+System::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    for (auto &app : apps_)
+        app->start();
+    if (!cfg_.transmit) {
+        // Receive experiments: the peer floods the guests' MACs at line
+        // rate once the guests have had a moment to post RX buffers.
+        for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
+            std::vector<net::MacAddr> dsts;
+            if (cfg_.mode == IoMode::kNative) {
+                dsts.push_back(guestMac(0, i));
+            } else {
+                for (std::uint32_t g = 0; g < cfg_.numGuests; ++g)
+                    dsts.push_back(guestMac(g, i));
+            }
+            net::TrafficPeer *p = peers_[i].get();
+            ctx_.events().schedule(sim::milliseconds(1.0),
+                                   [p, dsts = std::move(dsts)] {
+                                       p->startSource(dsts);
+                                   });
+        }
+    }
+}
+
+System::Snapshot
+System::snapshot() const
+{
+    Snapshot s;
+    for (const auto &p : peers_)
+        s.peerRxPayload += p->payloadReceived();
+    for (const auto &st : stacks_)
+        s.stackRxBytes += st->rxBytes();
+
+    s.perGuestBytes.assign(guests_.size(), 0);
+    for (std::size_t g = 0; g < guests_.size(); ++g) {
+        for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
+            // Plumbing is laid out NIC-major: index = nic*guests + guest.
+            std::size_t idx = static_cast<std::size_t>(i) * guests_.size() + g;
+            if (idx >= stacks_.size())
+                continue;
+            if (cfg_.transmit) {
+                auto mac = cfg_.mode == IoMode::kNative
+                               ? guestMac(0, i)
+                               : guestMac(static_cast<std::uint32_t>(g), i);
+                auto it = peers_[i]->receivedBySrc().find(mac);
+                if (it != peers_[i]->receivedBySrc().end())
+                    s.perGuestBytes[g] += it->second;
+            } else {
+                s.perGuestBytes[g] += stacks_[idx]->rxBytes();
+            }
+        }
+    }
+
+    if (driverDom_)
+        s.drvVirtIrqs = driverDom_->virtIrqCount();
+    for (const auto *g : guests_)
+        s.guestVirtIrqs += g->virtIrqCount();
+
+    std::uint64_t phys = 0;
+    for (const auto &n : intelNics_)
+        phys += n->irqCount();
+    for (const auto &n : cdnaNics_)
+        phys += n->irqCount();
+    s.physIrqs = phys;
+    s.hypercalls = hv_->hypercallCount();
+    s.switches = cpu_->domainSwitches();
+    s.faults = hv_->faultCount();
+    s.violations = mem_->violationCount();
+    for (const auto &n : intelNics_)
+        s.rxDropsNoDesc += n->rxDropNoDesc();
+    for (const auto &n : cdnaNics_)
+        s.rxDropsNoDesc += n->rxDropNoDesc();
+    return s;
+}
+
+Report
+System::run(sim::Time warmup, sim::Time measure)
+{
+    start();
+    auto &eq = ctx_.events();
+    eq.runUntil(eq.now() + warmup);
+    cpu_->resetAccounting();
+    Snapshot before = snapshot();
+    eq.runUntil(eq.now() + measure);
+    cpu_->syncIdle();
+    Snapshot after = snapshot();
+    return buildReport(before, after, measure);
+}
+
+Report
+System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
+{
+    Report r;
+    r.label = cfg_.label;
+    r.window = window;
+    double secs = sim::toSeconds(window);
+
+    std::uint64_t goodput_bytes = cfg_.transmit
+        ? b.peerRxPayload - a.peerRxPayload
+        : b.stackRxBytes - a.stackRxBytes;
+    r.mbps = static_cast<double>(goodput_bytes) * 8.0 / secs / 1.0e6;
+
+    const auto &prof = cpu_->profile();
+    auto pct = [&](sim::Time t) {
+        return 100.0 * static_cast<double>(t) /
+               static_cast<double>(window);
+    };
+    r.hypPct = pct(prof.hypervisor());
+    r.idlePct = pct(prof.idle());
+    if (driverDom_) {
+        r.drvOsPct = pct(prof.domainTime(driverDom_->id(),
+                                         cpu::Bucket::kOs));
+        r.drvUserPct = pct(prof.domainTime(driverDom_->id(),
+                                           cpu::Bucket::kUser));
+    }
+    for (const auto *g : guests_) {
+        r.guestOsPct += pct(prof.domainTime(g->id(), cpu::Bucket::kOs));
+        r.guestUserPct += pct(prof.domainTime(g->id(),
+                                              cpu::Bucket::kUser));
+    }
+
+    r.drvIntrPerSec =
+        static_cast<double>(b.drvVirtIrqs - a.drvVirtIrqs) / secs;
+    r.guestIntrPerSec =
+        static_cast<double>(b.guestVirtIrqs - a.guestVirtIrqs) / secs;
+    r.physIrqPerSec = static_cast<double>(b.physIrqs - a.physIrqs) / secs;
+    r.hypercallPerSec =
+        static_cast<double>(b.hypercalls - a.hypercalls) / secs;
+    r.domainSwitchPerSec =
+        static_cast<double>(b.switches - a.switches) / secs;
+    r.protectionFaults = b.faults - a.faults;
+    r.dmaViolations = b.violations - a.violations;
+    r.rxDropsNoDesc = b.rxDropsNoDesc - a.rxDropsNoDesc;
+
+    r.perGuestMbps.resize(guests_.size());
+    for (std::size_t g = 0; g < guests_.size(); ++g) {
+        r.perGuestMbps[g] =
+            static_cast<double>(b.perGuestBytes[g] - a.perGuestBytes[g]) *
+            8.0 / secs / 1.0e6;
+    }
+
+    // End-to-end latency: peers measure transmitted data, guest stacks
+    // measure received data.
+    sim::Histogram merged;
+    double lat_sum = 0.0;
+    std::uint64_t lat_n = 0;
+    if (cfg_.transmit) {
+        for (const auto &p : peers_) {
+            merged.merge(p->latencyHist());
+            lat_sum += p->latency().sum();
+            lat_n += p->latency().count();
+        }
+    } else {
+        for (const auto &st : stacks_) {
+            merged.merge(st->rxLatencyHist());
+            lat_sum += st->rxLatency().sum();
+            lat_n += st->rxLatency().count();
+        }
+    }
+    if (lat_n > 0) {
+        r.latencyMeanUs = lat_sum / static_cast<double>(lat_n);
+        r.latencyP50Us = static_cast<double>(merged.quantile(0.5));
+        r.latencyP99Us = static_cast<double>(merged.quantile(0.99));
+    }
+    return r;
+}
+
+CdnaNic *
+System::cdnaNic(std::uint32_t i)
+{
+    return i < cdnaNics_.size() ? cdnaNics_[i].get() : nullptr;
+}
+
+nic::IntelNic *
+System::intelNic(std::uint32_t i)
+{
+    return i < intelNics_.size() ? intelNics_[i].get() : nullptr;
+}
+
+vmm::Domain *
+System::guestDomain(std::uint32_t g)
+{
+    return g < guests_.size() ? guests_[g] : nullptr;
+}
+
+bool
+System::revokeGuestContext(std::uint32_t guest, std::uint32_t nic)
+{
+    CdnaGuestDriver *drv = cdnaDriver(guest, nic);
+    if (!drv || drv->detached() || nic >= cdnaNics_.size())
+        return false;
+    CdnaNic::ContextId cxt = drv->context();
+    drv->detach();
+    cxtChannels_[nic][cxt] = nullptr;
+    cdnaNics_[nic]->revokeContext(cxt);
+    if (iommu_ && cfg_.iommuMode == mem::Iommu::Mode::kPerContext)
+        iommu_->unbindContext(nic, cxt);
+    return true;
+}
+
+CdnaGuestDriver *
+System::cdnaDriver(std::uint32_t guest, std::uint32_t nic)
+{
+    // NIC-major layout: index = nic * numGuests + guest.
+    std::size_t idx =
+        static_cast<std::size_t>(nic) * cfg_.numGuests + guest;
+    return idx < guestCdnaDrivers_.size() ? guestCdnaDrivers_[idx].get()
+                                          : nullptr;
+}
+
+os::NetStack &
+System::stack(std::uint32_t guest, std::uint32_t nic)
+{
+    std::size_t per_nic = cfg_.mode == IoMode::kNative ? 1 : cfg_.numGuests;
+    return *stacks_.at(static_cast<std::size_t>(nic) * per_nic + guest);
+}
+
+workload::TrafficApp &
+System::app(std::uint32_t guest, std::uint32_t nic)
+{
+    std::size_t per_nic = cfg_.mode == IoMode::kNative ? 1 : cfg_.numGuests;
+    return *apps_.at(static_cast<std::size_t>(nic) * per_nic + guest);
+}
+
+SystemConfig
+makeNativeConfig(std::uint32_t num_nics, bool transmit)
+{
+    SystemConfig cfg;
+    cfg.mode = IoMode::kNative;
+    cfg.nicKind = NicKind::kIntel;
+    cfg.numGuests = 1;
+    cfg.numNics = num_nics;
+    cfg.transmit = transmit;
+    cfg.label = std::string("native/") + (transmit ? "tx" : "rx");
+    return cfg;
+}
+
+SystemConfig
+makeXenIntelConfig(std::uint32_t guests, bool transmit)
+{
+    SystemConfig cfg;
+    cfg.mode = IoMode::kXen;
+    cfg.nicKind = NicKind::kIntel;
+    cfg.numGuests = guests;
+    cfg.transmit = transmit;
+    cfg.label = std::string("xen-intel/") + (transmit ? "tx" : "rx");
+    return cfg;
+}
+
+SystemConfig
+makeXenRiceConfig(std::uint32_t guests, bool transmit)
+{
+    SystemConfig cfg;
+    cfg.mode = IoMode::kXen;
+    cfg.nicKind = NicKind::kRice;
+    cfg.numGuests = guests;
+    cfg.transmit = transmit;
+    cfg.label = std::string("xen-ricenic/") + (transmit ? "tx" : "rx");
+    return cfg;
+}
+
+SystemConfig
+makeCdnaConfig(std::uint32_t guests, bool transmit, bool protection)
+{
+    SystemConfig cfg;
+    cfg.mode = IoMode::kCdna;
+    cfg.nicKind = NicKind::kRice;
+    cfg.numGuests = guests;
+    cfg.transmit = transmit;
+    cfg.dmaProtection = protection;
+    cfg.label = std::string("cdna/") + (transmit ? "tx" : "rx") +
+                (protection ? "" : "/noprot");
+    return cfg;
+}
+
+} // namespace cdna::core

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Whole-system assembly: the public entry point of the library.
+ *
+ * A System instantiates the paper's testbed in one of three I/O
+ * architectures:
+ *
+ *  - kNative: one OS owning the NICs directly (Table 1 baseline);
+ *  - kXen:    driver domain + software multiplexing through the bridge
+ *             and paravirtual split drivers (sections 2.1-2.2), over
+ *             either the Intel NIC (TSO) or a CDNA NIC with a single
+ *             context assigned to the driver domain (the Xen/RiceNIC
+ *             rows of Tables 2-3);
+ *  - kCdna:   each guest owns a private hardware context on every NIC
+ *             (section 3), with DMA protection on or off (Table 4) and
+ *             optional IOMMU modes (section 5.3).
+ *
+ * Usage:
+ *   core::SystemConfig cfg;
+ *   cfg.mode = core::IoMode::kCdna;
+ *   cfg.numGuests = 4;
+ *   core::System sys(cfg);
+ *   core::Report r = sys.run(sim::milliseconds(50), sim::seconds(1));
+ */
+
+#ifndef CDNA_CORE_SYSTEM_HH
+#define CDNA_CORE_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cdna_driver.hh"
+#include "core/cdna_nic.hh"
+#include "core/cost_model.hh"
+#include "core/dma_protection.hh"
+#include "core/report.hh"
+#include "mem/grant_table.hh"
+#include "mem/iommu.hh"
+#include "net/traffic_peer.hh"
+#include "nic/intel_nic.hh"
+#include "os/native_driver.hh"
+#include "os/net_stack.hh"
+#include "os/xen_net.hh"
+#include "vmm/hypervisor.hh"
+#include "workload/traffic_app.hh"
+
+namespace cdna::core {
+
+/** I/O virtualization architecture under test. */
+enum class IoMode { kNative, kXen, kCdna };
+
+/** Physical NIC model. */
+enum class NicKind { kIntel, kRice };
+
+struct SystemConfig
+{
+    IoMode mode = IoMode::kCdna;
+    NicKind nicKind = NicKind::kRice;
+    std::uint32_t numGuests = 1;
+    std::uint32_t numNics = 2;
+    /** Hypervisor DMA protection + NIC seqno checks (CDNA). */
+    bool dmaProtection = true;
+    /** Xen receive path: copy-mode netback instead of page flipping. */
+    bool xenRxCopyMode = false;
+    mem::Iommu::Mode iommuMode = mem::Iommu::Mode::kNone;
+    /** Workload direction: transmit from guests, or receive into them. */
+    bool transmit = true;
+    std::uint32_t connectionsPerVif = 2;
+    std::uint64_t seed = 1;
+    std::uint64_t memoryPages = 256 * 1024; // 1 GB
+    CostModel costs{};
+    CdnaNicParams cdnaParams{};
+    nic::IntelNicParams intelParams{};
+    std::string label;
+};
+
+class System
+{
+  public:
+    explicit System(SystemConfig cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Start workloads (idempotent; run() calls it). */
+    void start();
+
+    /**
+     * Simulate @p warmup, reset accounting, simulate @p measure, and
+     * report the measurement window.
+     */
+    Report run(sim::Time warmup, sim::Time measure);
+
+    // --- component access (tests, examples, ablations) -------------------
+    sim::SimContext &ctx() { return ctx_; }
+    cpu::SimCpu &cpu() { return *cpu_; }
+    vmm::Hypervisor &hv() { return *hv_; }
+    mem::PhysMemory &mem() { return *mem_; }
+    mem::Iommu *iommu() { return iommu_.get(); }
+    DmaProtection *protection() { return prot_.get(); }
+    const SystemConfig &config() const { return cfg_; }
+
+    std::uint32_t nicCount() const
+    {
+        return static_cast<std::uint32_t>(
+            std::max(cdnaNics_.size(), intelNics_.size()));
+    }
+    CdnaNic *cdnaNic(std::uint32_t i);
+    nic::IntelNic *intelNic(std::uint32_t i);
+    net::TrafficPeer &peer(std::uint32_t i) { return *peers_[i]; }
+
+    vmm::Domain *driverDomain() { return driverDom_; }
+    vmm::Domain *guestDomain(std::uint32_t g);
+    CdnaGuestDriver *cdnaDriver(std::uint32_t guest, std::uint32_t nic);
+
+    /**
+     * Revoke a guest's hardware context on one NIC at runtime (section
+     * 3.1): the driver is detached (its DMA pins dropped, making the
+     * guest's pages reclaimable), pending NIC operations for the
+     * context are shut down, and the context slot becomes reusable.
+     * CDNA mode only.
+     * @retval true the context existed and was revoked
+     */
+    bool revokeGuestContext(std::uint32_t guest, std::uint32_t nic);
+    os::NetStack &stack(std::uint32_t guest, std::uint32_t nic);
+    workload::TrafficApp &app(std::uint32_t guest, std::uint32_t nic);
+
+  private:
+    struct Snapshot
+    {
+        std::uint64_t peerRxPayload = 0;
+        std::uint64_t stackRxBytes = 0;
+        std::vector<std::uint64_t> perGuestBytes;
+        std::uint64_t drvVirtIrqs = 0;
+        std::uint64_t guestVirtIrqs = 0;
+        std::uint64_t physIrqs = 0;
+        std::uint64_t hypercalls = 0;
+        std::uint64_t switches = 0;
+        std::uint64_t faults = 0;
+        std::uint64_t violations = 0;
+        std::uint64_t rxDropsNoDesc = 0;
+    };
+
+    void buildCommon();
+    void buildNative();
+    void buildXen();
+    void buildCdna();
+    void wireCdnaIsr(std::uint32_t nic_index);
+    void startTimers();
+    net::MacAddr guestMac(std::uint32_t guest, std::uint32_t nic) const;
+    Snapshot snapshot() const;
+    Report buildReport(const Snapshot &a, const Snapshot &b,
+                       sim::Time window);
+
+    SystemConfig cfg_;
+    sim::SimContext ctx_;
+    std::unique_ptr<mem::PhysMemory> mem_;
+    std::unique_ptr<cpu::SimCpu> cpu_;
+    std::unique_ptr<vmm::Hypervisor> hv_;
+    std::unique_ptr<mem::Iommu> iommu_;
+    std::unique_ptr<DmaProtection> prot_;
+
+    std::vector<std::unique_ptr<mem::PciBus>> buses_;
+    std::vector<std::unique_ptr<net::EthLink>> links_;
+    std::vector<std::unique_ptr<net::TrafficPeer>> peers_;
+    std::vector<std::unique_ptr<nic::IntelNic>> intelNics_;
+    std::vector<std::unique_ptr<CdnaNic>> cdnaNics_;
+
+    vmm::Domain *driverDom_ = nullptr;
+    std::vector<vmm::Domain *> guests_;
+
+    // Xen path
+    std::vector<std::unique_ptr<os::NativeDriver>> nativeDrivers_;
+    std::vector<std::unique_ptr<CdnaGuestDriver>> drvDomCdnaDrivers_;
+    std::vector<std::unique_ptr<os::DriverDomainNet>> ddns_;
+
+    // CDNA path: per-NIC channel table indexed by context id
+    std::vector<std::vector<vmm::EventChannel *>> cxtChannels_;
+    std::vector<std::unique_ptr<CdnaGuestDriver>> guestCdnaDrivers_;
+
+    // Per (guest, nic) plumbing; index = guest * numNics + nic.
+    std::vector<os::NetDevice *> guestDevs_;
+    std::vector<std::unique_ptr<os::NetStack>> stacks_;
+    std::vector<std::unique_ptr<workload::TrafficApp>> apps_;
+
+    bool started_ = false;
+};
+
+/** Preset configuration helpers matching the paper's rows. */
+SystemConfig makeNativeConfig(std::uint32_t num_nics, bool transmit);
+SystemConfig makeXenIntelConfig(std::uint32_t guests, bool transmit);
+SystemConfig makeXenRiceConfig(std::uint32_t guests, bool transmit);
+SystemConfig makeCdnaConfig(std::uint32_t guests, bool transmit,
+                            bool protection = true);
+
+} // namespace cdna::core
+
+#endif // CDNA_CORE_SYSTEM_HH

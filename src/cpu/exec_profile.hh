@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Execution-time accounting, mirroring the paper's Xenoprof columns.
+ *
+ * Tables 2-4 of the paper break CPU time into: hypervisor, driver-domain
+ * OS, driver-domain user, guest OS, guest user, and idle.  SimCpu
+ * accumulates picoseconds into these buckets; the report layer turns
+ * them into percentages of elapsed time.
+ */
+
+#ifndef CDNA_CPU_EXEC_PROFILE_HH
+#define CDNA_CPU_EXEC_PROFILE_HH
+
+#include <cstdint>
+#include <map>
+
+#include "mem/phys_memory.hh"
+#include "sim/time.hh"
+
+namespace cdna::cpu {
+
+/** Where a slice of domain CPU time is charged. */
+enum class Bucket { kOs, kUser };
+
+/** Accumulated CPU time, queryable per domain and in aggregate. */
+class ExecProfile
+{
+  public:
+    /** OS/user split for one domain. */
+    struct DomTime
+    {
+        sim::Time os = 0;
+        sim::Time user = 0;
+    };
+
+    void
+    chargeDomain(mem::DomainId dom, Bucket b, sim::Time t)
+    {
+        auto &d = domains_[dom];
+        (b == Bucket::kOs ? d.os : d.user) += t;
+    }
+
+    void chargeHypervisor(sim::Time t) { hypervisor_ += t; }
+    void chargeIdle(sim::Time t) { idle_ += t; }
+
+    sim::Time hypervisor() const { return hypervisor_; }
+    sim::Time idle() const { return idle_; }
+
+    sim::Time
+    domainTime(mem::DomainId dom, Bucket b) const
+    {
+        auto it = domains_.find(dom);
+        if (it == domains_.end())
+            return 0;
+        return b == Bucket::kOs ? it->second.os : it->second.user;
+    }
+
+    /** Sum of OS+user time across all domains. */
+    sim::Time
+    allDomainTime() const
+    {
+        sim::Time t = 0;
+        for (const auto &[dom, d] : domains_)
+            t += d.os + d.user;
+        return t;
+    }
+
+    /** Total accounted time (busy + idle). */
+    sim::Time total() const { return hypervisor_ + allDomainTime() + idle_; }
+
+    /** Per-domain breakdown (report assembly). */
+    const std::map<mem::DomainId, DomTime> &domains() const
+    {
+        return domains_;
+    }
+
+    void
+    reset()
+    {
+        hypervisor_ = 0;
+        idle_ = 0;
+        domains_.clear();
+    }
+
+  private:
+    sim::Time hypervisor_ = 0;
+    sim::Time idle_ = 0;
+    std::map<mem::DomainId, DomTime> domains_;
+};
+
+} // namespace cdna::cpu
+
+#endif // CDNA_CPU_EXEC_PROFILE_HH

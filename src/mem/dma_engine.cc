@@ -1,0 +1,73 @@
+#include "mem/dma_engine.hh"
+
+#include <utility>
+
+namespace cdna::mem {
+
+std::uint64_t
+sgBytes(const SgList &sg)
+{
+    std::uint64_t n = 0;
+    for (const auto &e : sg)
+        n += e.len;
+    return n;
+}
+
+DmaEngine::DmaEngine(sim::SimContext &ctx, std::string name, PciBus &bus,
+                     PhysMemory &mem, DeviceId dev, Iommu *iommu)
+    : sim::SimObject(ctx, std::move(name)),
+      bus_(bus),
+      mem_(mem),
+      dev_(dev),
+      iommu_(iommu),
+      nReads_(stats().addCounter("reads")),
+      nWrites_(stats().addCounter("writes")),
+      nReadBytes_(stats().addCounter("read_bytes")),
+      nWriteBytes_(stats().addCounter("write_bytes"))
+{
+}
+
+void
+DmaEngine::read(const SgList &sg, DomainId behalf, ContextId cxt, Callback cb)
+{
+    nReads_.inc();
+    nReadBytes_.inc(sgBytes(sg));
+    doTransfer(sg, behalf, cxt, false, std::move(cb));
+}
+
+void
+DmaEngine::write(const SgList &sg, DomainId behalf, ContextId cxt, Callback cb)
+{
+    nWrites_.inc();
+    nWriteBytes_.inc(sgBytes(sg));
+    doTransfer(sg, behalf, cxt, true, std::move(cb));
+}
+
+void
+DmaEngine::doTransfer(const SgList &sg, DomainId behalf, ContextId cxt,
+                      bool write, Callback cb)
+{
+    DmaResult result;
+    std::uint64_t carried = 0;
+    for (const auto &e : sg) {
+        if (e.len == 0)
+            continue;
+        PageNum first = pageOf(e.addr);
+        PageNum last = pageOf(e.addr + e.len - 1);
+        for (PageNum p = first; p <= last; ++p) {
+            if (iommu_) {
+                auto verdict = iommu_->check(dev_, cxt, p);
+                if (verdict != IommuVerdict::kAllowed) {
+                    ++result.blockedPages;
+                    continue; // access suppressed by the IOMMU
+                }
+            }
+            if (!mem_.noteDmaAccess(p, behalf, write))
+                result.safe = false;
+        }
+        carried += e.len;
+    }
+    bus_.transfer(carried, [cb = std::move(cb), result] { cb(result); });
+}
+
+} // namespace cdna::mem

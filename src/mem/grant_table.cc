@@ -1,0 +1,91 @@
+#include "mem/grant_table.hh"
+
+namespace cdna::mem {
+
+GrantTable::GrantTable(sim::SimContext &ctx, PhysMemory &mem)
+    : sim::SimObject(ctx, "grant-table"),
+      mem_(mem),
+      nGrants_(stats().addCounter("grants")),
+      nMaps_(stats().addCounter("maps")),
+      nFlips_(stats().addCounter("flips")),
+      nDenied_(stats().addCounter("denied"))
+{
+}
+
+GrantRef
+GrantTable::grantAccess(DomainId from, DomainId to, PageNum page)
+{
+    if (!mem_.ownedBy(page, from)) {
+        nDenied_.inc();
+        return kInvalidGrant;
+    }
+    GrantRef ref = nextRef_++;
+    entries_.emplace(ref, Entry{from, to, page, false});
+    nGrants_.inc();
+    return ref;
+}
+
+bool
+GrantTable::mapGrant(GrantRef ref, DomainId mapper, PageNum *page_out)
+{
+    auto it = entries_.find(ref);
+    if (it == entries_.end() || it->second.to != mapper ||
+        it->second.mapped) {
+        nDenied_.inc();
+        return false;
+    }
+    // Ownership may have changed since the grant was issued.
+    if (!mem_.ownedBy(it->second.page, it->second.from)) {
+        nDenied_.inc();
+        return false;
+    }
+    it->second.mapped = true;
+    mem_.getRef(it->second.page);
+    mem_.noteGrantMapped(it->second.page, mapper);
+    nMaps_.inc();
+    if (page_out)
+        *page_out = it->second.page;
+    return true;
+}
+
+bool
+GrantTable::unmapGrant(GrantRef ref, DomainId mapper)
+{
+    auto it = entries_.find(ref);
+    if (it == entries_.end() || it->second.to != mapper ||
+        !it->second.mapped) {
+        nDenied_.inc();
+        return false;
+    }
+    it->second.mapped = false;
+    mem_.clearGrantMapped(it->second.page);
+    mem_.putRef(it->second.page);
+    return true;
+}
+
+bool
+GrantTable::endGrant(GrantRef ref, DomainId from)
+{
+    auto it = entries_.find(ref);
+    if (it == entries_.end() || it->second.from != from ||
+        it->second.mapped) {
+        nDenied_.inc();
+        return false;
+    }
+    entries_.erase(it);
+    return true;
+}
+
+bool
+GrantTable::transferPage(DomainId from, DomainId to, PageNum page)
+{
+    if (!mem_.ownedBy(page, from) || mem_.refCount(page) != 0) {
+        nDenied_.inc();
+        return false;
+    }
+    mem_.transferOwnership(page, to);
+    nFlips_.inc();
+    return true;
+}
+
+} // namespace cdna::mem

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Xen-style grant table: controlled inter-domain page sharing.
+ *
+ * The software I/O virtualization path (paper section 2.1) moves packets
+ * between guest and driver domain with grants: a guest *grants* the
+ * driver domain access to the pages holding a packet (TX), and received
+ * packets are *transferred* (page-flipped) into the guest (RX).  This
+ * model implements the ownership bookkeeping; the CPU cost of the
+ * map/unmap/flip hypercalls is charged by the VMM layer.
+ */
+
+#ifndef CDNA_MEM_GRANT_TABLE_HH
+#define CDNA_MEM_GRANT_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/phys_memory.hh"
+#include "sim/sim_object.hh"
+
+namespace cdna::mem {
+
+/** Handle naming one granted page. */
+using GrantRef = std::uint64_t;
+
+inline constexpr GrantRef kInvalidGrant = 0;
+
+class GrantTable : public sim::SimObject
+{
+  public:
+    GrantTable(sim::SimContext &ctx, PhysMemory &mem);
+
+    /**
+     * Grant @p to access to @p page owned by @p from.
+     * @return a grant reference, or kInvalidGrant if @p from does not
+     *         own the page.
+     */
+    GrantRef grantAccess(DomainId from, DomainId to, PageNum page);
+
+    /**
+     * Map a granted page into @p mapper's address space.
+     * Pins the page so it cannot be reallocated while mapped.
+     * @return the page number, or an empty optional encoded as false
+     */
+    bool mapGrant(GrantRef ref, DomainId mapper, PageNum *page_out);
+
+    /** Unmap a previously mapped grant (unpins). */
+    bool unmapGrant(GrantRef ref, DomainId mapper);
+
+    /** Revoke a grant entry; fails if still mapped. */
+    bool endGrant(GrantRef ref, DomainId from);
+
+    /**
+     * Transfer (page-flip) @p page from @p from to @p to.
+     * @retval true the flip happened
+     */
+    bool transferPage(DomainId from, DomainId to, PageNum page);
+
+    std::uint64_t activeGrants() const { return entries_.size(); }
+    std::uint64_t flipCount() const { return nFlips_.value(); }
+
+  private:
+    struct Entry
+    {
+        DomainId from;
+        DomainId to;
+        PageNum page;
+        bool mapped = false;
+    };
+
+    PhysMemory &mem_;
+    GrantRef nextRef_ = 1;
+    std::unordered_map<GrantRef, Entry> entries_;
+
+    sim::Counter &nGrants_;
+    sim::Counter &nMaps_;
+    sim::Counter &nFlips_;
+    sim::Counter &nDenied_;
+};
+
+} // namespace cdna::mem
+
+#endif // CDNA_MEM_GRANT_TABLE_HH

@@ -1,0 +1,53 @@
+#include "mem/pci_bus.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace cdna::mem {
+
+PciBus::PciBus(sim::SimContext &ctx, std::string name, double bytes_per_sec,
+               sim::Time setup)
+    : sim::SimObject(ctx, std::move(name)),
+      psPerByte_(static_cast<double>(sim::kSecond) / bytes_per_sec),
+      setup_(setup),
+      nTransfers_(stats().addCounter("transfers")),
+      nBytes_(stats().addCounter("bytes"))
+{
+}
+
+sim::Time
+PciBus::costOf(std::uint64_t bytes) const
+{
+    return setup_ + static_cast<sim::Time>(psPerByte_
+                                           * static_cast<double>(bytes));
+}
+
+sim::Time
+PciBus::estimate(std::uint64_t bytes) const
+{
+    sim::Time start = std::max(now(), busyUntil_);
+    return start + costOf(bytes);
+}
+
+sim::Time
+PciBus::transfer(std::uint64_t bytes, std::function<void()> done)
+{
+    nTransfers_.inc();
+    nBytes_.inc(bytes);
+    sim::Time start = std::max(now(), busyUntil_);
+    sim::Time cost = costOf(bytes);
+    busyUntil_ = start + cost;
+    busyAccum_ += cost;
+    events().scheduleAt(busyUntil_, std::move(done));
+    return busyUntil_;
+}
+
+double
+PciBus::utilization(sim::Time elapsed) const
+{
+    if (elapsed <= 0)
+        return 0.0;
+    return static_cast<double>(busyAccum_) / static_cast<double>(elapsed);
+}
+
+} // namespace cdna::mem

@@ -1,0 +1,81 @@
+#include "net/eth_link.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::net {
+
+EthLink::EthLink(sim::SimContext &ctx, std::string name, double bits_per_sec,
+                 sim::Time propagation)
+    : sim::SimObject(ctx, std::move(name)),
+      bps_(bits_per_sec),
+      psPerByte_(static_cast<double>(sim::kSecond) * 8.0 / bits_per_sec),
+      propagation_(propagation)
+{
+    aToB_.frames = &stats().addCounter("a2b_frames");
+    aToB_.payloadBytes = &stats().addCounter("a2b_payload_bytes");
+    bToA_.frames = &stats().addCounter("b2a_frames");
+    bToA_.payloadBytes = &stats().addCounter("b2a_payload_bytes");
+}
+
+void
+EthLink::attach(Side side, LinkEndpoint *ep)
+{
+    // Endpoint on side X receives traffic flowing *toward* X.
+    if (side == Side::kA)
+        bToA_.dest = ep;
+    else
+        aToB_.dest = ep;
+}
+
+sim::Time
+EthLink::estimate(Side from, const Packet &pkt) const
+{
+    const Dir &d = dir(from);
+    sim::Time start = std::max(now(), d.busyUntil);
+    return start + static_cast<sim::Time>(
+        psPerByte_ * static_cast<double>(pkt.wireBytes()));
+}
+
+bool
+EthLink::busy(Side from) const
+{
+    return dir(from).busyUntil > now();
+}
+
+std::uint64_t
+EthLink::payloadCarried(Side from) const
+{
+    return dir(from).payloadBytes->value();
+}
+
+sim::Time
+EthLink::send(Side from, Packet pkt, sim::Time extra_gap,
+              std::function<void()> serialized)
+{
+    Dir &d = dir(from);
+    SIM_ASSERT(d.dest != nullptr, "link endpoint not attached");
+    d.frames->inc(pkt.wireFrames());
+    d.payloadBytes->inc(pkt.payloadBytes);
+
+    sim::Time start = std::max(now(), d.busyUntil);
+    auto wire = static_cast<sim::Time>(
+        psPerByte_ * static_cast<double>(pkt.wireBytes()));
+    sim::Time end = start + wire;
+    d.busyUntil = end + extra_gap;
+
+    if (serialized)
+        events().scheduleAt(end, std::move(serialized));
+
+    // Packets leave host memory when they hit the wire.
+    pkt.hostSg.clear();
+    events().scheduleAt(end + propagation_,
+                        [dest = d.dest, p = std::move(pkt)]() mutable {
+                            dest->receiveFrame(std::move(p));
+                        });
+    return end;
+}
+
+} // namespace cdna::net

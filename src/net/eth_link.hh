@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Full-duplex point-to-point Ethernet link.
+ *
+ * Each direction is an independent serially-reused channel: a frame (or
+ * TSO burst) occupies the wire for wireBytes() at the link rate, then is
+ * delivered to the far endpoint after the propagation delay.  The
+ * paper's testbed used dedicated Gigabit links between the Xen host and
+ * a tuned peer; this model reproduces the 949 Mb/s per-link TCP-goodput
+ * ceiling that bounds the CDNA saturation plateau.
+ */
+
+#ifndef CDNA_NET_ETH_LINK_HH
+#define CDNA_NET_ETH_LINK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace cdna::net {
+
+/** Something that can terminate a link (a NIC or a traffic peer). */
+class LinkEndpoint
+{
+  public:
+    virtual ~LinkEndpoint() = default;
+
+    /** A frame has fully arrived from the wire. */
+    virtual void receiveFrame(Packet pkt) = 0;
+};
+
+class EthLink : public sim::SimObject
+{
+  public:
+    enum class Side { kA, kB };
+
+    /**
+     * @param ctx          simulation context
+     * @param name         component name
+     * @param bits_per_sec line rate (default Gigabit Ethernet)
+     * @param propagation  one-way propagation delay
+     */
+    EthLink(sim::SimContext &ctx, std::string name,
+            double bits_per_sec = 1.0e9,
+            sim::Time propagation = sim::nanoseconds(500));
+
+    /** Attach the endpoint on @p side. */
+    void attach(Side side, LinkEndpoint *ep);
+
+    /**
+     * Transmit @p pkt from @p from toward the other side.
+     * @param extra_gap   additional wire dead time charged after the
+     *                    frame (models MAC/firmware inter-frame stalls)
+     * @param serialized  fires when the last byte has left the sender
+     * @return time at which serialization completes
+     */
+    sim::Time send(Side from, Packet pkt, sim::Time extra_gap = 0,
+                   std::function<void()> serialized = {});
+
+    /** Serialization-complete time for a hypothetical send issued now. */
+    sim::Time estimate(Side from, const Packet &pkt) const;
+
+    /** True if the given direction is currently serializing. */
+    bool busy(Side from) const;
+
+    /** Payload bytes carried in the given direction. */
+    std::uint64_t payloadCarried(Side from) const;
+
+    double bitsPerSec() const { return bps_; }
+
+  private:
+    struct Dir
+    {
+        LinkEndpoint *dest = nullptr;
+        sim::Time busyUntil = 0;
+        sim::Counter *frames = nullptr;
+        sim::Counter *payloadBytes = nullptr;
+    };
+
+    Dir &dir(Side from) { return from == Side::kA ? aToB_ : bToA_; }
+    const Dir &dir(Side from) const
+    {
+        return from == Side::kA ? aToB_ : bToA_;
+    }
+
+    double bps_;
+    double psPerByte_;
+    sim::Time propagation_;
+    Dir aToB_;
+    Dir bToA_;
+};
+
+} // namespace cdna::net
+
+#endif // CDNA_NET_ETH_LINK_HH

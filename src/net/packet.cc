@@ -1,0 +1,17 @@
+#include "net/packet.hh"
+
+#include <cstdio>
+
+namespace cdna::net {
+
+std::string
+MacAddr::str() const
+{
+    char buf[24];
+    const auto &b = raw();
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                  b[0], b[1], b[2], b[3], b[4], b[5]);
+    return buf;
+}
+
+} // namespace cdna::net

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Packet metadata and Ethernet framing constants.
+ *
+ * Payload contents are not simulated; a Packet carries the metadata the
+ * system actually routes on (MAC addresses), the byte counts timing and
+ * throughput are computed from, and the host-memory scatter/gather list
+ * protection is enforced on.
+ */
+
+#ifndef CDNA_NET_PACKET_HH
+#define CDNA_NET_PACKET_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "mem/dma_engine.hh"
+#include "sim/time.hh"
+
+namespace cdna::net {
+
+/** Ethernet MAC address. */
+class MacAddr
+{
+  public:
+    constexpr MacAddr() : bytes_{} {}
+
+    /** Locally-administered address derived from a small integer id. */
+    static constexpr MacAddr
+    fromId(std::uint32_t id)
+    {
+        MacAddr m;
+        m.bytes_[0] = 0x02; // locally administered, unicast
+        m.bytes_[1] = 0xCD;
+        m.bytes_[2] = 0x4A; // "CDNA"
+        m.bytes_[3] = static_cast<std::uint8_t>(id >> 16);
+        m.bytes_[4] = static_cast<std::uint8_t>(id >> 8);
+        m.bytes_[5] = static_cast<std::uint8_t>(id);
+        return m;
+    }
+
+    bool operator==(const MacAddr &o) const = default;
+    auto operator<=>(const MacAddr &o) const = default;
+
+    std::string str() const;
+
+    /** Raw byte view (printing, hashing in tests). */
+    const std::array<std::uint8_t, 6> &raw() const { return bytes_; }
+
+    /** Hash for unordered containers. */
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = 0;
+        for (auto b : bytes_)
+            h = h * 131 + b;
+        return h;
+    }
+
+  private:
+    std::array<std::uint8_t, 6> bytes_;
+};
+
+/** Standard Ethernet MTU (bytes of IP datagram per frame). */
+inline constexpr std::uint32_t kMtu = 1500;
+/** TCP/IP header bytes inside the MTU. */
+inline constexpr std::uint32_t kTcpIpHeader = 40;
+/** Max TCP payload per wire frame. */
+inline constexpr std::uint32_t kMss = kMtu - kTcpIpHeader;
+/** Ethernet MAC header + frame check sequence. */
+inline constexpr std::uint32_t kEthHeader = 18;
+/** Preamble + SFD + inter-frame gap (occupies the wire, carries nothing). */
+inline constexpr std::uint32_t kEthIdle = 20;
+/** Total non-payload wire bytes per frame. */
+inline constexpr std::uint32_t kWireOverhead =
+    kTcpIpHeader + kEthHeader + kEthIdle; // 78 bytes per full frame
+
+/** Largest TSO segment the stack will form (64 KB). */
+inline constexpr std::uint32_t kMaxTsoBytes = 65536;
+
+/**
+ * A packet (or, when payloadBytes > kMss, a TSO segment that the NIC
+ * will cut into MTU-sized frames on the wire).
+ */
+struct Packet
+{
+    MacAddr src;
+    MacAddr dst;
+    std::uint32_t payloadBytes = 0;   //!< TCP payload (goodput) bytes
+    mem::SgList hostSg;               //!< host buffer(s), empty once on wire
+    mem::DomainId srcDomain = mem::kDomInvalid; //!< origin (accounting)
+    std::uint64_t id = 0;             //!< unique id for tracing
+    std::uint64_t flowId = 0;         //!< connection the packet belongs to
+    sim::Time created = 0;            //!< creation time (latency stats)
+
+    /** Number of wire frames this packet occupies. */
+    std::uint32_t
+    wireFrames() const
+    {
+        return payloadBytes == 0 ? 1 : (payloadBytes + kMss - 1) / kMss;
+    }
+
+    /** Total bytes of wire occupancy including all framing overhead. */
+    std::uint64_t
+    wireBytes() const
+    {
+        return static_cast<std::uint64_t>(payloadBytes) +
+               static_cast<std::uint64_t>(wireFrames()) * kWireOverhead;
+    }
+};
+
+} // namespace cdna::net
+
+#endif // CDNA_NET_PACKET_HH

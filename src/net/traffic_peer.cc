@@ -1,0 +1,142 @@
+#include "net/traffic_peer.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace cdna::net {
+
+TrafficPeer::TrafficPeer(sim::SimContext &ctx, std::string name,
+                         EthLink &link, EthLink::Side side)
+    : sim::SimObject(ctx, std::move(name)),
+      link_(link),
+      side_(side),
+      nRxFrames_(stats().addCounter("rx_frames")),
+      nRxPayload_(stats().addCounter("rx_payload_bytes")),
+      nTxFrames_(stats().addCounter("tx_frames"))
+{
+    // Derive the peer's MAC from its name so it is stable per component
+    // regardless of construction order; peers live in a reserved id range
+    // that never collides with guest MACs.
+    std::uint32_t h = 2166136261u;
+    for (char c : this->name())
+        h = (h ^ static_cast<unsigned char>(c)) * 16777619u;
+    mac_ = MacAddr::fromId(0x00FE0000u + (h & 0xFFFFu));
+    link_.attach(side_, this);
+}
+
+void
+TrafficPeer::startSource(std::vector<MacAddr> dsts, std::uint32_t payload)
+{
+    dsts_ = std::move(dsts);
+    payload_ = payload;
+    rrIndex_ = 0;
+    if (!sourcing_ && !dsts_.empty()) {
+        sourcing_ = true;
+        sendNext();
+    }
+}
+
+void
+TrafficPeer::stopSource()
+{
+    sourcing_ = false;
+}
+
+void
+TrafficPeer::sendNext()
+{
+    if (!sourcing_ || sendInProgress_)
+        return;
+
+    // Pick the next destination with window room (round-robin).
+    bool flow_control = ackEvery_ != 0 && windowFrames_ != 0;
+    std::size_t tried = 0;
+    MacAddr dst;
+    bool found = false;
+    while (tried < dsts_.size()) {
+        MacAddr cand = dsts_[rrIndex_];
+        rrIndex_ = (rrIndex_ + 1) % dsts_.size();
+        ++tried;
+        if (!flow_control ||
+            srcSent_[cand] - srcAcked_[cand] < windowFrames_) {
+            dst = cand;
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        // Every destination's window is full: wait for ACKs, with an
+        // RTO-style retry that re-opens the windows (retransmission).
+        // The RTO backs off exponentially while no progress is made, so
+        // a persistently slow receiver throttles the source instead of
+        // being buried in retransmissions.
+        if (retryTimer_ == sim::kInvalidEvent) {
+            retryTimer_ = events().schedule(retryDelay_, [this] {
+                retryTimer_ = sim::kInvalidEvent;
+                retryDelay_ = std::min<sim::Time>(retryDelay_ * 2,
+                                                  sim::milliseconds(16));
+                for (auto &[mac, sent] : srcSent_)
+                    sent = srcAcked_[mac];
+                sendNext();
+            });
+        }
+        return;
+    }
+
+    Packet pkt;
+    pkt.src = mac_;
+    pkt.dst = dst;
+    pkt.payloadBytes = payload_;
+    pkt.id = nextPktId_++;
+    pkt.created = now();
+    srcSent_[dst] += pkt.wireFrames();
+    nTxFrames_.inc();
+    sendInProgress_ = true;
+    link_.send(side_, std::move(pkt), 0, [this] {
+        sendInProgress_ = false;
+        sendNext();
+    });
+}
+
+void
+TrafficPeer::receiveFrame(Packet pkt)
+{
+    nRxFrames_.inc(pkt.wireFrames());
+    nRxPayload_.inc(pkt.payloadBytes);
+    rxBySrc_[pkt.src] += pkt.payloadBytes;
+
+    if (pkt.payloadBytes > 0 && pkt.created > 0) {
+        double us = sim::toMicroseconds(now() - pkt.created);
+        latency_.record(us);
+        latencyHist_.record(static_cast<std::uint64_t>(us));
+    }
+
+    // An incoming ACK opens the sender-side window toward its source.
+    if (pkt.payloadBytes == 0 && sourcing_) {
+        retryDelay_ = sim::microseconds(500); // progress: reset the RTO
+        srcAcked_[pkt.src] += ackEvery_ ? ackEvery_ : 0;
+        auto sent_it = srcSent_.find(pkt.src);
+        if (sent_it != srcSent_.end() &&
+            srcAcked_[pkt.src] > sent_it->second)
+            srcAcked_[pkt.src] = sent_it->second;
+        sendNext();
+    }
+
+    // TCP reverse path: ACK data frames (never ACK an ACK).
+    if (ackEvery_ != 0 && pkt.payloadBytes > 0) {
+        std::uint64_t &debt = ackDebt_[pkt.src];
+        debt += pkt.wireFrames();
+        while (debt >= ackEvery_) {
+            debt -= ackEvery_;
+            Packet ack;
+            ack.src = mac_;
+            ack.dst = pkt.src;
+            ack.payloadBytes = 0;
+            ack.id = nextPktId_++;
+            ack.created = now();
+            link_.send(side_, std::move(ack));
+        }
+    }
+}
+
+} // namespace cdna::net

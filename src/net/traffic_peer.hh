@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Ideal remote host terminating one Ethernet link.
+ *
+ * The paper's experiments used a tuned Opteron running native Linux that
+ * "could easily saturate two NICs both transmitting and receiving so
+ * that it would never be the bottleneck".  TrafficPeer is the faithful
+ * model of that role: an infinitely fast sink for transmit experiments
+ * and a line-rate source (round-robin across the guests' MAC addresses)
+ * for receive experiments.
+ */
+
+#ifndef CDNA_NET_TRAFFIC_PEER_HH
+#define CDNA_NET_TRAFFIC_PEER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/eth_link.hh"
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace cdna::net {
+
+class TrafficPeer : public sim::SimObject, public LinkEndpoint
+{
+  public:
+    /**
+     * @param ctx   simulation context
+     * @param name  component name
+     * @param link  the link this peer terminates
+     * @param side  which side of the link the peer sits on
+     */
+    TrafficPeer(sim::SimContext &ctx, std::string name, EthLink &link,
+                EthLink::Side side);
+
+    /** MAC address the peer sources traffic from. */
+    MacAddr mac() const { return mac_; }
+
+    /**
+     * Begin sourcing back-to-back frames, cycling round-robin over
+     * @p dsts, each frame carrying @p payload bytes.
+     */
+    void startSource(std::vector<MacAddr> dsts,
+                     std::uint32_t payload = kMss);
+
+    /** Stop sourcing (pending frame still completes). */
+    void stopSource();
+
+    /**
+     * Acknowledge received data: send one zero-payload ACK frame back
+     * per @p every wire frames received from a source (0 disables).
+     * Models the TCP reverse path of the paper's transmit experiments.
+     */
+    void setAckEvery(std::uint32_t every) { ackEvery_ = every; }
+
+    /**
+     * TCP-like source flow control: at most @p frames unacknowledged
+     * frames per destination.  Receiver ACKs (which the guests send
+     * for delivered data) open the window; a stalled destination is
+     * retried after an RTO-like timeout (models retransmission).  Only
+     * active when ACKs are enabled; keeps receive experiments
+     * closed-loop so a slow receiver throttles the source instead of
+     * being buried, as real TCP did in the paper's testbed.
+     */
+    void setSourceWindow(std::uint32_t frames) { windowFrames_ = frames; }
+
+    /** Frames and payload bytes absorbed by the sink side. */
+    std::uint64_t framesReceived() const { return nRxFrames_.value(); }
+    std::uint64_t payloadReceived() const { return nRxPayload_.value(); }
+
+    /** End-to-end latency of received data frames (stack entry to peer
+     *  delivery), in microseconds. */
+    const sim::SampleStats &latency() const { return latency_; }
+    /** Latency histogram (microsecond buckets) for quantiles. */
+    const sim::Histogram &latencyHist() const { return latencyHist_; }
+
+    /** Per-source-MAC payload received (fairness checks in tests). */
+    const std::map<MacAddr, std::uint64_t> &receivedBySrc() const
+    {
+        return rxBySrc_;
+    }
+
+    /** Frames sourced onto the wire. */
+    std::uint64_t framesSent() const { return nTxFrames_.value(); }
+
+    void receiveFrame(Packet pkt) override;
+
+  private:
+    void sendNext();
+
+    EthLink &link_;
+    EthLink::Side side_;
+    MacAddr mac_;
+    std::vector<MacAddr> dsts_;
+    std::uint32_t payload_ = kMss;
+    std::size_t rrIndex_ = 0;
+    bool sourcing_ = false;
+    bool sendInProgress_ = false;
+    std::uint64_t nextPktId_ = 1;
+    std::uint32_t ackEvery_ = 0;
+    std::uint32_t windowFrames_ = 128;
+    sim::EventId retryTimer_ = sim::kInvalidEvent;
+    sim::Time retryDelay_ = sim::microseconds(500);
+    std::map<MacAddr, std::uint64_t> rxBySrc_;
+    std::map<MacAddr, std::uint64_t> ackDebt_;
+    std::map<MacAddr, std::uint64_t> srcSent_;
+    std::map<MacAddr, std::uint64_t> srcAcked_;
+    sim::SampleStats latency_;
+    sim::Histogram latencyHist_;
+
+    sim::Counter &nRxFrames_;
+    sim::Counter &nRxPayload_;
+    sim::Counter &nTxFrames_;
+};
+
+} // namespace cdna::net
+
+#endif // CDNA_NET_TRAFFIC_PEER_HH

@@ -1,0 +1,48 @@
+#include "nic/desc_ring.hh"
+
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::nic {
+
+DescRing::DescRing(std::uint32_t entries, mem::PhysAddr base)
+    : base_(base), slots_(entries), packets_(entries)
+{
+    SIM_ASSERT(entries > 0, "empty descriptor ring");
+}
+
+void
+DescRing::write(std::uint32_t pos, DmaDescriptor d)
+{
+    slots_[slotOf(pos)] = std::move(d);
+}
+
+const DmaDescriptor &
+DescRing::at(std::uint32_t pos) const
+{
+    return slots_[pos % size()];
+}
+
+void
+DescRing::attachPacket(std::uint32_t pos, net::Packet pkt)
+{
+    packets_[slotOf(pos)] = std::move(pkt);
+}
+
+std::optional<net::Packet>
+DescRing::detachPacket(std::uint32_t pos)
+{
+    auto &slot = packets_[slotOf(pos)];
+    std::optional<net::Packet> out = std::move(slot);
+    slot.reset();
+    return out;
+}
+
+bool
+DescRing::hasPacket(std::uint32_t pos) const
+{
+    return packets_[pos % size()].has_value();
+}
+
+} // namespace cdna::nic

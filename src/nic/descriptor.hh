@@ -1,0 +1,51 @@
+/**
+ * @file
+ * DMA descriptors (paper section 2.2).
+ *
+ * A descriptor tells the NIC where packet data lives in host memory.
+ * Following the paper's observation that "there are only three fields
+ * of interest in any DMA descriptor: an address, a length, and
+ * additional flags", plus -- for CDNA -- the strictly increasing
+ * sequence number the hypervisor stamps and the NIC validates
+ * (section 3.3), we carry exactly those fields.  Scatter/gather
+ * payloads (TSO segments spanning many pages) use a list of
+ * address/length pairs; protection validates every page.
+ */
+
+#ifndef CDNA_NIC_DESCRIPTOR_HH
+#define CDNA_NIC_DESCRIPTOR_HH
+
+#include <cstdint>
+
+#include "mem/dma_engine.hh"
+
+namespace cdna::nic {
+
+/** Descriptor flag bits. */
+enum DescFlags : std::uint32_t
+{
+    kDescEmpty = 0,        //!< slot has never held a valid descriptor
+    kDescValid = 1u << 0,  //!< written by the producing side
+    kDescEop = 1u << 1,    //!< end of packet (always set: 1 desc/packet)
+    kDescTso = 1u << 2,    //!< payload is a TSO segment to cut at kMss
+};
+
+/** One DMA descriptor as it sits in a host-memory ring slot. */
+struct DmaDescriptor
+{
+    mem::SgList sg;          //!< address/length pairs of the buffer
+    std::uint32_t flags = kDescEmpty;
+    std::uint64_t seqno = 0; //!< CDNA sequence number (0 when unused)
+
+    /** Total buffer length. */
+    std::uint64_t len() const { return mem::sgBytes(sg); }
+
+    bool valid() const { return flags & kDescValid; }
+};
+
+/** Bytes a descriptor occupies in host memory (for DMA fetch costs). */
+inline constexpr std::uint32_t kDescBytes = 16;
+
+} // namespace cdna::nic
+
+#endif // CDNA_NIC_DESCRIPTOR_HH

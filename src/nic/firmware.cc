@@ -1,0 +1,41 @@
+#include "nic/firmware.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::nic {
+
+FirmwareProc::FirmwareProc(sim::SimContext &ctx, std::string name)
+    : sim::SimObject(ctx, std::move(name)),
+      nJobs_(stats().addCounter("jobs"))
+{
+}
+
+void
+FirmwareProc::exec(sim::Time cost, std::function<void()> fn)
+{
+    SIM_ASSERT(cost >= 0, "negative firmware cost");
+    nJobs_.inc();
+    sim::Time start = std::max(now(), busyUntil_);
+    busyUntil_ = start + cost;
+    busyAccum_ += cost;
+    events().scheduleAt(busyUntil_, std::move(fn));
+}
+
+sim::Time
+FirmwareProc::estimate(sim::Time cost) const
+{
+    return std::max(now(), busyUntil_) + cost;
+}
+
+double
+FirmwareProc::utilization(sim::Time elapsed) const
+{
+    if (elapsed <= 0)
+        return 0.0;
+    return static_cast<double>(busyAccum_) / static_cast<double>(elapsed);
+}
+
+} // namespace cdna::nic

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Conventional single-context Gigabit NIC (the paper's Intel Pro/1000
+ * MT baseline).
+ *
+ * One TX and one RX descriptor ring, owned by whichever OS the device
+ * is assigned to (native Linux, or Xen's driver domain).  Supports TCP
+ * segmentation offload: a TX descriptor may describe up to 64 KB of
+ * payload which the NIC cuts into MTU frames on the wire.  The device
+ * trusts its driver completely -- the trust relationship CDNA exists to
+ * remove (paper section 2.2).
+ */
+
+#ifndef CDNA_NIC_INTEL_NIC_HH
+#define CDNA_NIC_INTEL_NIC_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "nic/desc_ring.hh"
+#include "nic/nic_base.hh"
+#include "nic/packet_buffer.hh"
+
+namespace cdna::nic {
+
+/** Configuration of an IntelNic. */
+struct IntelNicParams
+{
+    std::uint32_t txRingEntries = 256;
+    std::uint32_t rxRingEntries = 256;
+    std::uint64_t txBufferBytes = 256 * 1024;
+    std::uint64_t rxBufferBytes = 256 * 1024;
+    CoalesceParams coalesce{};
+    /** Extra wire dead-time per transmitted packet (MAC pipeline). */
+    sim::Time txInterFrameGap = sim::nanoseconds(80);
+    /** Largest descriptor batch fetched per DMA. */
+    std::uint32_t fetchBatch = 64;
+    bool tso = true;
+};
+
+class IntelNic : public NicBase
+{
+  public:
+    /** A received frame handed to the host driver. */
+    struct RxDelivery
+    {
+        std::uint32_t pos;  //!< RX ring position the frame consumed
+        net::Packet pkt;
+    };
+
+    IntelNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
+             mem::PhysMemory &mem, mem::DeviceId dev, net::EthLink &link,
+             net::EthLink::Side side, IntelNicParams params = {});
+
+    // --- host/driver configuration -------------------------------------
+    void setMac(net::MacAddr mac) { mac_ = mac; }
+    net::MacAddr mac() const { return mac_; }
+    void setPromiscuous(bool on) { promiscuous_ = on; }
+
+    /** Domain whose memory the device DMAs on behalf of. */
+    void setDmaDomain(mem::DomainId dom) { dmaDomain_ = dom; }
+
+    /** Initialize the rings (driver attach time). */
+    void configureTxRing(std::uint32_t entries, mem::PhysAddr base);
+    void configureRxRing(std::uint32_t entries, mem::PhysAddr base);
+
+    /** Host address the NIC DMA-writes consumer indices to. */
+    void setStatusBlockAddr(mem::PhysAddr addr) { statusAddr_ = addr; }
+
+    DescRing &txRing();
+    DescRing &rxRing();
+
+    // --- PIO interface ---------------------------------------------------
+    /** Driver advertises TX descriptors valid up to @p producer. */
+    void pioWriteTxProducer(std::uint32_t producer);
+    /** Driver advertises posted RX buffers up to @p producer. */
+    void pioWriteRxProducer(std::uint32_t producer);
+
+    // --- host-visible completion state (DMA'd back to host memory) ------
+    /** Free-running count of fully transmitted TX descriptors. */
+    std::uint32_t txConsumer() const { return txConsumer_; }
+    /** Free-running count of received frames delivered to host memory. */
+    std::uint32_t rxConsumer() const { return rxConsumer_; }
+
+    /** Driver pulls delivered frames (called from its IRQ handler). */
+    std::vector<RxDelivery> drainRx();
+
+    // --- stats -----------------------------------------------------------
+    std::uint64_t txPackets() const { return nTxPackets_.value(); }
+    std::uint64_t txPayloadBytes() const { return nTxPayload_.value(); }
+    std::uint64_t rxPackets() const { return nRxPackets_.value(); }
+    std::uint64_t rxPayloadBytes() const { return nRxPayload_.value(); }
+
+    const IntelNicParams &params() const { return params_; }
+
+    // --- LinkEndpoint ------------------------------------------------------
+    void receiveFrame(net::Packet pkt) override;
+
+  private:
+    void startTxFetch();
+    void pumpTx();
+    void startRxFetch();
+    void scheduleConsumerWriteback();
+
+    IntelNicParams params_;
+    net::MacAddr mac_;
+    bool promiscuous_ = false;
+    mem::DomainId dmaDomain_ = mem::kDomInvalid;
+    mem::PhysAddr statusAddr_ = 0;
+
+    std::optional<DescRing> txRing_;
+    std::optional<DescRing> rxRing_;
+    PacketBufferPool txBuf_;
+    PacketBufferPool rxBuf_;
+
+    // TX state (free-running indices)
+    std::uint32_t txProducer_ = 0;  //!< driver-advertised
+    std::uint32_t txFetched_ = 0;   //!< descriptors fetched from host
+    std::uint32_t txConsumer_ = 0;  //!< transmitted
+    bool txFetchBusy_ = false;
+    bool txDataBusy_ = false;
+    std::deque<std::uint32_t> txPending_;
+
+    // RX state
+    std::uint32_t rxProducer_ = 0;
+    std::uint32_t rxFetched_ = 0;
+    std::uint32_t rxUsed_ = 0;      //!< descriptors consumed by frames
+    std::uint32_t rxConsumer_ = 0;  //!< deliveries completed to host
+    bool rxFetchBusy_ = false;
+    std::vector<RxDelivery> rxReady_;
+
+    bool writebackBusy_ = false;
+    bool writebackAgain_ = false;
+
+    sim::Counter &nTxPackets_;
+    sim::Counter &nTxPayload_;
+    sim::Counter &nRxPackets_;
+    sim::Counter &nRxPayload_;
+    sim::Counter &nTxGhost_;
+};
+
+} // namespace cdna::nic
+
+#endif // CDNA_NIC_INTEL_NIC_HH

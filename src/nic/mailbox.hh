@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Per-context mailboxes and the two-level event bit-vector hierarchy
+ * (paper section 4).
+ *
+ * The CDNA NIC exposes 32 page-sized (4 KB) SRAM partitions, one per
+ * hardware context; the lowest 24 words of each partition are mailboxes
+ * the guest driver writes via PIO.  A hardware core snoops the SRAM bus
+ * and maintains a two-level hierarchy of bit vectors in a scratchpad:
+ * level 0 says which contexts have pending mailbox events, level 1 (one
+ * per context) says which mailboxes within the context were written.
+ * Firmware decodes the hierarchy to find work without scanning all
+ * 32 x 24 mailboxes.
+ */
+
+#ifndef CDNA_NIC_MAILBOX_HH
+#define CDNA_NIC_MAILBOX_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "sim/assert.hh"
+
+namespace cdna::nic {
+
+/** Number of hardware contexts the CDNA NIC supports. */
+inline constexpr std::uint32_t kMaxContexts = 32;
+/** Mailboxes per context (the lowest 24 words of the partition). */
+inline constexpr std::uint32_t kMailboxesPerContext = 24;
+/** Bytes of SRAM partition exposed per context (one host page). */
+inline constexpr std::uint32_t kContextSramBytes = 4096;
+
+/** Well-known mailbox indices used by the drivers in this repo. */
+enum Mailbox : std::uint32_t
+{
+    kMboxTxProducer = 0, //!< new TX descriptors available up to value
+    kMboxRxProducer = 1, //!< new RX buffers posted up to value
+    kMboxControl = 2,    //!< context control (reset, MAC set, ...)
+};
+
+/** The mailbox words of one context's SRAM partition. */
+class MailboxPage
+{
+  public:
+    std::uint32_t
+    read(std::uint32_t idx) const
+    {
+        SIM_ASSERT(idx < kMailboxesPerContext, "mailbox index");
+        return words_[idx];
+    }
+
+    void
+    write(std::uint32_t idx, std::uint32_t value)
+    {
+        SIM_ASSERT(idx < kMailboxesPerContext, "mailbox index");
+        words_[idx] = value;
+    }
+
+  private:
+    std::array<std::uint32_t, kMailboxesPerContext> words_{};
+};
+
+/**
+ * The snooping hardware core's scratchpad: which contexts / mailboxes
+ * have unprocessed writes.
+ */
+class MailboxEventHier
+{
+  public:
+    /** Record a PIO write to (context, mailbox). */
+    void
+    post(std::uint32_t cxt, std::uint32_t mbox)
+    {
+        SIM_ASSERT(cxt < kMaxContexts, "context index");
+        SIM_ASSERT(mbox < kMailboxesPerContext, "mailbox index");
+        level0_ |= (1u << cxt);
+        level1_[cxt] |= (1u << mbox);
+    }
+
+    /** Any context with pending events? */
+    bool pending() const { return level0_ != 0; }
+
+    /** Level-0 vector: bit per context. */
+    std::uint32_t contextVector() const { return level0_; }
+
+    /** Level-1 vector for one context: bit per mailbox. */
+    std::uint32_t
+    mailboxVector(std::uint32_t cxt) const
+    {
+        SIM_ASSERT(cxt < kMaxContexts, "context index");
+        return level1_[cxt];
+    }
+
+    /**
+     * Pop the lowest pending (context, mailbox) pair, as firmware does
+     * when decoding the hierarchy.
+     * @retval false nothing pending
+     */
+    bool
+    popLowest(std::uint32_t *cxt_out, std::uint32_t *mbox_out)
+    {
+        if (level0_ == 0)
+            return false;
+        std::uint32_t cxt =
+            static_cast<std::uint32_t>(__builtin_ctz(level0_));
+        std::uint32_t mbox =
+            static_cast<std::uint32_t>(__builtin_ctz(level1_[cxt]));
+        clear(cxt, mbox);
+        if (cxt_out)
+            *cxt_out = cxt;
+        if (mbox_out)
+            *mbox_out = mbox;
+        return true;
+    }
+
+    /** Event-clear message: drop one (context, mailbox) event. */
+    void
+    clear(std::uint32_t cxt, std::uint32_t mbox)
+    {
+        level1_[cxt] &= ~(1u << mbox);
+        if (level1_[cxt] == 0)
+            level0_ &= ~(1u << cxt);
+    }
+
+    /** Clear every pending event of one context (context revocation). */
+    void
+    clearContext(std::uint32_t cxt)
+    {
+        level1_[cxt] = 0;
+        level0_ &= ~(1u << cxt);
+    }
+
+  private:
+    std::uint32_t level0_ = 0;
+    std::array<std::uint32_t, kMaxContexts> level1_{};
+};
+
+} // namespace cdna::nic
+
+#endif // CDNA_NIC_MAILBOX_HH

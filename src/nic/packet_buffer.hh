@@ -1,0 +1,63 @@
+/**
+ * @file
+ * On-NIC packet buffering (paper section 4).
+ *
+ * The CDNA RiceNIC gives each context 128 KB of transmit and 128 KB of
+ * receive buffering, but "the NIC's transmit and receive packet buffers
+ * are each managed globally, and hence packet buffering is shared
+ * across all contexts".  We model each direction as one byte-counted
+ * pool; contexts reserve space before DMA and release it when the
+ * packet leaves the NIC.
+ */
+
+#ifndef CDNA_NIC_PACKET_BUFFER_HH
+#define CDNA_NIC_PACKET_BUFFER_HH
+
+#include <cstdint>
+
+#include "sim/assert.hh"
+
+namespace cdna::nic {
+
+class PacketBufferPool
+{
+  public:
+    explicit PacketBufferPool(std::uint64_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t used() const { return used_; }
+    std::uint64_t available() const { return capacity_ - used_; }
+
+    /** Reserve @p bytes; fails (returns false) when the pool is full. */
+    bool
+    tryReserve(std::uint64_t bytes)
+    {
+        if (used_ + bytes > capacity_)
+            return false;
+        used_ += bytes;
+        if (used_ > highWater_)
+            highWater_ = used_;
+        return true;
+    }
+
+    void
+    release(std::uint64_t bytes)
+    {
+        SIM_ASSERT(bytes <= used_, "buffer pool underflow");
+        used_ -= bytes;
+    }
+
+    std::uint64_t highWater() const { return highWater_; }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+    std::uint64_t highWater_ = 0;
+};
+
+} // namespace cdna::nic
+
+#endif // CDNA_NIC_PACKET_BUFFER_HH

@@ -1,0 +1,222 @@
+#include "os/native_driver.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::os {
+
+NativeDriver::NativeDriver(sim::SimContext &ctx, std::string name,
+                           vmm::Domain &dom, nic::IntelNic &nic,
+                           const core::CostModel &costs, IrqRoute route,
+                           net::MacAddr mac)
+    : sim::SimObject(ctx, std::move(name)),
+      dom_(dom),
+      nic_(nic),
+      costs_(costs),
+      route_(route),
+      mac_(mac),
+      nQdiscDrop_(stats().addCounter("qdisc_drops")),
+      nTxPkts_(stats().addCounter("tx_packets")),
+      nRxPkts_(stats().addCounter("rx_packets")),
+      nIrqsHandled_(stats().addCounter("irqs_handled"))
+{
+}
+
+void
+NativeDriver::attach()
+{
+    auto &mem = dom_.hypervisor().mem();
+    mem::PageNum tx_ring_page = mem.allocOne(dom_.id());
+    mem::PageNum rx_ring_page = mem.allocOne(dom_.id());
+    mem::PageNum status_page = mem.allocOne(dom_.id());
+
+    nic_.configureTxRing(256, mem::addrOf(tx_ring_page));
+    nic_.configureRxRing(256, mem::addrOf(rx_ring_page));
+    nic_.setStatusBlockAddr(mem::addrOf(status_page));
+    nic_.setMac(mac_);
+    nic_.setDmaDomain(dom_.id());
+
+    // Post one page-sized buffer per RX descriptor.
+    std::uint32_t entries = nic_.rxRing().size();
+    rxSlotPage_.assign(entries, 0);
+    for (std::uint32_t i = 0; i < entries; ++i)
+        postRxBuffer(mem.allocOne(dom_.id()));
+    nic_.pioWriteRxProducer(rxProducer_);
+    rxPioPending_ = false;
+
+    if (route_ == IrqRoute::kViaHypervisor) {
+        irqChannel_ = &dom_.hypervisor().createChannel(
+            dom_, costs_.irqEntry, [this] { handleIrq(); });
+        nic_.setIrqLine([this] {
+            auto &hv = dom_.hypervisor();
+            hv.physicalInterrupt(hv.params().virtIrqDeliver,
+                                 [this] { irqChannel_->notify(); });
+        });
+    } else {
+        nic_.setIrqLine([this] { onIrq(); });
+    }
+}
+
+void
+NativeDriver::onIrq()
+{
+    // Direct routing (native OS): the IRQ lands on the vCPU.  Merge
+    // while a handler invocation is still queued (NAPI-style).
+    if (irqTaskPending_)
+        return;
+    irqTaskPending_ = true;
+    dom_.virtIrqs().inc();
+    dom_.vcpu().postIrq(cpu::Bucket::kOs, costs_.irqEntry, [this] {
+        irqTaskPending_ = false;
+        handleIrq();
+    });
+}
+
+void
+NativeDriver::handleIrq()
+{
+    nIrqsHandled_.inc();
+    // Snapshot completion state (reads of the DMA'd status block) and
+    // claim it immediately so an overlapping IRQ cannot double-count.
+    std::uint32_t completed = nic_.txConsumer() - txDrained_;
+    txDrained_ += completed;
+    auto deliveries = nic_.drainRx();
+
+    sim::Time cost = costs_.drvIrqHandler +
+        completed * costs_.drvTxCompletion +
+        static_cast<sim::Time>(deliveries.size()) * costs_.drvRxPerPacket;
+
+    dom_.vcpu().post(cpu::Bucket::kOs, cost,
+                     [this, completed,
+                      deliveries = std::move(deliveries)]() mutable {
+        for (std::uint32_t i = 0; i < completed; ++i) {
+            SIM_ASSERT(!txInflightBytes_.empty(), "completion underflow");
+            std::uint64_t bytes = txInflightBytes_.front();
+            txInflightBytes_.pop_front();
+            deliverTxComplete(bytes);
+        }
+
+        for (auto &d : deliveries) {
+            nRxPkts_.inc();
+            std::uint32_t slot = d.pos % rxSlotPage_.size();
+            mem::PageNum page = rxSlotPage_[slot];
+            d.pkt.hostSg = {{mem::addrOf(page),
+                             d.pkt.payloadBytes + net::kTcpIpHeader}};
+            if (autoRefill_) {
+                // Recycle the same page once the stack copies out.
+                postRxBuffer(page);
+            } else {
+                // Owner (backend) flips this page away and must refill.
+            }
+            deliverRx(std::move(d.pkt));
+        }
+        flushRxProducer();
+
+        // Pump any transmits that were waiting for ring space.
+        if (!qdisc_.empty())
+            flush();
+        if (txWasFull_ && canTransmit()) {
+            txWasFull_ = false;
+            deliverTxSpace();
+        }
+    });
+}
+
+bool
+NativeDriver::canTransmit() const
+{
+    return qdisc_.size() < qdiscLimit_;
+}
+
+void
+NativeDriver::transmit(net::Packet pkt)
+{
+    if (!canTransmit()) {
+        nQdiscDrop_.inc();
+        txWasFull_ = true;
+        return;
+    }
+    qdisc_.push_back(std::move(pkt));
+    if (!canTransmit())
+        txWasFull_ = true;
+}
+
+void
+NativeDriver::flush()
+{
+    if (flushPending_ || qdisc_.empty())
+        return;
+    std::uint32_t ring_space =
+        nic_.txRing().size() - (txProducer_ - nic_.txConsumer());
+    std::uint32_t n = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(qdisc_.size()), ring_space);
+    if (n == 0)
+        return; // retried from the completion handler
+    flushPending_ = true;
+    sim::Time cost = n * costs_.drvTxPerPacket + costs_.drvPioWrite;
+    dom_.vcpu().post(cpu::Bucket::kOs, cost, [this, n] {
+        flushPending_ = false;
+        doFlush(n);
+    });
+}
+
+void
+NativeDriver::doFlush(std::uint32_t n)
+{
+    std::uint32_t ring_space =
+        nic_.txRing().size() - (txProducer_ - nic_.txConsumer());
+    n = std::min({n, ring_space,
+                  static_cast<std::uint32_t>(qdisc_.size())});
+    for (std::uint32_t i = 0; i < n; ++i) {
+        net::Packet pkt = std::move(qdisc_.front());
+        qdisc_.pop_front();
+        nic::DmaDescriptor desc;
+        desc.sg = pkt.hostSg;
+        desc.flags = nic::kDescValid | nic::kDescEop;
+        if (pkt.payloadBytes > net::kMss)
+            desc.flags |= nic::kDescTso;
+        txInflightBytes_.push_back(pkt.payloadBytes);
+        nic_.txRing().write(txProducer_, desc);
+        nic_.txRing().attachPacket(txProducer_, std::move(pkt));
+        ++txProducer_;
+        nTxPkts_.inc();
+    }
+    nic_.pioWriteTxProducer(txProducer_);
+    if (txWasFull_ && canTransmit()) {
+        txWasFull_ = false;
+        deliverTxSpace();
+    }
+}
+
+void
+NativeDriver::postRxBuffer(mem::PageNum page)
+{
+    std::uint32_t slot = rxProducer_ % nic_.rxRing().size();
+    rxSlotPage_[slot] = page;
+    nic::DmaDescriptor desc;
+    desc.sg = {{mem::addrOf(page), net::kMtu}};
+    desc.flags = nic::kDescValid;
+    nic_.rxRing().write(rxProducer_, desc);
+    ++rxProducer_;
+    rxPioPending_ = true;
+}
+
+void
+NativeDriver::refillRx(mem::PageNum page)
+{
+    postRxBuffer(page);
+    flushRxProducer();
+}
+
+void
+NativeDriver::flushRxProducer()
+{
+    if (rxPioPending_) {
+        rxPioPending_ = false;
+        nic_.pioWriteRxProducer(rxProducer_);
+    }
+}
+
+} // namespace cdna::os

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The OS-internal network-device interface.
+ *
+ * A NetDevice is what the simulated kernel's stack sees: the native
+ * Intel driver, the Xen paravirtual frontend, and the CDNA guest driver
+ * all implement it, so the stack and workloads are oblivious to which
+ * I/O virtualization architecture is underneath -- exactly the
+ * transparency the paper's designs preserve.
+ */
+
+#ifndef CDNA_OS_NET_DEVICE_HH
+#define CDNA_OS_NET_DEVICE_HH
+
+#include <functional>
+
+#include "mem/phys_memory.hh"
+#include "net/packet.hh"
+
+namespace cdna::os {
+
+class NetDevice
+{
+  public:
+    virtual ~NetDevice() = default;
+
+    /** True when the device can accept another transmit. */
+    virtual bool canTransmit() const = 0;
+
+    /**
+     * Queue a packet for transmission.  Callers must check
+     * canTransmit() first; drivers drop (and count) otherwise.
+     */
+    virtual void transmit(net::Packet pkt) = 0;
+
+    /** Push any queued transmits to the hardware (end of a burst). */
+    virtual void flush() {}
+
+    /** Device MAC address. */
+    virtual net::MacAddr mac() const = 0;
+
+    /** True if the device accepts TSO segments larger than one MSS. */
+    virtual bool tsoCapable() const = 0;
+
+    /**
+     * When true (default) the driver recycles delivered RX pages
+     * itself; when false (Xen backend use, where delivered pages are
+     * page-flipped to a guest) the owner must supply replacements via
+     * refillRx().
+     */
+    virtual void setAutoRefill(bool) {}
+
+    /** Post a fresh RX buffer page (only used with auto-refill off). */
+    virtual void refillRx(mem::PageNum) {}
+
+    /** Install the receive path (stack delivery). */
+    void setRxHandler(std::function<void(net::Packet)> fn)
+    {
+        rxHandler_ = std::move(fn);
+    }
+
+    /** Fires when a transmitted packet is guest-visibly complete. */
+    void setTxCompleteHandler(std::function<void(std::uint64_t bytes)> fn)
+    {
+        txCompleteHandler_ = std::move(fn);
+    }
+
+    /** Fires when canTransmit() transitions false -> true. */
+    void setTxSpaceHandler(std::function<void()> fn)
+    {
+        txSpaceHandler_ = std::move(fn);
+    }
+
+  protected:
+    void
+    deliverRx(net::Packet pkt)
+    {
+        if (rxHandler_)
+            rxHandler_(std::move(pkt));
+    }
+
+    void
+    deliverTxComplete(std::uint64_t bytes)
+    {
+        if (txCompleteHandler_)
+            txCompleteHandler_(bytes);
+    }
+
+    void
+    deliverTxSpace()
+    {
+        if (txSpaceHandler_)
+            txSpaceHandler_();
+    }
+
+  private:
+    std::function<void(net::Packet)> rxHandler_;
+    std::function<void(std::uint64_t)> txCompleteHandler_;
+    std::function<void()> txSpaceHandler_;
+};
+
+} // namespace cdna::os
+
+#endif // CDNA_OS_NET_DEVICE_HH

@@ -1,0 +1,201 @@
+#include "os/net_stack.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::os {
+
+NetStack::NetStack(sim::SimContext &ctx, std::string name, vmm::Domain &dom,
+                   NetDevice &dev, const core::CostModel &costs)
+    : sim::SimObject(ctx, std::move(name)),
+      dom_(dom),
+      dev_(dev),
+      costs_(costs),
+      nTxBytes_(stats().addCounter("tx_bytes")),
+      nRxBytes_(stats().addCounter("rx_bytes")),
+      nRxPkts_(stats().addCounter("rx_packets")),
+      nTxStalls_(stats().addCounter("tx_stalls"))
+{
+    dev_.setRxHandler([this](net::Packet pkt) { onRxPacket(std::move(pkt)); });
+    dev_.setTxCompleteHandler([this](std::uint64_t bytes) {
+        if (txComplete_)
+            txComplete_(bytes);
+    });
+    dev_.setTxSpaceHandler([this] { pushToDevice(); });
+}
+
+void
+NetStack::buildPackets(std::uint64_t bytes, std::uint64_t flow_id,
+                       const std::vector<mem::PageNum> &pages,
+                       std::vector<net::Packet> *out)
+{
+    SIM_ASSERT(!pages.empty(), "no buffer pages");
+    const std::uint64_t buf_bytes = pages.size() * mem::kPageSize;
+    SIM_ASSERT(bytes <= buf_bytes, "burst larger than buffer");
+
+    std::uint32_t unit = dev_.tsoCapable()
+        ? std::min<std::uint32_t>(net::kMaxTsoBytes, static_cast<std::uint32_t>(buf_bytes))
+        : net::kMss;
+
+    std::uint64_t off = 0;
+    while (off < bytes) {
+        auto len = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(unit, bytes - off));
+        net::Packet pkt;
+        pkt.src = dev_.mac();
+        pkt.dst = dst_;
+        pkt.payloadBytes = len;
+        pkt.srcDomain = dom_.id();
+        pkt.id = nextPktId_++;
+        pkt.flowId = flow_id;
+        pkt.created = now();
+
+        // Map [off, off+len) onto the buffer pages.
+        std::uint64_t seg_off = off;
+        std::uint32_t remaining = len;
+        while (remaining > 0) {
+            std::uint64_t page_idx = seg_off / mem::kPageSize;
+            std::uint64_t in_page = seg_off % mem::kPageSize;
+            auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                remaining, mem::kPageSize - in_page));
+            pkt.hostSg.push_back(
+                {mem::addrOf(pages[page_idx]) + in_page, chunk});
+            seg_off += chunk;
+            remaining -= chunk;
+        }
+        out->push_back(std::move(pkt));
+        off += len;
+    }
+}
+
+void
+NetStack::sendBurst(std::uint64_t bytes, std::uint64_t flow_id,
+                    const std::vector<mem::PageNum> &pages)
+{
+    auto pkts = std::make_shared<std::vector<net::Packet>>();
+    buildPackets(bytes, flow_id, pages, pkts.get());
+
+    sim::Time cost =
+        static_cast<sim::Time>(pkts->size()) * costs_.stackTxPerPacket +
+        static_cast<sim::Time>(costs_.stackTxPerByteNs *
+                               static_cast<double>(bytes) * sim::kNanosecond);
+
+    dom_.vcpu().post(cpu::Bucket::kOs, cost, [this, pkts, bytes] {
+        nTxBytes_.inc(bytes);
+        for (auto &p : *pkts)
+            txBacklog_.push_back(std::move(p));
+        pushToDevice();
+    });
+}
+
+void
+NetStack::pushToDevice()
+{
+    bool any = false;
+    while (!txBacklog_.empty() && dev_.canTransmit()) {
+        dev_.transmit(std::move(txBacklog_.front()));
+        txBacklog_.pop_front();
+        any = true;
+    }
+    if (!txBacklog_.empty())
+        nTxStalls_.inc();
+    if (any)
+        dev_.flush();
+}
+
+void
+NetStack::onRxPacket(net::Packet pkt)
+{
+    if (pkt.payloadBytes == 0) {
+        // Pure TCP ACK: cheap to process, never re-acknowledged.
+        rxBatchAcks_ += 1;
+    } else {
+        rxBatchBytes_ += pkt.payloadBytes;
+        rxBatchPkts_ += 1;
+        ackDebt_ += 1;
+        ackDst_ = pkt.src;
+        if (pkt.created > 0)
+            rxBatchCreated_.push_back(pkt.created);
+    }
+    if (rxCollectorPending_)
+        return;
+    rxCollectorPending_ = true;
+    // Zero-cost collector: runs after the driver's delivery task on the
+    // same vCPU, so the whole batch is visible when it executes.
+    dom_.vcpu().post(cpu::Bucket::kOs, 0, [this] { collectRxBatch(); });
+}
+
+void
+NetStack::collectRxBatch()
+{
+    rxCollectorPending_ = false;
+    std::uint64_t bytes = std::exchange(rxBatchBytes_, 0);
+    std::uint32_t pkts = std::exchange(rxBatchPkts_, 0);
+    std::uint32_t acks = std::exchange(rxBatchAcks_, 0);
+    auto stamps = std::exchange(rxBatchCreated_, {});
+    if (pkts == 0 && acks == 0)
+        return;
+
+    // Outgoing ACKs owed for this batch (delayed-ACK style).
+    std::uint32_t acks_out = 0;
+    if (costs_.ackPerFrames != 0) {
+        acks_out = static_cast<std::uint32_t>(ackDebt_ /
+                                              costs_.ackPerFrames);
+        ackDebt_ %= costs_.ackPerFrames;
+    } else {
+        ackDebt_ = 0;
+    }
+
+    sim::Time os_cost =
+        static_cast<sim::Time>(pkts) * costs_.stackRxPerPacket +
+        static_cast<sim::Time>(acks) * costs_.stackAckRxCost +
+        static_cast<sim::Time>(acks_out) * costs_.stackAckTxCost +
+        static_cast<sim::Time>(costs_.stackRxPerByteNs *
+                               static_cast<double>(bytes) * sim::kNanosecond);
+    sim::Time user_cost =
+        static_cast<sim::Time>(costs_.appPerByteNs *
+                               static_cast<double>(bytes) * sim::kNanosecond) +
+        static_cast<sim::Time>(static_cast<double>(costs_.appPerRead) *
+                               static_cast<double>(bytes) / 65536.0);
+
+    dom_.vcpu().post(cpu::Bucket::kOs, os_cost,
+                     [this, bytes, pkts, acks_out, user_cost,
+                      stamps = std::move(stamps)]() mutable {
+        // Emit the owed ACKs toward the data source.
+        bool sent = false;
+        for (std::uint32_t i = 0; i < acks_out && dev_.canTransmit(); ++i) {
+            net::Packet ack;
+            ack.src = dev_.mac();
+            ack.dst = ackDst_;
+            ack.payloadBytes = 0;
+            ack.srcDomain = dom_.id();
+            ack.id = nextPktId_++;
+            ack.created = now();
+            dev_.transmit(std::move(ack));
+            sent = true;
+        }
+        if (sent)
+            dev_.flush();
+        if (pkts == 0 && bytes == 0)
+            return;
+        dom_.vcpu().post(cpu::Bucket::kUser, user_cost,
+                         [this, bytes, pkts,
+                          stamps = std::move(stamps)] {
+            nRxBytes_.inc(bytes);
+            nRxPkts_.inc(pkts);
+            // Data reaches user space now: record wire-to-app latency.
+            for (sim::Time created : stamps) {
+                double us = sim::toMicroseconds(now() - created);
+                rxLatency_.record(us);
+                rxLatencyHist_.record(static_cast<std::uint64_t>(us));
+            }
+            if (rxDeliver_)
+                rxDeliver_(bytes, pkts);
+        });
+    });
+}
+
+} // namespace cdna::os

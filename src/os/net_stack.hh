@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Kernel network stack model.
+ *
+ * Charges the OS-mode CPU costs of moving data between an application
+ * and a NetDevice: segmentation (TSO segments when the device supports
+ * them, MSS frames otherwise), per-byte copy costs, and receive
+ * delivery.  Checksum offload and scatter/gather I/O are assumed
+ * enabled, as in all the paper's experiments.
+ */
+
+#ifndef CDNA_OS_NET_STACK_HH
+#define CDNA_OS_NET_STACK_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/cost_model.hh"
+#include "os/net_device.hh"
+#include "vmm/domain.hh"
+
+namespace cdna::os {
+
+class NetStack : public sim::SimObject
+{
+  public:
+    NetStack(sim::SimContext &ctx, std::string name, vmm::Domain &dom,
+             NetDevice &dev, const core::CostModel &costs);
+
+    /** Destination MAC for transmitted packets (the remote peer). */
+    void setDefaultDst(net::MacAddr dst) { dst_ = dst; }
+
+    /**
+     * Transmit @p bytes of stream data drawn from the (reused)
+     * buffer @p pages.  Charges OS segmentation/copy costs, then hands
+     * packets to the device; packets that do not fit are queued in the
+     * stack and flushed when the device reports space.
+     * @param flow_id connection identifier (per-flow stats)
+     */
+    void sendBurst(std::uint64_t bytes, std::uint64_t flow_id,
+                   const std::vector<mem::PageNum> &pages);
+
+    /** Fires per guest-visible transmit completion, with byte count. */
+    void setTxCompleteHandler(std::function<void(std::uint64_t)> fn)
+    {
+        txComplete_ = std::move(fn);
+    }
+
+    /** Fires when received data reaches user space. */
+    void setRxDeliverHandler(
+        std::function<void(std::uint64_t bytes, std::uint32_t pkts)> fn)
+    {
+        rxDeliver_ = std::move(fn);
+    }
+
+    std::uint64_t txBytes() const { return nTxBytes_.value(); }
+    std::uint64_t rxBytes() const { return nRxBytes_.value(); }
+    std::uint64_t rxPackets() const { return nRxPkts_.value(); }
+
+    /** Wire-to-app latency of received data frames, in microseconds. */
+    const sim::SampleStats &rxLatency() const { return rxLatency_; }
+    const sim::Histogram &rxLatencyHist() const { return rxLatencyHist_; }
+
+    NetDevice &device() { return dev_; }
+    vmm::Domain &domain() { return dom_; }
+
+  private:
+    void buildPackets(std::uint64_t bytes, std::uint64_t flow_id,
+                      const std::vector<mem::PageNum> &pages,
+                      std::vector<net::Packet> *out);
+    void pushToDevice();
+    void onRxPacket(net::Packet pkt);
+    void collectRxBatch();
+
+    vmm::Domain &dom_;
+    NetDevice &dev_;
+    const core::CostModel &costs_;
+    net::MacAddr dst_;
+    std::uint64_t nextPktId_ = 1;
+
+    std::deque<net::Packet> txBacklog_;
+
+    std::uint64_t rxBatchBytes_ = 0;
+    std::uint32_t rxBatchPkts_ = 0;  //!< data frames in the batch
+    std::uint32_t rxBatchAcks_ = 0;  //!< pure ACKs in the batch
+    std::vector<sim::Time> rxBatchCreated_; //!< origin stamps for latency
+    sim::SampleStats rxLatency_;
+    sim::Histogram rxLatencyHist_;
+    bool rxCollectorPending_ = false;
+    std::uint64_t ackDebt_ = 0;
+    net::MacAddr ackDst_;
+
+    std::function<void(std::uint64_t)> txComplete_;
+    std::function<void(std::uint64_t, std::uint32_t)> rxDeliver_;
+
+    sim::Counter &nTxBytes_;
+    sim::Counter &nRxBytes_;
+    sim::Counter &nRxPkts_;
+    sim::Counter &nTxStalls_;
+};
+
+} // namespace cdna::os
+
+#endif // CDNA_OS_NET_STACK_HH

@@ -1,0 +1,399 @@
+#include "os/xen_net.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::os {
+
+// ===================== XenVif =============================================
+
+XenVif::XenVif(sim::SimContext &ctx, std::string name, DriverDomainNet &ddn,
+               vmm::Domain &guest, net::MacAddr mac)
+    : sim::SimObject(ctx, std::move(name)),
+      ddn_(ddn),
+      guest_(guest),
+      mac_(mac),
+      nTxPkts_(stats().addCounter("tx_packets")),
+      nRxPkts_(stats().addCounter("rx_packets")),
+      nRxDropNoBuf_(stats().addCounter("rx_drop_no_buffer"))
+{
+    auto &hv = ddn_.hv();
+    feChannel_ = &hv.createChannel(guest_, ddn_.costs().irqEntry,
+                                   [this] { frontendIrq(); });
+    beChannel_ = &hv.createChannel(ddn_.driverDomain(),
+                                   ddn_.costs().irqEntry,
+                                   [this] { backendIrq(); });
+
+    // Seed the guest's RX page pool and post buffers for reception.
+    auto pages = hv.mem().alloc(guest_.id(), kRingSlots + 64);
+    SIM_ASSERT(!pages.empty(), "out of memory for vif RX pool");
+    for (auto p : pages)
+        guestFreePages_.push_back(p);
+    postRxBuffers();
+}
+
+bool
+XenVif::canTransmit() const
+{
+    return txOutstanding_ + feBacklog_.size() < kRingSlots;
+}
+
+bool
+XenVif::tsoCapable() const
+{
+    return ddn_.phys().tsoCapable();
+}
+
+void
+XenVif::transmit(net::Packet pkt)
+{
+    SIM_ASSERT(canTransmit(), "vif transmit past ring capacity");
+    feBacklog_.push_back(std::move(pkt));
+    if (!canTransmit())
+        txWasFull_ = true;
+}
+
+void
+XenVif::flush()
+{
+    if (feFlushPending_ || feBacklog_.empty())
+        return;
+    feFlushPending_ = true;
+    auto n = static_cast<std::uint32_t>(feBacklog_.size());
+    std::uint64_t bytes = 0;
+    for (const auto &p : feBacklog_)
+        bytes += p.payloadBytes;
+    const auto &c = ddn_.costs();
+    sim::Time cost = n * c.feTxPerPacket +
+        static_cast<sim::Time>(c.feTxPerByteNs *
+                               static_cast<double>(bytes) *
+                               sim::kNanosecond);
+    guest_.vcpu().post(cpu::Bucket::kOs, cost, [this] {
+        feFlushPending_ = false;
+        auto &grants = ddn_.hv().grants();
+        while (!feBacklog_.empty()) {
+            TxRequest req;
+            req.pkt = std::move(feBacklog_.front());
+            feBacklog_.pop_front();
+            for (const auto &e : req.pkt.hostSg) {
+                mem::PageNum first = mem::pageOf(e.addr);
+                mem::PageNum last = mem::pageOf(e.addr + e.len - 1);
+                for (mem::PageNum p = first; p <= last; ++p) {
+                    mem::GrantRef ref = grants.grantAccess(
+                        guest_.id(), ddn_.driverDomain().id(), p);
+                    if (ref != mem::kInvalidGrant)
+                        req.grants.push_back(ref);
+                }
+            }
+            ++txOutstanding_;
+            nTxPkts_.inc();
+            txReq_.push_back(std::move(req));
+        }
+        // One event-channel kick covers the whole burst.
+        ddn_.hv().notifyChannel(*beChannel_);
+    });
+}
+
+void
+XenVif::backendIrq()
+{
+    auto n = static_cast<std::uint32_t>(txReq_.size());
+    if (n == 0)
+        return;
+    std::uint64_t bytes = 0;
+    for (const auto &r : txReq_)
+        bytes += r.pkt.payloadBytes;
+    const auto &c = ddn_.costs();
+    sim::Time cost = c.backendPerWake +
+        n * (c.beTxPerPacket + c.bridgePerPacket) +
+        static_cast<sim::Time>(c.beTxPerByteNs *
+                               static_cast<double>(bytes) *
+                               sim::kNanosecond);
+
+    ddn_.driverDomain().vcpu().post(cpu::Bucket::kOs, cost, [this] {
+        // Count pages for the grant-map hypercall batch.
+        std::uint64_t pages = 0;
+        for (const auto &r : txReq_)
+            pages += r.grants.size();
+        auto &hv = ddn_.hv();
+        hv.hypercall(static_cast<sim::Time>(pages) *
+                         hv.params().grantMapPerPage,
+                     [this] {
+            auto &grants = ddn_.hv().grants();
+            while (!txReq_.empty()) {
+                TxRequest req = std::move(txReq_.front());
+                txReq_.pop_front();
+                for (auto ref : req.grants)
+                    grants.mapGrant(ref, ddn_.driverDomain().id(), nullptr);
+                ddn_.bridgeTx(*this, std::move(req));
+            }
+            ddn_.phys().flush();
+        });
+    });
+}
+
+void
+XenVif::postRxBuffers()
+{
+    while (rxReq_.size() < kRingSlots && !guestFreePages_.empty()) {
+        rxReq_.push_back(guestFreePages_.front());
+        guestFreePages_.pop_front();
+    }
+}
+
+void
+XenVif::frontendIrq()
+{
+    auto tx = static_cast<std::uint32_t>(txResp_.size());
+    auto rx = static_cast<std::uint32_t>(rxResp_.size());
+    if (tx == 0 && rx == 0)
+        return;
+    const auto &c = ddn_.costs();
+    sim::Time cost = tx * c.feTxCompletion + rx * c.feRxPerPacket;
+
+    guest_.vcpu().post(cpu::Bucket::kOs, cost, [this] {
+        auto &grants = ddn_.hv().grants();
+        while (!txResp_.empty()) {
+            TxResponse resp = std::move(txResp_.front());
+            txResp_.pop_front();
+            for (auto ref : resp.grants)
+                grants.endGrant(ref, guest_.id());
+            SIM_ASSERT(txOutstanding_ > 0, "tx response underflow");
+            --txOutstanding_;
+            deliverTxComplete(resp.bytes);
+        }
+        while (!rxResp_.empty()) {
+            net::Packet pkt = std::move(rxResp_.front());
+            rxResp_.pop_front();
+            nRxPkts_.inc();
+            if (!pkt.hostSg.empty())
+                guestFreePages_.push_back(mem::pageOf(pkt.hostSg[0].addr));
+            deliverRx(std::move(pkt));
+        }
+        postRxBuffers();
+        if (txWasFull_ && canTransmit()) {
+            txWasFull_ = false;
+            deliverTxSpace();
+        }
+    });
+}
+
+// ===================== DriverDomainNet ====================================
+
+DriverDomainNet::DriverDomainNet(sim::SimContext &ctx, std::string name,
+                                 vmm::Domain &driver_dom, NetDevice &phys,
+                                 const core::CostModel &costs)
+    : sim::SimObject(ctx, std::move(name)),
+      drvDom_(driver_dom),
+      phys_(phys),
+      costs_(costs),
+      nNoVif_(stats().addCounter("bridge_no_vif")),
+      nBridgePkts_(stats().addCounter("bridge_packets"))
+{
+    phys_.setAutoRefill(false);
+    phys_.setRxHandler([this](net::Packet pkt) { onPhysRx(std::move(pkt)); });
+    phys_.setTxCompleteHandler(
+        [this](std::uint64_t bytes) { onPhysTxComplete(bytes); });
+}
+
+XenVif &
+DriverDomainNet::createVif(vmm::Domain &guest, net::MacAddr mac)
+{
+    vifs_.push_back(std::make_unique<XenVif>(
+        ctx(), name() + ".vif-" + guest.name(), *this, guest, mac));
+    macTable_[mac.hash()] = vifs_.back().get();
+    return *vifs_.back();
+}
+
+void
+DriverDomainNet::bridgeTx(XenVif &vif, XenVif::TxRequest req)
+{
+    nBridgePkts_.inc();
+    XenVif::TxMeta meta{std::move(req.grants), req.pkt.payloadBytes};
+    if (!phys_.canTransmit()) {
+        // Qdisc overflow: drop in the driver domain; the grants unwind
+        // through the normal completion path.
+        txCompStage_.emplace_back(&vif, std::move(meta));
+        scheduleTxCompleteCollect();
+        return;
+    }
+    txMeta_.emplace_back(&vif, std::move(meta));
+    phys_.transmit(std::move(req.pkt));
+}
+
+void
+DriverDomainNet::onPhysTxComplete(std::uint64_t bytes)
+{
+    (void)bytes;
+    SIM_ASSERT(!txMeta_.empty(), "tx completion without metadata");
+    txCompStage_.push_back(std::move(txMeta_.front()));
+    txMeta_.pop_front();
+    scheduleTxCompleteCollect();
+}
+
+void
+DriverDomainNet::scheduleTxCompleteCollect()
+{
+    if (txCompCollectPending_)
+        return;
+    txCompCollectPending_ = true;
+    drvDom_.vcpu().post(cpu::Bucket::kOs, 0, [this] { collectTxComplete(); });
+}
+
+void
+DriverDomainNet::collectTxComplete()
+{
+    txCompCollectPending_ = false;
+    if (txCompStage_.empty())
+        return;
+    auto batch = std::exchange(txCompStage_, {});
+    auto n = static_cast<std::uint32_t>(batch.size());
+
+    drvDom_.vcpu().post(cpu::Bucket::kOs, n * costs_.beTxCompletion,
+                        [this, batch = std::move(batch)]() mutable {
+        std::uint64_t pages = 0;
+        for (const auto &[vif, meta] : batch)
+            pages += meta.grants.size();
+        auto &hvp = hv().params();
+        hv().hypercall(static_cast<sim::Time>(pages) * hvp.grantUnmapPerPage,
+                       [this, batch = std::move(batch)]() mutable {
+            auto &grants = hv().grants();
+            std::vector<XenVif *> touched;
+            for (auto &[vif, meta] : batch) {
+                for (auto ref : meta.grants)
+                    grants.unmapGrant(ref, drvDom_.id());
+                vif->txResp_.push_back(
+                    XenVif::TxResponse{meta.bytes, std::move(meta.grants)});
+                if (std::find(touched.begin(), touched.end(), vif) ==
+                    touched.end())
+                    touched.push_back(vif);
+            }
+            for (XenVif *vif : touched)
+                hv().notifyChannel(*vif->feChannel_);
+        });
+    });
+}
+
+void
+DriverDomainNet::onPhysRx(net::Packet pkt)
+{
+    auto it = macTable_.find(pkt.dst.hash());
+    if (it == macTable_.end()) {
+        nNoVif_.inc();
+        // Recycle the NIC buffer page: nothing consumed it.
+        if (!pkt.hostSg.empty())
+            phys_.refillRx(mem::pageOf(pkt.hostSg[0].addr));
+        return;
+    }
+    nBridgePkts_.inc();
+    XenVif *vif = it->second;
+    if (vif->rxStage_.empty())
+        rxTouched_.push_back(vif);
+    vif->rxStage_.push_back(std::move(pkt));
+    scheduleRxCollect();
+}
+
+void
+DriverDomainNet::scheduleRxCollect()
+{
+    if (rxCollectPending_)
+        return;
+    rxCollectPending_ = true;
+    drvDom_.vcpu().post(cpu::Bucket::kOs, 0, [this] { collectRx(); });
+}
+
+void
+DriverDomainNet::collectRx()
+{
+    rxCollectPending_ = false;
+    if (rxTouched_.empty())
+        return;
+    auto touched = std::exchange(rxTouched_, {});
+    std::uint32_t n = 0;
+    std::uint64_t bytes = 0;
+    for (XenVif *vif : touched) {
+        n += static_cast<std::uint32_t>(vif->rxStage_.size());
+        for (const auto &p : vif->rxStage_)
+            bytes += p.payloadBytes;
+    }
+
+    sim::Time cost = costs_.backendPerWake +
+        n * (costs_.bridgePerPacket + costs_.beRxPerPacket) +
+        static_cast<sim::Time>(costs_.beRxPerByteNs *
+                               static_cast<double>(bytes) *
+                               sim::kNanosecond);
+    if (rxCopyMode_) {
+        // Copy mode: the memcpy runs in the driver domain.
+        cost += static_cast<sim::Time>(costs_.beRxCopyPerByteNs *
+                                       static_cast<double>(bytes) *
+                                       sim::kNanosecond);
+    }
+
+    // Hypervisor share: one flip exchange per packet in flip mode; a
+    // grant map+unmap of the guest's posted page in copy mode.
+    auto &params = hv().params();
+    sim::Time hv_cost = rxCopyMode_
+        ? static_cast<sim::Time>(n) *
+              (params.grantMapPerPage + params.grantUnmapPerPage)
+        : static_cast<sim::Time>(n) * params.pageFlipPerPage;
+
+    drvDom_.vcpu().post(cpu::Bucket::kOs, cost,
+                        [this, touched = std::move(touched), hv_cost] {
+        hv().hypercall(hv_cost,
+                       [this, touched] {
+            auto &memory = hv().mem();
+            auto &grants = hv().grants();
+            for (XenVif *vif : touched) {
+                auto staged = std::exchange(vif->rxStage_, {});
+                bool delivered = false;
+                for (auto &pkt : staged) {
+                    if (pkt.hostSg.empty()) {
+                        // Packet without backing memory (synthetic);
+                        // deliver without a flip.
+                        vif->rxResp_.push_back(std::move(pkt));
+                        delivered = true;
+                        continue;
+                    }
+                    mem::PageNum pkt_page = mem::pageOf(pkt.hostSg[0].addr);
+                    if (vif->rxReq_.empty()) {
+                        vif->nRxDropNoBuf_.inc();
+                        phys_.refillRx(pkt_page);
+                        continue;
+                    }
+                    mem::PageNum posted = vif->rxReq_.front();
+                    vif->rxReq_.pop_front();
+                    if (rxCopyMode_) {
+                        // Copy mode: data is copied into the guest's
+                        // posted page; the NIC buffer page stays in the
+                        // driver domain and is recycled immediately.
+                        std::uint32_t len = pkt.hostSg.empty()
+                            ? pkt.payloadBytes
+                            : pkt.hostSg[0].len;
+                        pkt.hostSg = {{mem::addrOf(posted), len}};
+                        phys_.refillRx(pkt_page);
+                    } else {
+                        // Page-flip exchange: packet page to the guest,
+                        // posted guest page to the driver domain.
+                        bool ok1 = grants.transferPage(drvDom_.id(),
+                                                       vif->guest_.id(),
+                                                       pkt_page);
+                        bool ok2 = grants.transferPage(vif->guest_.id(),
+                                                       drvDom_.id(),
+                                                       posted);
+                        SIM_ASSERT(ok1 && ok2, "page flip failed");
+                        phys_.refillRx(posted);
+                    }
+                    (void)memory;
+                    vif->rxResp_.push_back(std::move(pkt));
+                    delivered = true;
+                }
+                if (delivered)
+                    hv().notifyChannel(*vif->feChannel_);
+            }
+        });
+    });
+}
+
+} // namespace cdna::os

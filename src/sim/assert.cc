@@ -1,0 +1,32 @@
+#include "sim/assert.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdna::sim {
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+simFatal(const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+} // namespace cdna::sim

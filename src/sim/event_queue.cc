@@ -1,0 +1,98 @@
+#include "sim/event_queue.hh"
+
+#include <limits>
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::sim {
+
+EventId
+EventQueue::schedule(Time delay, Callback fn)
+{
+    SIM_ASSERT(delay >= 0, "negative event delay");
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId
+EventQueue::scheduleAt(Time when, Callback fn)
+{
+    SIM_ASSERT(when >= now_, "scheduling into the past");
+    EventId id = nextId_++;
+    heap_.push(HeapEntry{when, id});
+    live_.emplace(id, std::move(fn));
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    return live_.erase(id) != 0;
+}
+
+Time
+EventQueue::nextEventTime() const
+{
+    // Cancelled entries may sit at the top of the heap; they are rare and
+    // skipping them here would require mutation, so report conservatively:
+    // the first *live* entry is found by scanning a copy only when the top
+    // is stale.  In practice stale tops are popped by runOne().
+    auto heap = heap_;
+    while (!heap.empty()) {
+        if (live_.count(heap.top().id))
+            return heap.top().when;
+        heap.pop();
+    }
+    return std::numeric_limits<Time>::max();
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        HeapEntry top = heap_.top();
+        heap_.pop();
+        auto it = live_.find(top.id);
+        if (it == live_.end())
+            continue; // cancelled
+        Callback fn = std::move(it->second);
+        live_.erase(it);
+        SIM_ASSERT(top.when >= now_, "event queue time went backwards");
+        now_ = top.when;
+        ++dispatched_;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Time horizon)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty()) {
+        HeapEntry top = heap_.top();
+        if (!live_.count(top.id)) {
+            heap_.pop();
+            continue;
+        }
+        if (top.when > horizon)
+            break;
+        runOne();
+        ++n;
+    }
+    if (now_ < horizon)
+        now_ = horizon;
+    return n;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    return n;
+}
+
+} // namespace cdna::sim

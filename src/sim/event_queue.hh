@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Discrete-event kernel: a single global-ordered event queue.
+ *
+ * All simulated hardware and software progress is expressed as callbacks
+ * scheduled at absolute picosecond timestamps.  Events with equal
+ * timestamps execute in scheduling order (FIFO), which together with the
+ * deterministic Rng makes every run bit-reproducible for a given seed.
+ */
+
+#ifndef CDNA_SIM_EVENT_QUEUE_HH
+#define CDNA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace cdna::sim {
+
+/** Opaque handle to a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel returned for operations that scheduled nothing. */
+inline constexpr EventId kInvalidEvent = 0;
+
+/**
+ * Min-heap event queue ordered by (time, insertion sequence).
+ *
+ * The queue owns the simulated clock: now() advances only as events are
+ * dispatched (or explicitly via runUntil()'s horizon).  Scheduling in the
+ * past is a simulator bug and panics.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run @p delay after now.
+     * @param delay  non-negative offset from the current time
+     * @param fn     callback to invoke
+     * @return a handle that can be passed to cancel()
+     */
+    EventId schedule(Time delay, Callback fn);
+
+    /** Schedule @p fn at the absolute time @p when (>= now). */
+    EventId scheduleAt(Time when, Callback fn);
+
+    /**
+     * Cancel a pending event.
+     * @retval true the event was pending and is now cancelled
+     * @retval false the handle was invalid, already fired, or cancelled
+     */
+    bool cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const { return live_.empty(); }
+
+    /** Number of live (not-yet-fired, not-cancelled) events. */
+    std::size_t pendingCount() const { return live_.size(); }
+
+    /** Timestamp of the next live event; horizon if none. */
+    Time nextEventTime() const;
+
+    /**
+     * Dispatch the single next event, advancing the clock to it.
+     * @retval true an event was dispatched
+     * @retval false the queue was empty
+     */
+    bool runOne();
+
+    /**
+     * Dispatch all events with timestamp <= @p horizon, then advance the
+     * clock to @p horizon.
+     * @return the number of events dispatched
+     */
+    std::uint64_t runUntil(Time horizon);
+
+    /** Dispatch events until the queue drains (or @p max_events fire). */
+    std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+    /** Total number of events dispatched since construction. */
+    std::uint64_t dispatchedCount() const { return dispatched_; }
+
+  private:
+    struct HeapEntry
+    {
+        Time when;
+        EventId id;
+
+        bool
+        operator>(const HeapEntry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    Time now_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t dispatched_ = 0;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> heap_;
+    /** Live events; absence of a heap entry's id here means "cancelled". */
+    std::unordered_map<EventId, Callback> live_;
+};
+
+} // namespace cdna::sim
+
+#endif // CDNA_SIM_EVENT_QUEUE_HH

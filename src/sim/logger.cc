@@ -1,0 +1,87 @@
+#include "sim/logger.hh"
+
+#include <cstdio>
+
+#include "sim/event_queue.hh"
+
+namespace cdna::sim {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char *
+levelTag(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kWarn:  return "WARN ";
+      case LogLevel::kInfo:  return "INFO ";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kTrace: return "TRACE";
+    }
+    return "?";
+}
+
+} // namespace
+
+Logger::Logger(std::string name, const EventQueue *eq)
+    : name_(std::move(name)), eq_(eq)
+{
+}
+
+void
+Logger::setGlobalLevel(LogLevel lvl)
+{
+    g_level = lvl;
+}
+
+LogLevel
+Logger::globalLevel()
+{
+    return g_level;
+}
+
+void
+Logger::setLevel(LogLevel lvl)
+{
+    hasOverride_ = true;
+    override_ = lvl;
+}
+
+bool
+Logger::enabled(LogLevel lvl) const
+{
+    LogLevel threshold = hasOverride_ ? override_ : g_level;
+    return static_cast<int>(lvl) <= static_cast<int>(threshold);
+}
+
+void
+Logger::emit(LogLevel lvl, const char *fmt, va_list ap) const
+{
+    Time t = eq_ ? eq_->now() : 0;
+    std::fprintf(stderr, "[%14.3f us] %s %-14s ", toMicroseconds(t),
+                 levelTag(lvl), name_.c_str());
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+#define CDNA_LOG_BODY(lvl)                        \
+    do {                                          \
+        if (!enabled(lvl))                        \
+            return;                               \
+        va_list ap;                               \
+        va_start(ap, fmt);                        \
+        emit(lvl, fmt, ap);                       \
+        va_end(ap);                               \
+    } while (0)
+
+void Logger::error(const char *fmt, ...) const { CDNA_LOG_BODY(LogLevel::kError); }
+void Logger::warn(const char *fmt, ...) const { CDNA_LOG_BODY(LogLevel::kWarn); }
+void Logger::info(const char *fmt, ...) const { CDNA_LOG_BODY(LogLevel::kInfo); }
+void Logger::debug(const char *fmt, ...) const { CDNA_LOG_BODY(LogLevel::kDebug); }
+void Logger::trace(const char *fmt, ...) const { CDNA_LOG_BODY(LogLevel::kTrace); }
+
+#undef CDNA_LOG_BODY
+
+} // namespace cdna::sim

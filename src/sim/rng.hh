@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * A small, fast, seedable generator so simulations are reproducible and
+ * independent of the C++ standard library's unspecified distributions.
+ */
+
+#ifndef CDNA_SIM_RNG_HH
+#define CDNA_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace cdna::sim {
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Seed deterministically; the same seed yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Exponentially distributed double with the given mean. */
+    double exponential(double mean);
+
+    /** Derive an independent child generator (for per-component streams). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace cdna::sim
+
+#endif // CDNA_SIM_RNG_HH

@@ -1,0 +1,24 @@
+#include "sim/sim_object.hh"
+
+namespace cdna::sim {
+
+SimContext::SimContext(std::uint64_t seed) : rng_(seed)
+{
+}
+
+std::string
+SimContext::dumpStats() const
+{
+    std::string out;
+    for (const SimObject *obj : objects_)
+        out += obj->stats().dump(obj->name() + ".");
+    return out;
+}
+
+SimObject::SimObject(SimContext &ctx, std::string name)
+    : log_(name, &ctx.events()), ctx_(ctx), name_(std::move(name))
+{
+    ctx_.registerObject(this);
+}
+
+} // namespace cdna::sim

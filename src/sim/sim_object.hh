@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Base class and shared context for simulated components.
+ *
+ * A SimContext bundles the services every component needs -- the event
+ * queue/clock, a root random stream, and a place to register itself so
+ * whole-system stat dumps can enumerate components.  SimObject wires a
+ * named component to that context.
+ */
+
+#ifndef CDNA_SIM_SIM_OBJECT_HH
+#define CDNA_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logger.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace cdna::sim {
+
+class SimObject;
+
+/** Shared simulation services: clock, randomness, component registry. */
+class SimContext
+{
+  public:
+    explicit SimContext(std::uint64_t seed = 1);
+
+    EventQueue &events() { return events_; }
+    const EventQueue &events() const { return events_; }
+    Time now() const { return events_.now(); }
+
+    /** Root random stream; components should fork() their own. */
+    Rng &rng() { return rng_; }
+
+    void registerObject(SimObject *obj) { objects_.push_back(obj); }
+    const std::vector<SimObject *> &objects() const { return objects_; }
+
+    /** Dump every registered component's stats (debugging aid). */
+    std::string dumpStats() const;
+
+  private:
+    EventQueue events_;
+    Rng rng_;
+    std::vector<SimObject *> objects_;
+};
+
+/** A named component bound to a SimContext. */
+class SimObject
+{
+  public:
+    SimObject(SimContext &ctx, std::string name);
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    SimContext &ctx() { return ctx_; }
+    EventQueue &events() { return ctx_.events(); }
+    Time now() const { return ctx_.now(); }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  protected:
+    Logger log_;
+
+  private:
+    SimContext &ctx_;
+    std::string name_;
+    StatGroup stats_;
+};
+
+} // namespace cdna::sim
+
+#endif // CDNA_SIM_SIM_OBJECT_HH

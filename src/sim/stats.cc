@@ -1,0 +1,109 @@
+#include "sim/stats.hh"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace cdna::sim {
+
+void
+SampleStats::record(double x)
+{
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+void
+SampleStats::reset()
+{
+    *this = SampleStats();
+}
+
+double
+SampleStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Histogram::record(std::uint64_t x)
+{
+    int b = x == 0 ? 0 : std::bit_width(x);
+    if (b >= static_cast<int>(buckets_.size()))
+        b = static_cast<int>(buckets_.size()) - 1;
+    ++buckets_[b];
+    ++total_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+}
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        seen += buckets_[b];
+        if (seen > target)
+            return b == 0 ? 0 : (1ULL << b) - 1;
+    }
+    return UINT64_MAX;
+}
+
+Counter &
+StatGroup::addCounter(const std::string &name)
+{
+    counterStore_.push_back(std::make_unique<Counter>());
+    counterView_.emplace_back(name, counterStore_.back().get());
+    return *counterStore_.back();
+}
+
+SampleStats &
+StatGroup::addSamples(const std::string &name)
+{
+    sampleStore_.push_back(std::make_unique<SampleStats>());
+    sampleView_.emplace_back(name, sampleStore_.back().get());
+    return *sampleStore_.back();
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::string out;
+    char line[160];
+    for (const auto &[name, c] : counterView_) {
+        std::snprintf(line, sizeof(line), "%s%s %llu\n", prefix.c_str(),
+                      name.c_str(),
+                      static_cast<unsigned long long>(c->value()));
+        out += line;
+    }
+    for (const auto &[name, s] : sampleView_) {
+        std::snprintf(line, sizeof(line),
+                      "%s%s count=%llu mean=%.3f min=%.3f max=%.3f\n",
+                      prefix.c_str(), name.c_str(),
+                      static_cast<unsigned long long>(s->count()), s->mean(),
+                      s->min(), s->max());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace cdna::sim

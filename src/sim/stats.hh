@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Lightweight statistics primitives used throughout the simulator.
+ *
+ * Components expose Counters and SampleStats; experiment harnesses read
+ * them at the end of (or during) a run.  A StatGroup gives a component a
+ * flat, named view of its statistics for uniform report printing.
+ */
+
+#ifndef CDNA_SIM_STATS_HH
+#define CDNA_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace cdna::sim {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    /** Events per simulated second over @p elapsed. */
+    double
+    rate(Time elapsed) const
+    {
+        return elapsed > 0 ? static_cast<double>(value_) / toSeconds(elapsed)
+                           : 0.0;
+    }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running min/max/mean/variance over double-valued samples (Welford). */
+class SampleStats
+{
+  public:
+    void record(double x);
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    /** Population variance. */
+    double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+    double stddev() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Power-of-two bucketed histogram for latency-like quantities. */
+class Histogram
+{
+  public:
+    explicit Histogram(int num_buckets = 48) : buckets_(num_buckets, 0) {}
+
+    void record(std::uint64_t x);
+
+    /** Accumulate another histogram's buckets into this one. */
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return total_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Approximate quantile (bucket upper bound), q in [0,1]. */
+    std::uint64_t quantile(double q) const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/** A named, flat set of statistics owned by one component. */
+class StatGroup
+{
+  public:
+    Counter &addCounter(const std::string &name);
+    SampleStats &addSamples(const std::string &name);
+
+    const std::vector<std::pair<std::string, const Counter *>> &
+    counters() const { return counterView_; }
+    const std::vector<std::pair<std::string, const SampleStats *>> &
+    samples() const { return sampleView_; }
+
+    /** Render all stats as "name value" lines (for debugging dumps). */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    // Deque-like stable storage: pointers handed out must not move.
+    std::vector<std::unique_ptr<Counter>> counterStore_;
+    std::vector<std::unique_ptr<SampleStats>> sampleStore_;
+    std::vector<std::pair<std::string, const Counter *>> counterView_;
+    std::vector<std::pair<std::string, const SampleStats *>> sampleView_;
+};
+
+} // namespace cdna::sim
+
+#endif // CDNA_SIM_STATS_HH

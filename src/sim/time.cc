@@ -1,0 +1,31 @@
+#include "sim/time.hh"
+
+#include <cstdio>
+
+namespace cdna::sim {
+
+std::string
+formatTime(Time t)
+{
+    char buf[64];
+    const char *sign = t < 0 ? "-" : "";
+    Time a = t < 0 ? -t : t;
+    if (a >= kSecond) {
+        std::snprintf(buf, sizeof(buf), "%s%.3f s", sign, toSeconds(a));
+    } else if (a >= kMillisecond) {
+        std::snprintf(buf, sizeof(buf), "%s%.3f ms", sign,
+                      static_cast<double>(a) / kMillisecond);
+    } else if (a >= kMicrosecond) {
+        std::snprintf(buf, sizeof(buf), "%s%.3f us", sign,
+                      static_cast<double>(a) / kMicrosecond);
+    } else if (a >= kNanosecond) {
+        std::snprintf(buf, sizeof(buf), "%s%.3f ns", sign,
+                      static_cast<double>(a) / kNanosecond);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s%lld ps", sign,
+                      static_cast<long long>(a));
+    }
+    return buf;
+}
+
+} // namespace cdna::sim

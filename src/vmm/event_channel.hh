@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Event channels: Xen's virtual interrupt primitive.
+ *
+ * An event channel is a *pending bit*, not a queue: notifying an
+ * already-pending channel merges with the earlier notification.  This
+ * merging is what lets per-wake costs amortize under load -- the
+ * batching behaviour behind both CDNA's flat bandwidth curve and Xen's
+ * graceful (rather than collapsing) decline in the paper's figures 3
+ * and 4.
+ */
+
+#ifndef CDNA_VMM_EVENT_CHANNEL_HH
+#define CDNA_VMM_EVENT_CHANNEL_HH
+
+#include <functional>
+#include <string>
+
+#include "cpu/sim_cpu.hh"
+#include "sim/stats.hh"
+#include "vmm/domain.hh"
+
+namespace cdna::vmm {
+
+class EventChannel
+{
+  public:
+    /**
+     * @param target     domain whose vCPU fields the upcall
+     * @param entry_cost guest-OS cost of taking the virtual interrupt
+     *                   (upcall entry, EOI, handler prologue)
+     * @param handler    device-driver handler body; its own cost is
+     *                   charged by the tasks the handler posts
+     */
+    EventChannel(Domain &target, sim::Time entry_cost,
+                 std::function<void()> handler)
+        : target_(target),
+          entryCost_(entry_cost),
+          handler_(std::move(handler))
+    {
+    }
+
+    EventChannel(const EventChannel &) = delete;
+    EventChannel &operator=(const EventChannel &) = delete;
+
+    /**
+     * Mark the channel pending and schedule the upcall.  If already
+     * pending, the notification merges and nothing new is scheduled.
+     * @retval true a fresh upcall was scheduled
+     */
+    bool
+    notify()
+    {
+        nNotifies_++;
+        if (pending_)
+            return false;
+        pending_ = true;
+        target_.virtIrqs().inc();
+        target_.vcpu().postIrq(cpu::Bucket::kOs, entryCost_, [this] {
+            pending_ = false;
+            if (handler_)
+                handler_();
+        });
+        return true;
+    }
+
+    bool pending() const { return pending_; }
+    Domain &target() { return target_; }
+    std::uint64_t notifyCount() const { return nNotifies_; }
+
+  private:
+    Domain &target_;
+    sim::Time entryCost_;
+    std::function<void()> handler_;
+    bool pending_ = false;
+    std::uint64_t nNotifies_ = 0;
+};
+
+} // namespace cdna::vmm
+
+#endif // CDNA_VMM_EVENT_CHANNEL_HH

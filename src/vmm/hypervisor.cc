@@ -1,0 +1,132 @@
+#include "vmm/hypervisor.hh"
+
+#include <utility>
+
+namespace cdna::vmm {
+
+const char *
+faultName(Fault f)
+{
+    switch (f) {
+      case Fault::kNone: return "none";
+      case Fault::kNotOwner: return "not-owner";
+      case Fault::kBadSeqno: return "bad-seqno";
+      case Fault::kBadContext: return "bad-context";
+      case Fault::kRingFull: return "ring-full";
+    }
+    return "?";
+}
+
+Domain::Domain(sim::SimContext &ctx, Hypervisor &hv, mem::DomainId id,
+               std::string name, Kind kind, cpu::Vcpu &vcpu)
+    : sim::SimObject(ctx, std::move(name)),
+      hv_(hv),
+      id_(id),
+      kind_(kind),
+      vcpu_(vcpu),
+      nVirtIrqs_(stats().addCounter("virt_irqs"))
+{
+}
+
+Hypervisor::Hypervisor(sim::SimContext &ctx, cpu::SimCpu &cpu,
+                       mem::PhysMemory &mem, HvParams params)
+    : sim::SimObject(ctx, "hypervisor"),
+      cpu_(cpu),
+      mem_(mem),
+      grants_(ctx, mem),
+      params_(params),
+      nHypercalls_(stats().addCounter("hypercalls")),
+      nPhysIrqs_(stats().addCounter("phys_irqs")),
+      nVirtIrqs_(stats().addCounter("virt_irqs")),
+      nFaults_(stats().addCounter("faults"))
+{
+}
+
+Domain &
+Hypervisor::createDomain(Domain::Kind kind, const std::string &name,
+                         int weight)
+{
+    mem::DomainId id = nextDomId_++;
+    cpu::Vcpu &vcpu = cpu_.createVcpu(id, name + ".vcpu", weight);
+    // Guest working sets contend for the cache; the (single) driver
+    // domain's footprint is part of the calibrated baseline.
+    vcpu.setContends(kind == Domain::Kind::kGuest);
+    domains_.push_back(std::make_unique<Domain>(ctx(), *this, id, name,
+                                                kind, vcpu));
+    return *domains_.back();
+}
+
+Domain *
+Hypervisor::domain(mem::DomainId id)
+{
+    for (auto &d : domains_)
+        if (d->id() == id)
+            return d.get();
+    return nullptr;
+}
+
+EventChannel &
+Hypervisor::createChannel(Domain &target, sim::Time entry_cost,
+                          std::function<void()> handler)
+{
+    channels_.push_back(std::make_unique<EventChannel>(target, entry_cost,
+                                                       std::move(handler)));
+    return *channels_.back();
+}
+
+void
+Hypervisor::notifyChannel(EventChannel &ch)
+{
+    nVirtIrqs_.inc();
+    cpu_.runHypervisor(params_.hypercallOverhead + params_.evtchnSend +
+                           params_.virtIrqDeliver,
+                       [&ch] { ch.notify(); });
+}
+
+void
+Hypervisor::deliverVirtIrq(EventChannel &ch)
+{
+    nVirtIrqs_.inc();
+    cpu_.runHypervisor(params_.virtIrqDeliver, [&ch] { ch.notify(); });
+}
+
+void
+Hypervisor::physicalInterrupt(sim::Time isr_cost, std::function<void()> body)
+{
+    nPhysIrqs_.inc();
+    cpu_.runHypervisor(params_.physIrqDispatch + isr_cost, std::move(body));
+}
+
+void
+Hypervisor::hypercall(sim::Time cost, std::function<void()> body,
+                      std::function<void()> done)
+{
+    nHypercalls_.inc();
+    cpu_.runHypervisor(params_.hypercallOverhead + cost,
+                       [body = std::move(body), done = std::move(done)] {
+                           if (body)
+                               body();
+                           if (done)
+                               done();
+                       });
+}
+
+void
+Hypervisor::recordFault(mem::DomainId dom, Fault f)
+{
+    nFaults_.inc();
+    faults_.emplace_back(dom, f, now());
+    log_.warn("protection fault: domain %u %s", dom, faultName(f));
+}
+
+std::uint64_t
+Hypervisor::faultCount(mem::DomainId dom, Fault f) const
+{
+    std::uint64_t n = 0;
+    for (const auto &[d, kind, when] : faults_)
+        if (d == dom && kind == f)
+            ++n;
+    return n;
+}
+
+} // namespace cdna::vmm

@@ -1,0 +1,84 @@
+#include "workload/traffic_app.hh"
+
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::workload {
+
+TrafficApp::TrafficApp(sim::SimContext &ctx, std::string name,
+                       os::NetStack &stack, const core::CostModel &costs,
+                       Params params)
+    : sim::SimObject(ctx, std::move(name)),
+      stack_(stack),
+      costs_(costs),
+      params_(params),
+      nSent_(stats().addCounter("bytes_sent")),
+      nReceived_(stats().addCounter("bytes_received")),
+      nRxPkts_(stats().addCounter("packets_received"))
+{
+    stack_.setRxDeliverHandler([this](std::uint64_t bytes,
+                                      std::uint32_t pkts) {
+        nReceived_.inc(bytes);
+        nRxPkts_.inc(pkts);
+    });
+    stack_.setTxCompleteHandler([this](std::uint64_t bytes) {
+        SIM_ASSERT(inFlight_ >= bytes, "window underflow");
+        inFlight_ -= bytes;
+        pump();
+    });
+}
+
+void
+TrafficApp::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    if (!params_.transmit)
+        return;
+
+    // One reused buffer per connection, sized for a chunk.
+    auto &memory = stack_.domain().hypervisor().mem();
+    std::uint64_t pages_per_buf =
+        (params_.chunkBytes + mem::kPageSize - 1) / mem::kPageSize;
+    for (std::uint32_t i = 0; i < params_.connections; ++i) {
+        Conn c;
+        c.id = i + 1;
+        c.buffer = memory.alloc(stack_.domain().id(), pages_per_buf);
+        SIM_ASSERT(!c.buffer.empty(), "out of memory for app buffer");
+        conns_.push_back(std::move(c));
+    }
+    pump();
+}
+
+void
+TrafficApp::pump()
+{
+    if (!started_ || !params_.transmit || pumpActive_)
+        return;
+    if (inFlight_ + params_.chunkBytes > params_.windowBytes)
+        return;
+    if (!stack_.device().canTransmit())
+        return; // the stack's tx-space callback will re-pump via sendBurst
+    pumpActive_ = true;
+
+    Conn &c = conns_[rr_];
+    rr_ = (rr_ + 1) % conns_.size();
+    inFlight_ += params_.chunkBytes;
+
+    sim::Time user_cost = costs_.appPerWrite +
+        static_cast<sim::Time>(costs_.appPerByteNs *
+                               static_cast<double>(params_.chunkBytes) *
+                               sim::kNanosecond);
+
+    stack_.domain().vcpu().post(cpu::Bucket::kUser, user_cost,
+                                [this, &c] {
+        nSent_.inc(params_.chunkBytes);
+        stack_.sendBurst(params_.chunkBytes, c.id, c.buffer);
+        pumpActive_ = false;
+        pump();
+    });
+}
+
+} // namespace cdna::workload

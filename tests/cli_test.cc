@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the command-line front end: argument parsing, config
+ * mapping, error handling, and JSON report rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cli.hh"
+
+using namespace cdna;
+using namespace cdna::core;
+
+namespace {
+
+std::optional<CliOptions>
+parse(std::initializer_list<const char *> args, std::string *err = nullptr)
+{
+    std::vector<std::string> v(args.begin(), args.end());
+    std::string local;
+    return parseCli(v, err ? err : &local);
+}
+
+} // namespace
+
+TEST(Cli, DefaultsAreCdnaTransmit)
+{
+    auto opt = parse({});
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_EQ(opt->config.mode, IoMode::kCdna);
+    EXPECT_TRUE(opt->config.transmit);
+    EXPECT_EQ(opt->config.numGuests, 1u);
+    EXPECT_EQ(opt->config.numNics, 2u);
+    EXPECT_TRUE(opt->config.dmaProtection);
+    EXPECT_FALSE(opt->json);
+    EXPECT_FALSE(opt->help);
+}
+
+TEST(Cli, ModeSelection)
+{
+    EXPECT_EQ(parse({"--mode", "native"})->config.mode, IoMode::kNative);
+    EXPECT_EQ(parse({"--mode", "xen"})->config.mode, IoMode::kXen);
+    EXPECT_EQ(parse({"--mode", "cdna"})->config.mode, IoMode::kCdna);
+    EXPECT_EQ(parse({"--mode", "xen", "--nic", "rice"})->config.nicKind,
+              NicKind::kRice);
+    std::string err;
+    EXPECT_FALSE(parse({"--mode", "vmware"}, &err).has_value());
+    EXPECT_NE(err.find("--mode"), std::string::npos);
+}
+
+TEST(Cli, TopologyAndWorkload)
+{
+    auto opt = parse({"--guests", "8", "--nics", "3", "--direction", "rx",
+                      "--connections", "5", "--seed", "9"});
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_EQ(opt->config.numGuests, 8u);
+    EXPECT_EQ(opt->config.numNics, 3u);
+    EXPECT_FALSE(opt->config.transmit);
+    EXPECT_EQ(opt->config.connectionsPerVif, 5u);
+    EXPECT_EQ(opt->config.seed, 9u);
+}
+
+TEST(Cli, ProtectionAndIommu)
+{
+    auto opt = parse({"--no-protection", "--iommu", "context"});
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_FALSE(opt->config.dmaProtection);
+    EXPECT_EQ(opt->config.iommuMode, mem::Iommu::Mode::kPerContext);
+    EXPECT_EQ(parse({"--iommu", "device"})->config.iommuMode,
+              mem::Iommu::Mode::kPerDevice);
+}
+
+TEST(Cli, RunControl)
+{
+    auto opt = parse({"--warmup", "50", "--seconds", "2", "--json"});
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_EQ(opt->warmup, sim::milliseconds(50));
+    EXPECT_EQ(opt->measure, sim::seconds(2));
+    EXPECT_TRUE(opt->json);
+}
+
+TEST(Cli, HelpShortCircuits)
+{
+    auto opt = parse({"--help"});
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_TRUE(opt->help);
+    EXPECT_FALSE(cliUsage().empty());
+}
+
+TEST(Cli, ErrorsAreReported)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--guests"}, &err).has_value());
+    EXPECT_FALSE(parse({"--guests", "zero"}, &err).has_value());
+    EXPECT_FALSE(parse({"--guests", "0"}, &err).has_value());
+    EXPECT_FALSE(parse({"--seconds", "-1"}, &err).has_value());
+    EXPECT_FALSE(parse({"--direction", "sideways"}, &err).has_value());
+    EXPECT_FALSE(parse({"--nonsense"}, &err).has_value());
+    EXPECT_NE(err.find("--nonsense"), std::string::npos);
+}
+
+TEST(Cli, JsonContainsAllKeys)
+{
+    Report r;
+    r.label = "test/tx";
+    r.mbps = 1867.5;
+    r.idlePct = 50.8;
+    r.perGuestMbps = {933.7, 933.8};
+    r.protectionFaults = 2;
+    std::string json = reportToJson(r);
+    for (const char *key :
+         {"\"label\"", "\"mbps\"", "\"hyp_pct\"", "\"idle_pct\"",
+          "\"guest_intr_per_sec\"", "\"latency_p99_us\"", "\"fairness\"",
+          "\"protection_faults\"", "\"dma_violations\"",
+          "\"per_guest_mbps\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    EXPECT_NE(json.find("test/tx"), std::string::npos);
+    EXPECT_NE(json.find("1867.5"), std::string::npos);
+    EXPECT_NE(json.find("933.70, 933.80"), std::string::npos);
+}

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the CPU model: task execution, accounting buckets,
+ * hypervisor priority, domain switching, boost, contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/sim_cpu.hh"
+#include "sim/sim_object.hh"
+
+using namespace cdna;
+using namespace cdna::cpu;
+
+namespace {
+
+CpuParams
+plainParams()
+{
+    CpuParams p;
+    p.domainSwitchCost = 0;
+    p.cacheColdSurcharge = 0;
+    p.cacheContentionAlpha = 0.0;
+    return p;
+}
+
+struct CpuFixture : ::testing::Test
+{
+    sim::SimContext ctx;
+};
+
+} // namespace
+
+TEST_F(CpuFixture, TaskChargesBucket)
+{
+    SimCpu cpu(ctx, "cpu", plainParams());
+    Vcpu &v = cpu.createVcpu(1, "v1");
+    bool done = false;
+    v.post(Bucket::kOs, sim::microseconds(5), [&] { done = true; });
+    ctx.events().run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(cpu.profile().domainTime(1, Bucket::kOs),
+              sim::microseconds(5));
+    EXPECT_EQ(cpu.profile().domainTime(1, Bucket::kUser), 0);
+}
+
+TEST_F(CpuFixture, UserAndOsSeparate)
+{
+    SimCpu cpu(ctx, "cpu", plainParams());
+    Vcpu &v = cpu.createVcpu(1, "v1");
+    v.post(Bucket::kUser, sim::microseconds(2));
+    v.post(Bucket::kOs, sim::microseconds(3));
+    ctx.events().run();
+    EXPECT_EQ(cpu.profile().domainTime(1, Bucket::kUser),
+              sim::microseconds(2));
+    EXPECT_EQ(cpu.profile().domainTime(1, Bucket::kOs),
+              sim::microseconds(3));
+}
+
+TEST_F(CpuFixture, IdleAccountedBetweenWork)
+{
+    SimCpu cpu(ctx, "cpu", plainParams());
+    Vcpu &v = cpu.createVcpu(1, "v1");
+    ctx.events().schedule(sim::microseconds(10), [&] {
+        v.post(Bucket::kOs, sim::microseconds(5));
+    });
+    ctx.events().run();
+    cpu.syncIdle();
+    EXPECT_EQ(cpu.profile().idle(), sim::microseconds(10));
+    EXPECT_EQ(cpu.profile().total(), sim::microseconds(15));
+}
+
+TEST_F(CpuFixture, HypervisorPreemptsDomains)
+{
+    SimCpu cpu(ctx, "cpu", plainParams());
+    Vcpu &v = cpu.createVcpu(1, "v1");
+    std::vector<int> order;
+    // Queue two domain tasks, then hv work while the first runs.
+    v.post(Bucket::kOs, sim::microseconds(1), [&] { order.push_back(1); });
+    v.post(Bucket::kOs, sim::microseconds(1), [&] { order.push_back(2); });
+    cpu.runHypervisor(sim::microseconds(1), [&] { order.push_back(0); });
+    ctx.events().run();
+    // Hypervisor runs before any queued domain task.
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(cpu.profile().hypervisor(), sim::microseconds(1));
+}
+
+TEST_F(CpuFixture, DomainSwitchCostCharged)
+{
+    CpuParams params = plainParams();
+    params.domainSwitchCost = sim::microseconds(2);
+    SimCpu cpu(ctx, "cpu", params);
+    Vcpu &a = cpu.createVcpu(1, "a");
+    Vcpu &b = cpu.createVcpu(2, "b");
+    a.post(Bucket::kOs, sim::microseconds(1));
+    b.post(Bucket::kOs, sim::microseconds(1));
+    ctx.events().run();
+    // Two switches (idle->a, a->b), each 2us of hypervisor time.
+    EXPECT_EQ(cpu.domainSwitches(), 2u);
+    EXPECT_EQ(cpu.profile().hypervisor(), sim::microseconds(4));
+}
+
+TEST_F(CpuFixture, SameDomainRewakeIsFree)
+{
+    CpuParams params = plainParams();
+    params.domainSwitchCost = sim::microseconds(2);
+    SimCpu cpu(ctx, "cpu", params);
+    Vcpu &a = cpu.createVcpu(1, "a");
+    a.post(Bucket::kOs, sim::microseconds(1));
+    ctx.events().schedule(sim::microseconds(50), [&] {
+        a.post(Bucket::kOs, sim::microseconds(1));
+    });
+    ctx.events().run();
+    // Only the initial idle->a transition pays the switch.
+    EXPECT_EQ(cpu.domainSwitches(), 1u);
+}
+
+TEST_F(CpuFixture, ColdCacheSurchargeOnFirstTask)
+{
+    CpuParams params = plainParams();
+    params.cacheColdSurcharge = sim::microseconds(3);
+    SimCpu cpu(ctx, "cpu", params);
+    Vcpu &a = cpu.createVcpu(1, "a");
+    a.post(Bucket::kOs, sim::microseconds(1));
+    a.post(Bucket::kOs, sim::microseconds(1));
+    ctx.events().run();
+    // First task pays 1+3, second only 1.
+    EXPECT_EQ(cpu.profile().domainTime(1, Bucket::kOs),
+              sim::microseconds(5));
+}
+
+TEST_F(CpuFixture, BoostedWakePreemptsAtTaskBoundary)
+{
+    SimCpu cpu(ctx, "cpu", plainParams());
+    Vcpu &busy = cpu.createVcpu(1, "busy");
+    Vcpu &irq = cpu.createVcpu(2, "irq");
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        busy.post(Bucket::kUser, sim::microseconds(10),
+                  [&, i] { order.push_back(i); });
+    // Arrives while task 0 runs; must run before tasks 1-3.
+    ctx.events().schedule(sim::microseconds(5), [&] {
+        irq.postIrq(Bucket::kOs, sim::microseconds(1),
+                    [&] { order.push_back(100); });
+    });
+    ctx.events().run();
+    ASSERT_EQ(order.size(), 5u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 100);
+}
+
+TEST_F(CpuFixture, IrqTasksRunBeforeNormalTasksInVcpu)
+{
+    SimCpu cpu(ctx, "cpu", plainParams());
+    Vcpu &v = cpu.createVcpu(1, "v");
+    std::vector<int> order;
+    v.post(Bucket::kUser, sim::microseconds(1), [&] {
+        // While this runs, both a normal and an irq task are queued.
+        v.post(Bucket::kUser, 0, [&] { order.push_back(1); });
+        v.postIrq(Bucket::kOs, 0, [&] { order.push_back(2); });
+    });
+    ctx.events().run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2); // irq context first
+}
+
+TEST_F(CpuFixture, SliceRotationBetweenBusyVcpus)
+{
+    CpuParams params = plainParams();
+    params.slice = sim::microseconds(20);
+    SimCpu cpu(ctx, "cpu", params);
+    Vcpu &a = cpu.createVcpu(1, "a");
+    Vcpu &b = cpu.createVcpu(2, "b");
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+        a.post(Bucket::kUser, sim::microseconds(10),
+               [&] { order.push_back(1); });
+        b.post(Bucket::kUser, sim::microseconds(10),
+               [&] { order.push_back(2); });
+    }
+    ctx.events().run();
+    // 'a' cannot run all four tasks before 'b' gets the CPU.
+    ASSERT_EQ(order.size(), 8u);
+    bool b_before_last_a = false;
+    bool seen_b = false;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        if (order[i] == 2)
+            seen_b = true;
+        if (order[i] == 1 && seen_b)
+            b_before_last_a = true;
+    }
+    EXPECT_TRUE(b_before_last_a);
+}
+
+TEST_F(CpuFixture, ResetAccountingStartsFresh)
+{
+    SimCpu cpu(ctx, "cpu", plainParams());
+    Vcpu &v = cpu.createVcpu(1, "v");
+    v.post(Bucket::kOs, sim::microseconds(5));
+    ctx.events().run();
+    cpu.resetAccounting();
+    EXPECT_EQ(cpu.profile().total(), 0);
+    EXPECT_EQ(cpu.elapsed(), 0);
+    v.post(Bucket::kOs, sim::microseconds(2));
+    ctx.events().run();
+    EXPECT_EQ(cpu.profile().domainTime(1, Bucket::kOs),
+              sim::microseconds(2));
+}
+
+TEST_F(CpuFixture, ContentionMultiplierScalesWithActiveGuests)
+{
+    CpuParams params = plainParams();
+    params.cacheContentionAlpha = 1.0;
+    params.contentionWindow = sim::milliseconds(30);
+    SimCpu cpu(ctx, "cpu", params);
+    Vcpu &a = cpu.createVcpu(1, "a");
+    Vcpu &b = cpu.createVcpu(2, "b");
+    a.setContends(true);
+    b.setContends(true);
+
+    // Single active guest: no inflation.
+    a.post(Bucket::kOs, sim::microseconds(10));
+    ctx.events().run();
+    EXPECT_EQ(cpu.profile().domainTime(1, Bucket::kOs),
+              sim::microseconds(10));
+
+    // Two active guests: a's task is dispatched before b posts (n = 1,
+    // no inflation); b's task then runs with both active, costing
+    // 1 + 1*(1 - 1/2) = 1.5x.
+    cpu.resetAccounting();
+    a.post(Bucket::kOs, sim::microseconds(10));
+    b.post(Bucket::kOs, sim::microseconds(10));
+    ctx.events().run();
+    EXPECT_EQ(cpu.profile().domainTime(1, Bucket::kOs),
+              sim::microseconds(10));
+    EXPECT_EQ(cpu.profile().domainTime(2, Bucket::kOs),
+              sim::microseconds(15));
+}
+
+TEST_F(CpuFixture, NonContendingVcpusDoNotInflate)
+{
+    CpuParams params = plainParams();
+    params.cacheContentionAlpha = 1.0;
+    SimCpu cpu(ctx, "cpu", params);
+    Vcpu &guest = cpu.createVcpu(1, "g");
+    Vcpu &driver = cpu.createVcpu(2, "d");
+    guest.setContends(true);
+    driver.setContends(false);
+    guest.post(Bucket::kOs, sim::microseconds(10));
+    driver.post(Bucket::kOs, sim::microseconds(10));
+    ctx.events().run();
+    // n = 1 contending guest, so no inflation anywhere.
+    EXPECT_EQ(cpu.profile().allDomainTime(), sim::microseconds(20));
+}
+
+TEST_F(CpuFixture, ExecProfileAggregates)
+{
+    ExecProfile p;
+    p.chargeDomain(1, Bucket::kOs, 100);
+    p.chargeDomain(1, Bucket::kUser, 50);
+    p.chargeDomain(2, Bucket::kOs, 25);
+    p.chargeHypervisor(10);
+    p.chargeIdle(15);
+    EXPECT_EQ(p.allDomainTime(), 175);
+    EXPECT_EQ(p.total(), 200);
+    EXPECT_EQ(p.domainTime(1, Bucket::kUser), 50);
+    EXPECT_EQ(p.domainTime(3, Bucket::kOs), 0);
+    p.reset();
+    EXPECT_EQ(p.total(), 0);
+}
+
+TEST_F(CpuFixture, TasksRunCountsAndHvItems)
+{
+    SimCpu cpu(ctx, "cpu", plainParams());
+    Vcpu &v = cpu.createVcpu(1, "v");
+    v.post(Bucket::kOs, 1);
+    v.post(Bucket::kOs, 1);
+    cpu.runHypervisor(1);
+    ctx.events().run();
+    EXPECT_EQ(cpu.tasksRun(), 2u);
+    EXPECT_EQ(cpu.hvItemsRun(), 1u);
+}
+
+TEST_F(CpuFixture, ZeroCostTasksComplete)
+{
+    SimCpu cpu(ctx, "cpu", plainParams());
+    Vcpu &v = cpu.createVcpu(1, "v");
+    int count = 0;
+    for (int i = 0; i < 100; ++i)
+        v.post(Bucket::kOs, 0, [&] { ++count; });
+    ctx.events().run();
+    EXPECT_EQ(count, 100);
+}

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the network substrate: packets/framing math, links,
+ * and the ideal traffic peer (including TCP-ACK generation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/eth_link.hh"
+#include "net/packet.hh"
+#include "net/traffic_peer.hh"
+#include "sim/sim_object.hh"
+
+using namespace cdna;
+using namespace cdna::net;
+
+// ----------------------------------------------------------------- mac ----
+
+TEST(MacAddr, FromIdDistinct)
+{
+    EXPECT_EQ(MacAddr::fromId(7), MacAddr::fromId(7));
+    EXPECT_NE(MacAddr::fromId(7), MacAddr::fromId(8));
+    EXPECT_NE(MacAddr::fromId(7).hash(), MacAddr::fromId(8).hash());
+}
+
+TEST(MacAddr, StringForm)
+{
+    std::string s = MacAddr::fromId(0x123456).str();
+    EXPECT_EQ(s, "02:cd:4a:12:34:56");
+}
+
+// -------------------------------------------------------------- packet ----
+
+TEST(Packet, SingleFrameWireMath)
+{
+    Packet p;
+    p.payloadBytes = kMss;
+    EXPECT_EQ(p.wireFrames(), 1u);
+    EXPECT_EQ(p.wireBytes(), kMss + kWireOverhead);
+    // A full frame occupies 1538 bytes of wire.
+    EXPECT_EQ(p.wireBytes(), 1538u);
+}
+
+TEST(Packet, TsoSegmentFrameCount)
+{
+    Packet p;
+    p.payloadBytes = 65536;
+    EXPECT_EQ(p.wireFrames(), (65536 + kMss - 1) / kMss);
+    EXPECT_EQ(p.wireBytes(),
+              65536ull + p.wireFrames() * std::uint64_t(kWireOverhead));
+}
+
+TEST(Packet, PureAckIsOneSmallFrame)
+{
+    Packet p;
+    p.payloadBytes = 0;
+    EXPECT_EQ(p.wireFrames(), 1u);
+    EXPECT_EQ(p.wireBytes(), kWireOverhead);
+}
+
+TEST(Packet, GoodputCeilingMatchesPaperPlateau)
+{
+    // 1 Gb/s x 1460/1538 = 949.3 Mb/s per NIC; two NICs ~1899 Mb/s --
+    // the ceiling under the paper's 1867/1874 Mb/s CDNA results.
+    double per_nic = 1e9 * double(kMss) / double(kMss + kWireOverhead);
+    EXPECT_NEAR(2 * per_nic / 1e6, 1899.0, 1.0);
+}
+
+// ---------------------------------------------------------------- link ----
+
+namespace {
+
+struct Sink : LinkEndpoint
+{
+    std::vector<Packet> got;
+    sim::Time last_at = 0;
+    sim::EventQueue *eq = nullptr;
+
+    void
+    receiveFrame(Packet pkt) override
+    {
+        got.push_back(std::move(pkt));
+        if (eq)
+            last_at = eq->now();
+    }
+};
+
+} // namespace
+
+TEST(EthLink, SerializationAndPropagationTiming)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth", 1.0e9, sim::nanoseconds(500));
+    Sink sink;
+    sink.eq = &ctx.events();
+    link.attach(EthLink::Side::kB, &sink);
+
+    Packet p;
+    p.payloadBytes = kMss;
+    sim::Time serialized = 0;
+    link.send(EthLink::Side::kA, p, 0,
+              [&] { serialized = ctx.now(); });
+    ctx.events().run();
+    // 1538 bytes at 8 ns/byte = 12.304 us.
+    EXPECT_EQ(serialized, sim::nanoseconds(1538 * 8));
+    ASSERT_EQ(sink.got.size(), 1u);
+    EXPECT_EQ(sink.last_at, serialized + sim::nanoseconds(500));
+}
+
+TEST(EthLink, BackToBackFramesQueue)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth", 1.0e9, 0);
+    Sink sink;
+    sink.eq = &ctx.events();
+    link.attach(EthLink::Side::kB, &sink);
+    Packet p;
+    p.payloadBytes = kMss;
+    link.send(EthLink::Side::kA, p);
+    link.send(EthLink::Side::kA, p);
+    ctx.events().run();
+    ASSERT_EQ(sink.got.size(), 2u);
+    EXPECT_EQ(sink.last_at, 2 * sim::nanoseconds(1538 * 8));
+    EXPECT_EQ(link.payloadCarried(EthLink::Side::kA), 2ull * kMss);
+}
+
+TEST(EthLink, ExtraGapDelaysNextFrame)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth", 1.0e9, 0);
+    Sink sink;
+    sink.eq = &ctx.events();
+    link.attach(EthLink::Side::kB, &sink);
+    Packet p;
+    p.payloadBytes = kMss;
+    link.send(EthLink::Side::kA, p, sim::microseconds(5));
+    link.send(EthLink::Side::kA, p);
+    ctx.events().run();
+    EXPECT_EQ(sink.last_at,
+              2 * sim::nanoseconds(1538 * 8) + sim::microseconds(5));
+}
+
+TEST(EthLink, DirectionsIndependent)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth", 1.0e9, 0);
+    Sink a, b;
+    link.attach(EthLink::Side::kA, &a);
+    link.attach(EthLink::Side::kB, &b);
+    Packet p;
+    p.payloadBytes = 100;
+    link.send(EthLink::Side::kA, p);
+    link.send(EthLink::Side::kB, p);
+    ctx.events().run();
+    EXPECT_EQ(a.got.size(), 1u);
+    EXPECT_EQ(b.got.size(), 1u);
+}
+
+TEST(EthLink, HostSgClearedOnWire)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth");
+    Sink sink;
+    link.attach(EthLink::Side::kB, &sink);
+    Packet p;
+    p.payloadBytes = 100;
+    p.hostSg = {{0x1000, 100}};
+    link.send(EthLink::Side::kA, std::move(p));
+    ctx.events().run();
+    ASSERT_EQ(sink.got.size(), 1u);
+    EXPECT_TRUE(sink.got[0].hostSg.empty());
+}
+
+// ---------------------------------------------------------------- peer ----
+
+TEST(TrafficPeer, SourcesRoundRobinAtLineRate)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth");
+    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    Sink sink;
+    link.attach(EthLink::Side::kA, &sink);
+
+    auto m1 = MacAddr::fromId(1);
+    auto m2 = MacAddr::fromId(2);
+    peer.startSource({m1, m2});
+    ctx.events().runUntil(sim::milliseconds(1));
+    peer.stopSource();
+
+    // ~81 full frames fit in 1 ms at 1 Gb/s.
+    EXPECT_NEAR(static_cast<double>(sink.got.size()), 81.0, 2.0);
+    int to1 = 0, to2 = 0;
+    for (const auto &p : sink.got) {
+        to1 += p.dst == m1;
+        to2 += p.dst == m2;
+    }
+    EXPECT_LE(std::abs(to1 - to2), 1);
+}
+
+TEST(TrafficPeer, SinkCountsPayloadBySource)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth");
+    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    Packet p;
+    p.src = MacAddr::fromId(5);
+    p.payloadBytes = 1000;
+    link.send(EthLink::Side::kA, p);
+    link.send(EthLink::Side::kA, p);
+    ctx.events().run();
+    EXPECT_EQ(peer.payloadReceived(), 2000u);
+    EXPECT_EQ(peer.receivedBySrc().at(MacAddr::fromId(5)), 2000u);
+}
+
+TEST(TrafficPeer, AcksEveryNthFrame)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth");
+    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    peer.setAckEvery(2);
+    Sink sink;
+    link.attach(EthLink::Side::kA, &sink);
+
+    Packet p;
+    p.src = MacAddr::fromId(5);
+    p.payloadBytes = kMss;
+    for (int i = 0; i < 10; ++i)
+        link.send(EthLink::Side::kA, p);
+    ctx.events().run();
+    // 10 data frames -> 5 acks back to the sender.
+    ASSERT_EQ(sink.got.size(), 5u);
+    for (const auto &ack : sink.got) {
+        EXPECT_EQ(ack.payloadBytes, 0u);
+        EXPECT_EQ(ack.dst, MacAddr::fromId(5));
+    }
+}
+
+TEST(TrafficPeer, TsoBurstAckedPerWireFrame)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth");
+    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    peer.setAckEvery(2);
+    Sink sink;
+    link.attach(EthLink::Side::kA, &sink);
+
+    Packet p;
+    p.src = MacAddr::fromId(5);
+    p.payloadBytes = 10 * kMss; // 10 wire frames in one burst
+    link.send(EthLink::Side::kA, p);
+    ctx.events().run();
+    EXPECT_EQ(sink.got.size(), 5u);
+}
+
+TEST(TrafficPeer, NeverAcksAnAck)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth");
+    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    peer.setAckEvery(1);
+    Sink sink;
+    link.attach(EthLink::Side::kA, &sink);
+    Packet ack;
+    ack.src = MacAddr::fromId(5);
+    ack.payloadBytes = 0;
+    for (int i = 0; i < 4; ++i)
+        link.send(EthLink::Side::kA, ack);
+    ctx.events().run();
+    EXPECT_TRUE(sink.got.empty());
+}

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: time, event queue, RNG, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+using namespace cdna::sim;
+
+// ---------------------------------------------------------------- time ----
+
+TEST(Time, UnitConversions)
+{
+    EXPECT_EQ(kNanosecond, 1000);
+    EXPECT_EQ(kMicrosecond, 1000 * 1000);
+    EXPECT_EQ(seconds(1.0), kSecond);
+    EXPECT_EQ(milliseconds(2.5), 2500 * kMicrosecond);
+    EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
+    EXPECT_DOUBLE_EQ(toMicroseconds(kMillisecond), 1000.0);
+    EXPECT_DOUBLE_EQ(toNanoseconds(kMicrosecond), 1000.0);
+}
+
+TEST(Time, FractionalConstruction)
+{
+    EXPECT_EQ(nanoseconds(0.5), 500);
+    EXPECT_EQ(microseconds(0.001), kNanosecond);
+}
+
+TEST(Time, FormatPicksSensibleUnit)
+{
+    EXPECT_NE(formatTime(seconds(2.0)).find(" s"), std::string::npos);
+    EXPECT_NE(formatTime(milliseconds(3.0)).find("ms"), std::string::npos);
+    EXPECT_NE(formatTime(microseconds(3.0)).find("us"), std::string::npos);
+    EXPECT_NE(formatTime(nanoseconds(3.0)).find("ns"), std::string::npos);
+    EXPECT_NE(formatTime(1).find("ps"), std::string::npos);
+    EXPECT_EQ(formatTime(-kSecond)[0], '-');
+}
+
+// --------------------------------------------------------- event queue ----
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, EqualTimesFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsDispatch)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id)); // second cancel fails
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockToHorizon)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(100, [&] { ++count; });
+    EXPECT_EQ(eq.runUntil(50), 1u);
+    EXPECT_EQ(eq.now(), 50);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.runUntil(100), 1u);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            eq.schedule(1, chain);
+    };
+    eq.schedule(1, chain);
+    eq.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(eq.now(), 10);
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(5, [] {});
+    eq.schedule(6, [] {});
+    EXPECT_EQ(eq.pendingCount(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pendingCount(), 1u);
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, NextEventTimeSkipsCancelled)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(5, [] {});
+    eq.schedule(9, [] {});
+    eq.cancel(a);
+    EXPECT_EQ(eq.nextEventTime(), 9);
+}
+
+TEST(EventQueue, NextEventTimeEmptyIsMax)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventTime(), std::numeric_limits<Time>::max());
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, DispatchedCountAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.dispatchedCount(), 7u);
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+    EXPECT_EQ(r.below(0), 0u);
+    EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / 20000.0, 5.0, 0.25);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(3);
+    Rng child = a.fork();
+    // The child stream must not mirror the parent stream.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == child.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    EXPECT_DOUBLE_EQ(c.rate(seconds(2.0)), 5.0);
+    EXPECT_DOUBLE_EQ(c.rate(0), 0.0);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, SampleStatsMoments)
+{
+    SampleStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.record(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats, HistogramQuantiles)
+{
+    Histogram h;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        h.record(i);
+    EXPECT_EQ(h.count(), 1000u);
+    // Median of [0,1000) lies in the 512-1023 bucket.
+    EXPECT_GE(h.quantile(0.5), 511u);
+    EXPECT_LE(h.quantile(0.99), 1023u);
+    EXPECT_EQ(h.quantile(0.0), 0u);
+}
+
+TEST(Stats, StatGroupDump)
+{
+    StatGroup g;
+    Counter &c = g.addCounter("events");
+    SampleStats &s = g.addSamples("latency");
+    c.inc(3);
+    s.record(1.5);
+    std::string dump = g.dump("nic.");
+    EXPECT_NE(dump.find("nic.events 3"), std::string::npos);
+    EXPECT_NE(dump.find("nic.latency"), std::string::npos);
+}
+
+// ----------------------------------------------------------- sim object ----
+
+TEST(SimObject, RegistersWithContext)
+{
+    SimContext ctx(5);
+
+    class Widget : public SimObject
+    {
+      public:
+        explicit Widget(SimContext &c) : SimObject(c, "widget") {}
+    };
+
+    Widget w(ctx);
+    ASSERT_EQ(ctx.objects().size(), 1u);
+    EXPECT_EQ(ctx.objects()[0]->name(), "widget");
+    w.stats().addCounter("n").inc(2);
+    EXPECT_NE(ctx.dumpStats().find("widget.n 2"), std::string::npos);
+}
+
+TEST(SimObject, NowTracksEventQueue)
+{
+    SimContext ctx;
+    ctx.events().schedule(100, [] {});
+    ctx.events().run();
+    EXPECT_EQ(ctx.now(), 100);
+}
