@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablate_coalesce.cc" "bench/CMakeFiles/bench_ablate_coalesce.dir/bench_ablate_coalesce.cc.o" "gcc" "bench/CMakeFiles/bench_ablate_coalesce.dir/bench_ablate_coalesce.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cdna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdna_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cdna_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/cdna_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cdna_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/cdna_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cdna_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cdna_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cdna_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

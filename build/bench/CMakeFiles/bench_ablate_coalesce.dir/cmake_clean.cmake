@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_coalesce.dir/bench_ablate_coalesce.cc.o"
+  "CMakeFiles/bench_ablate_coalesce.dir/bench_ablate_coalesce.cc.o.d"
+  "bench_ablate_coalesce"
+  "bench_ablate_coalesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_contexts.dir/bench_ablate_contexts.cc.o"
+  "CMakeFiles/bench_ablate_contexts.dir/bench_ablate_contexts.cc.o.d"
+  "bench_ablate_contexts"
+  "bench_ablate_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

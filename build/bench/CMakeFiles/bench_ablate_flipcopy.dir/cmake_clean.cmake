@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_flipcopy.dir/bench_ablate_flipcopy.cc.o"
+  "CMakeFiles/bench_ablate_flipcopy.dir/bench_ablate_flipcopy.cc.o.d"
+  "bench_ablate_flipcopy"
+  "bench_ablate_flipcopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_flipcopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_iommu.dir/bench_ablate_iommu.cc.o"
+  "CMakeFiles/bench_ablate_iommu.dir/bench_ablate_iommu.cc.o.d"
+  "bench_ablate_iommu"
+  "bench_ablate_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_protection.dir/bench_ablate_protection.cc.o"
+  "CMakeFiles/bench_ablate_protection.dir/bench_ablate_protection.cc.o.d"
+  "bench_ablate_protection"
+  "bench_ablate_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

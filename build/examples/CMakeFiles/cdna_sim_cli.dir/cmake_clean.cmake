@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdna_sim_cli.dir/cdna_sim.cpp.o"
+  "CMakeFiles/cdna_sim_cli.dir/cdna_sim.cpp.o.d"
+  "cdna_sim"
+  "cdna_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdna_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malicious_driver.dir/malicious_driver.cpp.o"
+  "CMakeFiles/malicious_driver.dir/malicious_driver.cpp.o.d"
+  "malicious_driver"
+  "malicious_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malicious_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

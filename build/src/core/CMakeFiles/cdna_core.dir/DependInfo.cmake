@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cdna_driver.cc" "src/core/CMakeFiles/cdna_core.dir/cdna_driver.cc.o" "gcc" "src/core/CMakeFiles/cdna_core.dir/cdna_driver.cc.o.d"
+  "/root/repo/src/core/cdna_nic.cc" "src/core/CMakeFiles/cdna_core.dir/cdna_nic.cc.o" "gcc" "src/core/CMakeFiles/cdna_core.dir/cdna_nic.cc.o.d"
+  "/root/repo/src/core/cli.cc" "src/core/CMakeFiles/cdna_core.dir/cli.cc.o" "gcc" "src/core/CMakeFiles/cdna_core.dir/cli.cc.o.d"
+  "/root/repo/src/core/dma_protection.cc" "src/core/CMakeFiles/cdna_core.dir/dma_protection.cc.o" "gcc" "src/core/CMakeFiles/cdna_core.dir/dma_protection.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/cdna_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/cdna_core.dir/report.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/cdna_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/cdna_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cdna_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cdna_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cdna_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cdna_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/cdna_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/cdna_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cdna_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdna_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdna_core.dir/cdna_driver.cc.o"
+  "CMakeFiles/cdna_core.dir/cdna_driver.cc.o.d"
+  "CMakeFiles/cdna_core.dir/cdna_nic.cc.o"
+  "CMakeFiles/cdna_core.dir/cdna_nic.cc.o.d"
+  "CMakeFiles/cdna_core.dir/cli.cc.o"
+  "CMakeFiles/cdna_core.dir/cli.cc.o.d"
+  "CMakeFiles/cdna_core.dir/dma_protection.cc.o"
+  "CMakeFiles/cdna_core.dir/dma_protection.cc.o.d"
+  "CMakeFiles/cdna_core.dir/report.cc.o"
+  "CMakeFiles/cdna_core.dir/report.cc.o.d"
+  "CMakeFiles/cdna_core.dir/system.cc.o"
+  "CMakeFiles/cdna_core.dir/system.cc.o.d"
+  "libcdna_core.a"
+  "libcdna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdna_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdna_cpu.dir/sim_cpu.cc.o"
+  "CMakeFiles/cdna_cpu.dir/sim_cpu.cc.o.d"
+  "libcdna_cpu.a"
+  "libcdna_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdna_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dma_engine.cc" "src/mem/CMakeFiles/cdna_mem.dir/dma_engine.cc.o" "gcc" "src/mem/CMakeFiles/cdna_mem.dir/dma_engine.cc.o.d"
+  "/root/repo/src/mem/grant_table.cc" "src/mem/CMakeFiles/cdna_mem.dir/grant_table.cc.o" "gcc" "src/mem/CMakeFiles/cdna_mem.dir/grant_table.cc.o.d"
+  "/root/repo/src/mem/iommu.cc" "src/mem/CMakeFiles/cdna_mem.dir/iommu.cc.o" "gcc" "src/mem/CMakeFiles/cdna_mem.dir/iommu.cc.o.d"
+  "/root/repo/src/mem/pci_bus.cc" "src/mem/CMakeFiles/cdna_mem.dir/pci_bus.cc.o" "gcc" "src/mem/CMakeFiles/cdna_mem.dir/pci_bus.cc.o.d"
+  "/root/repo/src/mem/phys_memory.cc" "src/mem/CMakeFiles/cdna_mem.dir/phys_memory.cc.o" "gcc" "src/mem/CMakeFiles/cdna_mem.dir/phys_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cdna_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

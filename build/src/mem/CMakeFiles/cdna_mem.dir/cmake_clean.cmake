@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdna_mem.dir/dma_engine.cc.o"
+  "CMakeFiles/cdna_mem.dir/dma_engine.cc.o.d"
+  "CMakeFiles/cdna_mem.dir/grant_table.cc.o"
+  "CMakeFiles/cdna_mem.dir/grant_table.cc.o.d"
+  "CMakeFiles/cdna_mem.dir/iommu.cc.o"
+  "CMakeFiles/cdna_mem.dir/iommu.cc.o.d"
+  "CMakeFiles/cdna_mem.dir/pci_bus.cc.o"
+  "CMakeFiles/cdna_mem.dir/pci_bus.cc.o.d"
+  "CMakeFiles/cdna_mem.dir/phys_memory.cc.o"
+  "CMakeFiles/cdna_mem.dir/phys_memory.cc.o.d"
+  "libcdna_mem.a"
+  "libcdna_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdna_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

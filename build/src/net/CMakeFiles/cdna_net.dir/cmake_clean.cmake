@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdna_net.dir/eth_link.cc.o"
+  "CMakeFiles/cdna_net.dir/eth_link.cc.o.d"
+  "CMakeFiles/cdna_net.dir/packet.cc.o"
+  "CMakeFiles/cdna_net.dir/packet.cc.o.d"
+  "CMakeFiles/cdna_net.dir/traffic_peer.cc.o"
+  "CMakeFiles/cdna_net.dir/traffic_peer.cc.o.d"
+  "libcdna_net.a"
+  "libcdna_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdna_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/desc_ring.cc" "src/nic/CMakeFiles/cdna_nic.dir/desc_ring.cc.o" "gcc" "src/nic/CMakeFiles/cdna_nic.dir/desc_ring.cc.o.d"
+  "/root/repo/src/nic/firmware.cc" "src/nic/CMakeFiles/cdna_nic.dir/firmware.cc.o" "gcc" "src/nic/CMakeFiles/cdna_nic.dir/firmware.cc.o.d"
+  "/root/repo/src/nic/intel_nic.cc" "src/nic/CMakeFiles/cdna_nic.dir/intel_nic.cc.o" "gcc" "src/nic/CMakeFiles/cdna_nic.dir/intel_nic.cc.o.d"
+  "/root/repo/src/nic/nic_base.cc" "src/nic/CMakeFiles/cdna_nic.dir/nic_base.cc.o" "gcc" "src/nic/CMakeFiles/cdna_nic.dir/nic_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cdna_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cdna_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cdna_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdna_nic.dir/desc_ring.cc.o"
+  "CMakeFiles/cdna_nic.dir/desc_ring.cc.o.d"
+  "CMakeFiles/cdna_nic.dir/firmware.cc.o"
+  "CMakeFiles/cdna_nic.dir/firmware.cc.o.d"
+  "CMakeFiles/cdna_nic.dir/intel_nic.cc.o"
+  "CMakeFiles/cdna_nic.dir/intel_nic.cc.o.d"
+  "CMakeFiles/cdna_nic.dir/nic_base.cc.o"
+  "CMakeFiles/cdna_nic.dir/nic_base.cc.o.d"
+  "libcdna_nic.a"
+  "libcdna_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdna_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

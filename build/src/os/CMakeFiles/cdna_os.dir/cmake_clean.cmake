@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdna_os.dir/native_driver.cc.o"
+  "CMakeFiles/cdna_os.dir/native_driver.cc.o.d"
+  "CMakeFiles/cdna_os.dir/net_stack.cc.o"
+  "CMakeFiles/cdna_os.dir/net_stack.cc.o.d"
+  "CMakeFiles/cdna_os.dir/xen_net.cc.o"
+  "CMakeFiles/cdna_os.dir/xen_net.cc.o.d"
+  "libcdna_os.a"
+  "libcdna_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdna_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

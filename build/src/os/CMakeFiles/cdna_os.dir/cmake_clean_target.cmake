@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdna_os.a"
+)

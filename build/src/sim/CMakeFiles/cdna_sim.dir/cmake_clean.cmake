@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdna_sim.dir/assert.cc.o"
+  "CMakeFiles/cdna_sim.dir/assert.cc.o.d"
+  "CMakeFiles/cdna_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cdna_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cdna_sim.dir/logger.cc.o"
+  "CMakeFiles/cdna_sim.dir/logger.cc.o.d"
+  "CMakeFiles/cdna_sim.dir/rng.cc.o"
+  "CMakeFiles/cdna_sim.dir/rng.cc.o.d"
+  "CMakeFiles/cdna_sim.dir/sim_object.cc.o"
+  "CMakeFiles/cdna_sim.dir/sim_object.cc.o.d"
+  "CMakeFiles/cdna_sim.dir/stats.cc.o"
+  "CMakeFiles/cdna_sim.dir/stats.cc.o.d"
+  "CMakeFiles/cdna_sim.dir/time.cc.o"
+  "CMakeFiles/cdna_sim.dir/time.cc.o.d"
+  "libcdna_sim.a"
+  "libcdna_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdna_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdna_vmm.dir/hypervisor.cc.o"
+  "CMakeFiles/cdna_vmm.dir/hypervisor.cc.o.d"
+  "libcdna_vmm.a"
+  "libcdna_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdna_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

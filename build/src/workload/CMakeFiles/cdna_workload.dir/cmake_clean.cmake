@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdna_workload.dir/traffic_app.cc.o"
+  "CMakeFiles/cdna_workload.dir/traffic_app.cc.o.d"
+  "libcdna_workload.a"
+  "libcdna_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdna_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack_test.cc" "tests/CMakeFiles/cdna_tests.dir/attack_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/attack_test.cc.o.d"
+  "/root/repo/tests/cdna_driver_test.cc" "tests/CMakeFiles/cdna_tests.dir/cdna_driver_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/cdna_driver_test.cc.o.d"
+  "/root/repo/tests/cdna_nic_test.cc" "tests/CMakeFiles/cdna_tests.dir/cdna_nic_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/cdna_nic_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/cdna_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/cpu_test.cc" "tests/CMakeFiles/cdna_tests.dir/cpu_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/cpu_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/cdna_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/latency_test.cc" "tests/CMakeFiles/cdna_tests.dir/latency_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/latency_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/cdna_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/cdna_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/cdna_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/nic_test.cc" "tests/CMakeFiles/cdna_tests.dir/nic_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/nic_test.cc.o.d"
+  "/root/repo/tests/protection_test.cc" "tests/CMakeFiles/cdna_tests.dir/protection_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/protection_test.cc.o.d"
+  "/root/repo/tests/revocation_test.cc" "tests/CMakeFiles/cdna_tests.dir/revocation_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/revocation_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/cdna_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/stack_test.cc" "tests/CMakeFiles/cdna_tests.dir/stack_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/stack_test.cc.o.d"
+  "/root/repo/tests/system_test.cc" "tests/CMakeFiles/cdna_tests.dir/system_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/system_test.cc.o.d"
+  "/root/repo/tests/vmm_test.cc" "tests/CMakeFiles/cdna_tests.dir/vmm_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/vmm_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/cdna_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/cdna_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cdna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cdna_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cdna_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/cdna_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cdna_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/cdna_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cdna_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cdna_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cdna_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
