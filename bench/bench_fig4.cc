@@ -14,15 +14,18 @@ using namespace cdna;
 using namespace cdna::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    core::CliOptions obs = parseObsArgs(argc, argv);
     std::printf("=== Figure 4: receive throughput vs guest count ===\n");
     std::printf("%6s %10s %10s %10s %10s\n", "guests", "xen Mb/s",
                 "cdna Mb/s", "cdna idle%", "cdna/xen");
     double xen24 = 0, cdna24 = 0;
     for (std::uint32_t g : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
         auto xen = runConfig(core::makeXenIntelConfig(g, false));
-        auto cdna = runConfig(core::makeCdnaConfig(g, false));
+        // Observe the smallest CDNA run (see bench_fig3).
+        auto cdna = g == 1 ? runObserved(core::makeCdnaConfig(g, false), obs)
+                           : runConfig(core::makeCdnaConfig(g, false));
         std::printf("%6u %10.0f %10.0f %10.1f %10.2f\n", g, xen.mbps,
                     cdna.mbps, cdna.idlePct, cdna.mbps / xen.mbps);
         std::fflush(stdout);

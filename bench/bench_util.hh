@@ -11,8 +11,11 @@
 #define CDNA_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "core/cli.hh"
 #include "core/system.hh"
 
 namespace cdna::bench {
@@ -27,6 +30,46 @@ runConfig(core::SystemConfig cfg, sim::Time warmup = kWarmup,
 {
     core::System sys(std::move(cfg));
     return sys.run(warmup, measure);
+}
+
+/**
+ * Parse a bench binary's argv.  Benches accept the observability flags
+ * (--trace, --trace-filter, --stats-json, --sample-period; both
+ * "--opt value" and "--opt=value" forms) and ignore the configuration
+ * flags, since each bench hard-codes its own sweep.  Exits on error.
+ */
+inline core::CliOptions
+parseObsArgs(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string error;
+    auto opt = core::parseCli(args, &error);
+    if (!opt) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        std::exit(1);
+    }
+    if (opt->help) {
+        std::printf("%s", core::cliUsage().c_str());
+        std::exit(0);
+    }
+    return *opt;
+}
+
+/**
+ * Run one configuration with observability applied, writing the trace /
+ * stats files named in @p obs (a later observed run overwrites them).
+ */
+inline core::Report
+runObserved(core::SystemConfig cfg, const core::CliOptions &obs,
+            sim::Time warmup = kWarmup, sim::Time measure = kMeasure)
+{
+    core::System sys(std::move(cfg));
+    core::applyObservability(sys, obs);
+    core::Report r = sys.run(warmup, measure);
+    std::string error;
+    if (!core::flushObservability(sys, obs, &error))
+        std::fprintf(stderr, "warning: %s\n", error.c_str());
+    return r;
 }
 
 /** Print one paper-style profile row with a paper-reference column. */

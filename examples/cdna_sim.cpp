@@ -35,7 +35,12 @@ main(int argc, char **argv)
     }
 
     core::System sys(opt->config);
+    core::applyObservability(sys, *opt);
     core::Report r = sys.run(opt->warmup, opt->measure);
+    if (!core::flushObservability(sys, *opt, &error)) {
+        std::fprintf(stderr, "cdna_sim: %s\n", error.c_str());
+        return 1;
+    }
 
     if (opt->json) {
         std::printf("%s", core::reportToJson(r).c_str());

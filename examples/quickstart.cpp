@@ -9,17 +9,32 @@
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * Pass --trace=FILE / --stats-json=FILE to record a Chrome trace and a
+ * metrics dump of the CDNA transmit run (open the trace in
+ * chrome://tracing or https://ui.perfetto.dev).
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "core/cli.hh"
 #include "core/system.hh"
 
 using namespace cdna;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string error;
+    auto obs = core::parseCli(args, &error);
+    if (!obs) {
+        std::fprintf(stderr, "quickstart: %s\n", error.c_str());
+        return 1;
+    }
+
     std::printf("CDNA quickstart: 1 guest, 2 Gigabit NICs\n\n");
     std::printf("%s\n", core::Report::header().c_str());
 
@@ -30,9 +45,15 @@ main()
             core::makeCdnaConfig(1, transmit),
         };
         for (auto &cfg : configs) {
+            bool observe = transmit && cfg.mode == core::IoMode::kCdna;
             core::System sys(cfg);
+            if (observe)
+                core::applyObservability(sys, *obs);
             core::Report r = sys.run(sim::milliseconds(50),
                                      sim::milliseconds(400));
+            if (observe &&
+                !core::flushObservability(sys, *obs, &error))
+                std::fprintf(stderr, "warning: %s\n", error.c_str());
             std::printf("%s\n", r.row().c_str());
         }
         std::printf("\n");

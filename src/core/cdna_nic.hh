@@ -166,6 +166,9 @@ class CdnaNic : public nic::NicBase
         return fw_.utilization(elapsed);
     }
 
+    /** Cumulative firmware busy time (observability gauges take deltas). */
+    sim::Time firmwareBusyTime() const { return fw_.busyTime(); }
+
     // ---- LinkEndpoint -----------------------------------------------------
     void receiveFrame(net::Packet pkt) override;
 

@@ -28,7 +28,15 @@ cliUsage()
         "  --seconds S         measurement window (default 0.5)\n"
         "  --seed N            simulation seed (default 1)\n"
         "  --json              emit the report as JSON\n"
-        "  --help              this text\n";
+        "  --help              this text\n"
+        "\n"
+        "observability (flags also accept --opt=value):\n"
+        "  --trace FILE        write a Chrome trace-event JSON file\n"
+        "  --trace-filter S    only trace lanes whose name contains one\n"
+        "                      of the comma-separated substrings\n"
+        "  --stats-json FILE   dump every component's stats as JSON\n"
+        "  --sample-period US  sample gauges every US microseconds of\n"
+        "                      simulated time (0 = off; default 0)\n";
 }
 
 namespace {
@@ -78,13 +86,28 @@ parseCli(const std::vector<std::string> &args, std::string *error)
     std::uint32_t warmup_ms = 100;
     double seconds = 0.5;
     std::uint32_t seed = 1;
+    double sample_us = 0.0;
 
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        const std::string &a = args[i];
+    // Accept both "--opt value" and "--opt=value".
+    std::vector<std::string> argv;
+    argv.reserve(args.size());
+    for (const std::string &a : args) {
+        std::size_t eq;
+        if (a.size() > 2 && a.compare(0, 2, "--") == 0 &&
+            (eq = a.find('=')) != std::string::npos) {
+            argv.push_back(a.substr(0, eq));
+            argv.push_back(a.substr(eq + 1));
+        } else {
+            argv.push_back(a);
+        }
+    }
+
+    for (std::size_t i = 0; i < argv.size(); ++i) {
+        const std::string &a = argv[i];
         auto next = [&](std::string *out) {
-            if (i + 1 >= args.size())
+            if (i + 1 >= argv.size())
                 return false;
-            *out = args[++i];
+            *out = argv[++i];
             return true;
         };
         std::string v;
@@ -126,6 +149,18 @@ parseCli(const std::vector<std::string> &args, std::string *error)
         } else if (a == "--seed") {
             if (!next(&v) || !parseU32(v, &seed))
                 return fail("--seed needs an integer");
+        } else if (a == "--trace") {
+            if (!next(&opt.traceFile) || opt.traceFile.empty())
+                return fail("--trace needs a file name");
+        } else if (a == "--trace-filter") {
+            if (!next(&opt.traceFilter))
+                return fail("--trace-filter needs a value");
+        } else if (a == "--stats-json") {
+            if (!next(&opt.statsJsonFile) || opt.statsJsonFile.empty())
+                return fail("--stats-json needs a file name");
+        } else if (a == "--sample-period") {
+            if (!next(&v) || !parseF(v, &sample_us) || sample_us < 0)
+                return fail("--sample-period needs microseconds >= 0");
         } else {
             return fail("unknown option: " + a);
         }
@@ -171,7 +206,44 @@ parseCli(const std::vector<std::string> &args, std::string *error)
     opt.config = std::move(cfg);
     opt.warmup = sim::milliseconds(static_cast<double>(warmup_ms));
     opt.measure = sim::seconds(seconds);
+    opt.samplePeriod = sim::microseconds(sample_us);
     return opt;
+}
+
+void
+applyObservability(System &sys, const CliOptions &opt)
+{
+    if (!opt.traceFile.empty()) {
+        sys.ctx().tracer().enable();
+        if (!opt.traceFilter.empty())
+            sys.ctx().tracer().setFilter(opt.traceFilter);
+    }
+    // Sampling is useful on its own (the series land in --stats-json),
+    // so it is keyed off the period, not the trace flag.
+    if (opt.samplePeriod > 0)
+        sys.metrics().startSampling(opt.samplePeriod);
+    else if (!opt.statsJsonFile.empty())
+        // A stats dump with no explicit period still gets a coarse
+        // time-series: one sample per simulated millisecond.
+        sys.metrics().startSampling(sim::milliseconds(1.0));
+}
+
+bool
+flushObservability(System &sys, const CliOptions &opt, std::string *error)
+{
+    if (!opt.traceFile.empty() &&
+        !sys.ctx().tracer().writeChromeJson(opt.traceFile)) {
+        if (error)
+            *error = "cannot write trace file: " + opt.traceFile;
+        return false;
+    }
+    if (!opt.statsJsonFile.empty() &&
+        !sys.metrics().writeJson(opt.statsJsonFile)) {
+        if (error)
+            *error = "cannot write stats file: " + opt.statsJsonFile;
+        return false;
+    }
+    return true;
 }
 
 std::string

@@ -27,6 +27,12 @@ struct CliOptions
     sim::Time measure = sim::milliseconds(500);
     bool json = false;
     bool help = false;
+
+    // Observability (see docs: "Observability" in README.md).
+    std::string traceFile;     //!< --trace FILE: Chrome trace JSON output
+    std::string traceFilter;   //!< --trace-filter SUBSTR[,SUBSTR...]
+    std::string statsJsonFile; //!< --stats-json FILE: metrics dump
+    sim::Time samplePeriod = 0; //!< --sample-period US (0 = no sampling)
 };
 
 /** Usage text for the CLI. */
@@ -43,6 +49,19 @@ std::optional<CliOptions> parseCli(const std::vector<std::string> &args,
 
 /** Render a report as a JSON object (stable key order). */
 std::string reportToJson(const Report &r);
+
+/**
+ * Enable tracing / gauge sampling on @p sys per the parsed options.
+ * Call once after constructing the System, before run().
+ */
+void applyObservability(System &sys, const CliOptions &opt);
+
+/**
+ * Write the trace and stats JSON files requested by @p opt.
+ * Call after run().  @return false (with *error set) on I/O failure.
+ */
+bool flushObservability(System &sys, const CliOptions &opt,
+                        std::string *error);
 
 } // namespace cdna::core
 

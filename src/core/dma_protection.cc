@@ -176,6 +176,8 @@ DmaProtection::enqueue(Handle h, std::vector<Request> reqs,
         static_cast<sim::Time>(reqs.size()) * costs_.protEnqueuePerDesc +
         static_cast<sim::Time>(to_unpin) * costs_.protUnpinPerPage;
 
+    CDNA_TRACE_SPAN_ARG(ctx().tracer(), traceLane(), "enqueue", now(),
+                        cost, "descriptors", reqs.size());
     hv_.hypercall(cost,
                   [this, h, reqs = std::move(reqs),
                    done = std::move(done)]() mutable {

@@ -23,6 +23,7 @@ System::System(SystemConfig cfg) : cfg_(std::move(cfg)), ctx_(cfg_.seed)
         break;
     }
     startTimers();
+    registerGauges();
 }
 
 System::~System() = default;
@@ -77,6 +78,102 @@ System::buildCommon()
             cxtChannels_.emplace_back(nic::kMaxContexts, nullptr);
         }
     }
+}
+
+void
+System::registerGauges()
+{
+    // Utilization gauges report the busy fraction since the previous
+    // sample as a percentage; each lambda keeps the prior cumulative
+    // value.  All callbacks are read-only with respect to simulated
+    // state, so sampling cannot perturb results.
+    auto util_pct = [](sim::Time busy_delta, sim::Time dt) {
+        if (dt <= 0)
+            return 0.0;
+        double pct = 100.0 * static_cast<double>(busy_delta) /
+                     static_cast<double>(dt);
+        return pct < 0.0 ? 0.0 : pct;
+    };
+
+    for (const auto &dom : hv_->domains()) {
+        const vmm::Domain *d = dom.get();
+        metrics_.addGauge(
+            "cpu." + d->name() + ".util_pct",
+            [this, d, util_pct, prev = sim::Time{0},
+             prevAt = sim::Time{0}]() mutable {
+                const auto &prof = cpu_->profile();
+                sim::Time busy =
+                    prof.domainTime(d->id(), cpu::Bucket::kOs) +
+                    prof.domainTime(d->id(), cpu::Bucket::kUser);
+                sim::Time at = ctx_.events().now();
+                double pct = util_pct(busy - prev, at - prevAt);
+                // resetAccounting() can move cumulative time backwards;
+                // restart the delta from the post-reset value.
+                if (busy < prev)
+                    pct = 0.0;
+                prev = busy;
+                prevAt = at;
+                return pct;
+            });
+    }
+    metrics_.addGauge(
+        "cpu.hypervisor_pct",
+        [this, util_pct, prev = sim::Time{0},
+         prevAt = sim::Time{0}]() mutable {
+            sim::Time busy = cpu_->profile().hypervisor();
+            sim::Time at = ctx_.events().now();
+            double pct = busy < prev ? 0.0
+                                     : util_pct(busy - prev, at - prevAt);
+            prev = busy;
+            prevAt = at;
+            return pct;
+        });
+    metrics_.addGauge(
+        "cpu.idle_pct",
+        [this, util_pct, prev = sim::Time{0},
+         prevAt = sim::Time{0}]() mutable {
+            cpu_->syncIdle(); // flush the in-progress idle span
+            sim::Time busy = cpu_->profile().idle();
+            sim::Time at = ctx_.events().now();
+            double pct = busy < prev ? 0.0
+                                     : util_pct(busy - prev, at - prevAt);
+            prev = busy;
+            prevAt = at;
+            return pct;
+        });
+
+    for (const auto &nicp : cdnaNics_) {
+        CdnaNic *nic = nicp.get();
+        metrics_.addGauge(
+            "nic." + nic->name() + ".fw_util_pct",
+            [nic, this, util_pct, prev = sim::Time{0},
+             prevAt = sim::Time{0}]() mutable {
+                sim::Time busy = nic->firmwareBusyTime();
+                sim::Time at = ctx_.events().now();
+                double pct = util_pct(busy - prev, at - prevAt);
+                prev = busy;
+                prevAt = at;
+                return pct;
+            });
+        metrics_.addGauge(
+            "nic." + nic->name() + ".intr_ring_occupancy", [nic] {
+                const InterruptRing *ring = nic->interruptRing();
+                if (!ring)
+                    return 0.0;
+                return static_cast<double>(ring->producer() -
+                                           ring->consumer());
+            });
+    }
+    if (prot_) {
+        DmaProtection *prot = prot_.get();
+        metrics_.addGauge("protection.pinned_pages", [prot] {
+            return static_cast<double>(prot->pagesPinned() -
+                                       prot->pagesUnpinned());
+        });
+    }
+    metrics_.addGauge("sim.pending_events", [this] {
+        return static_cast<double>(ctx_.events().pendingCount());
+    });
 }
 
 void
@@ -273,7 +370,10 @@ System::startTimers()
     sim::Time cost = cfg_.costs.timerTickCost;
     for (const auto &dom : hv_->domains()) {
         vmm::Domain *d = dom.get();
-        auto tick = std::make_shared<std::function<void()>>();
+        // The System owns the tick callback; the lambda captures a raw
+        // pointer to reschedule itself without a shared_ptr cycle.
+        timerTicks_.push_back(std::make_unique<std::function<void()>>());
+        std::function<void()> *tick = timerTicks_.back().get();
         *tick = [this, d, period, cost, tick] {
             d->vcpu().post(cpu::Bucket::kOs, cost);
             ctx_.events().schedule(period, *tick);

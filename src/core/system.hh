@@ -39,6 +39,7 @@
 #include "core/report.hh"
 #include "mem/grant_table.hh"
 #include "mem/iommu.hh"
+#include "sim/metrics_registry.hh"
 #include "net/traffic_peer.hh"
 #include "nic/intel_nic.hh"
 #include "os/native_driver.hh"
@@ -97,6 +98,8 @@ class System
 
     // --- component access (tests, examples, ablations) -------------------
     sim::SimContext &ctx() { return ctx_; }
+    /** Federated stats + gauge sampling (see sim/metrics_registry.hh). */
+    sim::MetricsRegistry &metrics() { return metrics_; }
     cpu::SimCpu &cpu() { return *cpu_; }
     vmm::Hypervisor &hv() { return *hv_; }
     mem::PhysMemory &mem() { return *mem_; }
@@ -146,6 +149,7 @@ class System
     };
 
     void buildCommon();
+    void registerGauges();
     void buildNative();
     void buildXen();
     void buildCdna();
@@ -158,6 +162,7 @@ class System
 
     SystemConfig cfg_;
     sim::SimContext ctx_;
+    sim::MetricsRegistry metrics_{ctx_};
     std::unique_ptr<mem::PhysMemory> mem_;
     std::unique_ptr<cpu::SimCpu> cpu_;
     std::unique_ptr<vmm::Hypervisor> hv_;
@@ -186,6 +191,9 @@ class System
     std::vector<os::NetDevice *> guestDevs_;
     std::vector<std::unique_ptr<os::NetStack>> stacks_;
     std::vector<std::unique_ptr<workload::TrafficApp>> apps_;
+
+    // Self-rescheduling per-domain timer callbacks (see startTimers()).
+    std::vector<std::unique_ptr<std::function<void()>>> timerTicks_;
 
     bool started_ = false;
 };

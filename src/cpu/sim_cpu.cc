@@ -29,6 +29,8 @@ Vcpu::postIrq(Bucket bucket, sim::Time cost, std::function<void()> done)
 SimCpu::SimCpu(sim::SimContext &ctx, std::string name, CpuParams params)
     : sim::SimObject(ctx, std::move(name)),
       params_(params),
+      // Hypervisor execution spans share the hypervisor component's lane.
+      hvLane_(ctx.tracer().lane("hypervisor")),
       nSwitches_(stats().addCounter("domain_switches")),
       nTasks_(stats().addCounter("tasks")),
       nHvItems_(stats().addCounter("hv_items"))
@@ -41,6 +43,7 @@ SimCpu::createVcpu(mem::DomainId dom, std::string name, int weight)
 {
     vcpus_.push_back(std::make_unique<Vcpu>(*this, dom, std::move(name),
                                             weight));
+    vcpus_.back()->traceLane_ = ctx().tracer().lane(vcpus_.back()->name());
     return *vcpus_.back();
 }
 
@@ -220,6 +223,7 @@ SimCpu::dispatch()
         hvQ_.pop_front();
         beginBusy();
         nHvItems_.inc();
+        CDNA_TRACE_SPAN(ctx().tracer(), hvLane_, "hv", now(), item.cost);
         events().schedule(item.cost, [this, item = std::move(item)] {
             profile_.chargeHypervisor(item.cost);
             busy_ = false;
@@ -250,6 +254,8 @@ SimCpu::dispatch()
         lastRan_ = v;
         current_ = v;
         beginBusy();
+        CDNA_TRACE_SPAN(ctx().tracer(), hvLane_, "domain_switch", now(),
+                        params_.domainSwitchCost);
         events().schedule(params_.domainSwitchCost, [this] {
             profile_.chargeHypervisor(params_.domainSwitchCost);
             busy_ = false;
@@ -276,6 +282,9 @@ SimCpu::dispatch()
     v->sliceUsed_ += cost;
     beginBusy();
     nTasks_.inc();
+    CDNA_TRACE_SPAN(ctx().tracer(), v->traceLane_,
+                    task.bucket == Bucket::kOs ? "os" : "user", now(),
+                    cost);
     events().schedule(cost, [this, v, cost,
                              task = std::move(task)]() mutable {
         profile_.chargeDomain(v->dom_, task.bucket, cost);

@@ -117,6 +117,7 @@ class Vcpu
     mem::DomainId dom_;
     std::string name_;
     int weight_;
+    sim::Tracer::LaneId traceLane_ = 0;
     bool contends_ = false;
     sim::Time lastRan_ = std::numeric_limits<sim::Time>::min() / 2;
     State state_ = State::kBlocked;
@@ -199,6 +200,7 @@ class SimCpu : public sim::SimObject
     sim::Time accountingStart_ = 0;
     bool surchargePending_ = false;
     std::uint32_t boostStreak_ = 0;
+    sim::Tracer::LaneId hvLane_;
 
     sim::Counter &nSwitches_;
     sim::Counter &nTasks_;

@@ -38,6 +38,8 @@ PciBus::transfer(std::uint64_t bytes, std::function<void()> done)
     sim::Time cost = costOf(bytes);
     busyUntil_ = start + cost;
     busyAccum_ += cost;
+    CDNA_TRACE_SPAN_ARG(ctx().tracer(), traceLane(), "dma", start, cost,
+                        "bytes", bytes);
     events().scheduleAt(busyUntil_, std::move(done));
     return busyUntil_;
 }

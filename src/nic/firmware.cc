@@ -21,6 +21,7 @@ FirmwareProc::exec(sim::Time cost, std::function<void()> fn)
     sim::Time start = std::max(now(), busyUntil_);
     busyUntil_ = start + cost;
     busyAccum_ += cost;
+    CDNA_TRACE_SPAN(ctx().tracer(), traceLane(), "fw_job", start, cost);
     events().scheduleAt(busyUntil_, std::move(fn));
 }
 

@@ -39,6 +39,9 @@ class FirmwareProc : public sim::SimObject
     /** Fraction of elapsed time the processor has been busy. */
     double utilization(sim::Time elapsed) const;
 
+    /** Cumulative busy time (observability gauges take deltas of this). */
+    sim::Time busyTime() const { return busyAccum_; }
+
     std::uint64_t jobsRun() const { return nJobs_.value(); }
 
   private:

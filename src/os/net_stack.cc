@@ -83,6 +83,8 @@ NetStack::sendBurst(std::uint64_t bytes, std::uint64_t flow_id,
         static_cast<sim::Time>(costs_.stackTxPerByteNs *
                                static_cast<double>(bytes) * sim::kNanosecond);
 
+    CDNA_TRACE_INSTANT_ARG(ctx().tracer(), traceLane(), "tx_burst", now(),
+                           "bytes", bytes);
     dom_.vcpu().post(cpu::Bucket::kOs, cost, [this, pkts, bytes] {
         nTxBytes_.inc(bytes);
         for (auto &p : *pkts)
@@ -186,6 +188,8 @@ NetStack::collectRxBatch()
                           stamps = std::move(stamps)] {
             nRxBytes_.inc(bytes);
             nRxPkts_.inc(pkts);
+            CDNA_TRACE_INSTANT_ARG(ctx().tracer(), traceLane(),
+                                   "rx_deliver", now(), "bytes", bytes);
             // Data reaches user space now: record wire-to-app latency.
             for (sim::Time created : stamps) {
                 double us = sim::toMicroseconds(now() - created);

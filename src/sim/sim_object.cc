@@ -16,7 +16,10 @@ SimContext::dumpStats() const
 }
 
 SimObject::SimObject(SimContext &ctx, std::string name)
-    : log_(name, &ctx.events()), ctx_(ctx), name_(std::move(name))
+    : log_(name, &ctx.events()),
+      ctx_(ctx),
+      name_(std::move(name)),
+      traceLane_(ctx.tracer().lane(name_))
 {
     ctx_.registerObject(this);
 }

@@ -18,6 +18,7 @@
 #include "sim/logger.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace cdna::sim {
 
@@ -36,6 +37,10 @@ class SimContext
     /** Root random stream; components should fork() their own. */
     Rng &rng() { return rng_; }
 
+    /** Event tracer (disabled by default; see sim/trace.hh). */
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+
     void registerObject(SimObject *obj) { objects_.push_back(obj); }
     const std::vector<SimObject *> &objects() const { return objects_; }
 
@@ -45,6 +50,7 @@ class SimContext
   private:
     EventQueue events_;
     Rng rng_;
+    Tracer tracer_;
     std::vector<SimObject *> objects_;
 };
 
@@ -65,6 +71,9 @@ class SimObject
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** This component's trace lane (interned at construction). */
+    Tracer::LaneId traceLane() const { return traceLane_; }
+
   protected:
     Logger log_;
 
@@ -72,6 +81,7 @@ class SimObject
     SimContext &ctx_;
     std::string name_;
     StatGroup stats_;
+    Tracer::LaneId traceLane_;
 };
 
 } // namespace cdna::sim

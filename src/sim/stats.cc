@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "sim/assert.hh"
+
 namespace cdna::sim {
 
 void
@@ -58,19 +60,32 @@ Histogram::quantile(double q) const
 {
     if (total_ == 0)
         return 0;
-    auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    // Clamp malformed input (NaN compares false, so test the valid range).
+    if (!(q > 0.0))
+        q = 0.0;
+    else if (q > 1.0)
+        q = 1.0;
+    // Rank of the target sample: the smallest value v with CDF(v) >= q.
+    // ceil() keeps q = 1.0 reachable (the old floor()-and-strictly-greater
+    // form could never satisfy `seen > total` and fell off the loop).
+    auto target =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+    if (target == 0)
+        target = 1;
     std::uint64_t seen = 0;
     for (std::size_t b = 0; b < buckets_.size(); ++b) {
         seen += buckets_[b];
-        if (seen > target)
+        if (seen >= target)
             return b == 0 ? 0 : (1ULL << b) - 1;
     }
-    return UINT64_MAX;
+    SIM_PANIC("histogram bucket sum diverged from total");
 }
 
 Counter &
 StatGroup::addCounter(const std::string &name)
 {
+    SIM_ASSERT(!findCounter(name) && !findSamples(name),
+               "duplicate stat name registered");
     counterStore_.push_back(std::make_unique<Counter>());
     counterView_.emplace_back(name, counterStore_.back().get());
     return *counterStore_.back();
@@ -79,9 +94,29 @@ StatGroup::addCounter(const std::string &name)
 SampleStats &
 StatGroup::addSamples(const std::string &name)
 {
+    SIM_ASSERT(!findCounter(name) && !findSamples(name),
+               "duplicate stat name registered");
     sampleStore_.push_back(std::make_unique<SampleStats>());
     sampleView_.emplace_back(name, sampleStore_.back().get());
     return *sampleStore_.back();
+}
+
+const Counter *
+StatGroup::findCounter(const std::string &name) const
+{
+    for (const auto &[n, c] : counterView_)
+        if (n == name)
+            return c;
+    return nullptr;
+}
+
+const SampleStats *
+StatGroup::findSamples(const std::string &name) const
+{
+    for (const auto &[n, s] : sampleView_)
+        if (n == name)
+            return s;
+    return nullptr;
 }
 
 std::string
@@ -97,10 +132,11 @@ StatGroup::dump(const std::string &prefix) const
     }
     for (const auto &[name, s] : sampleView_) {
         std::snprintf(line, sizeof(line),
-                      "%s%s count=%llu mean=%.3f min=%.3f max=%.3f\n",
+                      "%s%s count=%llu sum=%.3f mean=%.3f min=%.3f "
+                      "max=%.3f stddev=%.3f\n",
                       prefix.c_str(), name.c_str(),
-                      static_cast<unsigned long long>(s->count()), s->mean(),
-                      s->min(), s->max());
+                      static_cast<unsigned long long>(s->count()), s->sum(),
+                      s->mean(), s->min(), s->max(), s->stddev());
         out += line;
     }
     return out;

@@ -80,7 +80,11 @@ class Histogram
     std::uint64_t count() const { return total_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
 
-    /** Approximate quantile (bucket upper bound), q in [0,1]. */
+    /**
+     * Approximate quantile (bucket upper bound).  @p q is clamped to
+     * [0,1] (NaN counts as 0); q = 1.0 returns the upper bound of the
+     * highest occupied bucket.
+     */
     std::uint64_t quantile(double q) const;
 
   private:
@@ -92,8 +96,14 @@ class Histogram
 class StatGroup
 {
   public:
+    /** Register a counter.  Duplicate names are a simulator bug (panic). */
     Counter &addCounter(const std::string &name);
+    /** Register a sample stat.  Duplicate names panic. */
     SampleStats &addSamples(const std::string &name);
+
+    /** Look up a registered stat by name; null when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    const SampleStats *findSamples(const std::string &name) const;
 
     const std::vector<std::pair<std::string, const Counter *>> &
     counters() const { return counterView_; }

@@ -78,6 +78,7 @@ void
 Hypervisor::notifyChannel(EventChannel &ch)
 {
     nVirtIrqs_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "evtchn_send", now());
     cpu_.runHypervisor(params_.hypercallOverhead + params_.evtchnSend +
                            params_.virtIrqDeliver,
                        [&ch] { ch.notify(); });
@@ -87,6 +88,7 @@ void
 Hypervisor::deliverVirtIrq(EventChannel &ch)
 {
     nVirtIrqs_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "virt_irq", now());
     cpu_.runHypervisor(params_.virtIrqDeliver, [&ch] { ch.notify(); });
 }
 
@@ -94,6 +96,7 @@ void
 Hypervisor::physicalInterrupt(sim::Time isr_cost, std::function<void()> body)
 {
     nPhysIrqs_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "phys_irq", now());
     cpu_.runHypervisor(params_.physIrqDispatch + isr_cost, std::move(body));
 }
 
@@ -102,6 +105,7 @@ Hypervisor::hypercall(sim::Time cost, std::function<void()> body,
                       std::function<void()> done)
 {
     nHypercalls_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "hypercall", now());
     cpu_.runHypervisor(params_.hypercallOverhead + cost,
                        [body = std::move(body), done = std::move(done)] {
                            if (body)
@@ -115,6 +119,8 @@ void
 Hypervisor::recordFault(mem::DomainId dom, Fault f)
 {
     nFaults_.inc();
+    CDNA_TRACE_INSTANT_ARG(ctx().tracer(), traceLane(), "fault", now(),
+                           "domain", dom);
     faults_.emplace_back(dom, f, now());
     log_.warn("protection fault: domain %u %s", dom, faultName(f));
 }

@@ -99,6 +99,39 @@ TEST(Cli, ErrorsAreReported)
     EXPECT_NE(err.find("--nonsense"), std::string::npos);
 }
 
+TEST(Cli, ObservabilityFlags)
+{
+    auto opt = parse({"--trace", "out.json", "--trace-filter", "cdna,cpu",
+                      "--stats-json", "stats.json", "--sample-period",
+                      "50"});
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_EQ(opt->traceFile, "out.json");
+    EXPECT_EQ(opt->traceFilter, "cdna,cpu");
+    EXPECT_EQ(opt->statsJsonFile, "stats.json");
+    EXPECT_EQ(opt->samplePeriod, sim::microseconds(50.0));
+
+    auto defaults = parse({});
+    ASSERT_TRUE(defaults.has_value());
+    EXPECT_TRUE(defaults->traceFile.empty());
+    EXPECT_TRUE(defaults->statsJsonFile.empty());
+    EXPECT_EQ(defaults->samplePeriod, 0);
+
+    std::string err;
+    EXPECT_FALSE(parse({"--trace"}, &err).has_value());
+    EXPECT_FALSE(parse({"--sample-period", "-3"}, &err).has_value());
+}
+
+TEST(Cli, EqualsFormAccepted)
+{
+    auto opt = parse({"--trace=out.json", "--guests=4", "--mode=xen",
+                      "--stats-json=s.json"});
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_EQ(opt->traceFile, "out.json");
+    EXPECT_EQ(opt->config.numGuests, 4u);
+    EXPECT_EQ(opt->config.mode, IoMode::kXen);
+    EXPECT_EQ(opt->statsJsonFile, "s.json");
+}
+
 TEST(Cli, JsonContainsAllKeys)
 {
     Report r;

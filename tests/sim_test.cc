@@ -5,14 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/metrics_registry.hh"
 #include "sim/rng.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "sim/time.hh"
+#include "sim/trace.hh"
 
 using namespace cdna::sim;
 
@@ -150,6 +153,35 @@ TEST(EventQueue, DispatchedCountAccumulates)
     EXPECT_EQ(eq.dispatchedCount(), 7u);
 }
 
+TEST(EventQueue, CancelAfterDispatchFails)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(10, [&] { fired = true; });
+    eq.run();
+    EXPECT_TRUE(fired);
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, RunUntilOnEmptyQueueAdvancesClock)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.runUntil(77), 0u);
+    EXPECT_EQ(eq.now(), 77);
+    // The horizon never moves the clock backwards.
+    EXPECT_EQ(eq.runUntil(50), 0u);
+    EXPECT_EQ(eq.now(), 77);
+}
+
+TEST(EventQueue, CancelledEventStillCountsTowardNothing)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(5, [] {});
+    eq.cancel(id);
+    eq.run();
+    EXPECT_EQ(eq.dispatchedCount(), 0u);
+}
+
 // ------------------------------------------------------------------ rng ----
 
 TEST(Rng, DeterministicForSeed)
@@ -270,6 +302,38 @@ TEST(Stats, HistogramQuantiles)
     EXPECT_EQ(h.quantile(0.0), 0u);
 }
 
+TEST(Stats, HistogramQuantileFullRange)
+{
+    Histogram h;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        h.record(i);
+    // Values 0..511 fill buckets 0..9 (512 of 1000 samples), so the
+    // median is the upper bound of bucket 9.
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 511u);
+    EXPECT_EQ(h.quantile(0.99), 1023u);
+    // Regression: q = 1.0 used to fall off the bucket loop and return
+    // UINT64_MAX; it must be the top occupied bucket's upper bound.
+    EXPECT_EQ(h.quantile(1.0), 1023u);
+}
+
+TEST(Stats, HistogramQuantileClampsMalformedInput)
+{
+    Histogram h;
+    h.record(5); // bucket 3, upper bound 7
+    EXPECT_EQ(h.quantile(-0.5), 7u);
+    EXPECT_EQ(h.quantile(2.0), 7u);
+    EXPECT_EQ(h.quantile(std::nan("")), 7u);
+}
+
+TEST(Stats, HistogramEmptyQuantileIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
 TEST(Stats, StatGroupDump)
 {
     StatGroup g;
@@ -280,6 +344,38 @@ TEST(Stats, StatGroupDump)
     std::string dump = g.dump("nic.");
     EXPECT_NE(dump.find("nic.events 3"), std::string::npos);
     EXPECT_NE(dump.find("nic.latency"), std::string::npos);
+}
+
+TEST(Stats, StatGroupDumpIncludesSumAndStddev)
+{
+    StatGroup g;
+    SampleStats &s = g.addSamples("lat");
+    s.record(2.0);
+    s.record(4.0);
+    std::string dump = g.dump();
+    EXPECT_NE(dump.find("sum=6.000"), std::string::npos);
+    EXPECT_NE(dump.find("stddev=1.000"), std::string::npos);
+}
+
+TEST(Stats, StatGroupFindByName)
+{
+    StatGroup g;
+    Counter &c = g.addCounter("hits");
+    c.inc(4);
+    ASSERT_NE(g.findCounter("hits"), nullptr);
+    EXPECT_EQ(g.findCounter("hits")->value(), 4u);
+    EXPECT_EQ(g.findCounter("misses"), nullptr);
+    EXPECT_EQ(g.findSamples("hits"), nullptr);
+}
+
+TEST(StatsDeathTest, StatGroupDuplicateNamePanics)
+{
+    StatGroup g;
+    g.addCounter("n");
+    g.addSamples("lat");
+    EXPECT_DEATH(g.addCounter("n"), "assertion failed");
+    EXPECT_DEATH(g.addSamples("n"), "assertion failed");
+    EXPECT_DEATH(g.addCounter("lat"), "assertion failed");
 }
 
 // ----------------------------------------------------------- sim object ----
@@ -307,4 +403,148 @@ TEST(SimObject, NowTracksEventQueue)
     ctx.events().schedule(100, [] {});
     ctx.events().run();
     EXPECT_EQ(ctx.now(), 100);
+}
+
+// --------------------------------------------------------------- tracer ----
+
+TEST(Tracer, DisabledByDefaultAndLanesIntern)
+{
+    Tracer t;
+    Tracer::LaneId a = t.lane("cpu0");
+    Tracer::LaneId b = t.lane("nic0");
+    EXPECT_FALSE(t.enabled());
+    EXPECT_FALSE(t.wants(a));
+    EXPECT_EQ(t.lane("cpu0"), a); // idempotent
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.laneCount(), 2u);
+    EXPECT_EQ(t.laneName(b), "nic0");
+    // Macros record nothing while disabled (and skip arg evaluation).
+    int evals = 0;
+    CDNA_TRACE_SPAN(t, a, "x", (++evals, 0), 10);
+    EXPECT_EQ(evals, 0);
+    EXPECT_EQ(t.eventCount(), 0u);
+}
+
+TEST(Tracer, RecordsSpansInstantsAndCounters)
+{
+    Tracer t;
+    Tracer::LaneId cpu = t.lane("cpu0");
+    t.enable();
+    EXPECT_TRUE(t.wants(cpu));
+    t.span(cpu, "task", 100, 50, "bytes", 4096);
+    t.instant(cpu, "irq", 160);
+    t.counter(cpu, "occupancy", 170, 3.0);
+    EXPECT_EQ(t.eventCount(), 3u);
+    std::string json = t.toChromeJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("\"task\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+}
+
+TEST(Tracer, FilterSelectsLanesBySubstring)
+{
+    Tracer t;
+    Tracer::LaneId cpu = t.lane("cpu0");
+    Tracer::LaneId nic = t.lane("cdna0.fw");
+    t.enable();
+    t.setFilter("cdna,hypervisor");
+    EXPECT_FALSE(t.wants(cpu));
+    EXPECT_TRUE(t.wants(nic));
+    // Lanes interned after the filter is set are matched too.
+    Tracer::LaneId hv = t.lane("hypervisor");
+    EXPECT_TRUE(t.wants(hv));
+    // Clearing the filter re-admits everything.
+    t.setFilter("");
+    EXPECT_TRUE(t.wants(cpu));
+}
+
+TEST(Tracer, RingBufferWrapsAndCountsDrops)
+{
+    Tracer t;
+    Tracer::LaneId cpu = t.lane("cpu0");
+    t.enable(/*capacity=*/4);
+    for (int i = 0; i < 6; ++i)
+        t.span(cpu, "e", i * 10, 5);
+    EXPECT_EQ(t.eventCount(), 4u);
+    EXPECT_EQ(t.droppedCount(), 2u);
+    // Oldest two events were overwritten; ts is exported in us.
+    std::string json = t.toChromeJson();
+    EXPECT_EQ(json.find("\"ts\":0.000000"), std::string::npos); // t=0 gone
+    EXPECT_EQ(json.find("\"ts\":0.000010"), std::string::npos); // t=10ps gone
+    EXPECT_NE(json.find("\"ts\":0.000020"), std::string::npos); // t=20ps kept
+    EXPECT_NE(json.find("\"ts\":0.000050"), std::string::npos); // t=50ps kept
+}
+
+TEST(Tracer, ClearKeepsLanesAndFilter)
+{
+    Tracer t;
+    Tracer::LaneId cpu = t.lane("cpu0");
+    t.enable();
+    t.span(cpu, "e", 0, 1);
+    t.clear();
+    EXPECT_EQ(t.eventCount(), 0u);
+    EXPECT_EQ(t.laneCount(), 1u);
+    EXPECT_TRUE(t.wants(cpu));
+}
+
+// ----------------------------------------------------- metrics registry ----
+
+TEST(MetricsRegistry, PeriodicSamplingRecordsSeries)
+{
+    SimContext ctx;
+    MetricsRegistry m(ctx);
+    double value = 1.0;
+    m.addGauge("test.gauge", [&] { return value; });
+    EXPECT_EQ(m.gaugeCount(), 1u);
+    m.startSampling(10);
+    EXPECT_TRUE(m.sampling());
+    ctx.events().schedule(15, [&] { value = 2.0; });
+    ctx.events().runUntil(35);
+    const auto &pts = m.series("test.gauge");
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_EQ(pts[0], (std::pair<Time, double>{10, 1.0}));
+    EXPECT_EQ(pts[1], (std::pair<Time, double>{20, 2.0}));
+    EXPECT_EQ(pts[2], (std::pair<Time, double>{30, 2.0}));
+    m.stopSampling();
+    ctx.events().runUntil(100);
+    EXPECT_EQ(pts.size(), 3u);
+    EXPECT_FALSE(m.sampling());
+}
+
+TEST(MetricsRegistry, JsonFederatesComponentStats)
+{
+    SimContext ctx;
+
+    class Widget : public SimObject
+    {
+      public:
+        explicit Widget(SimContext &c) : SimObject(c, "widget")
+        {
+            stats().addCounter("hits").inc(7);
+            stats().addSamples("lat").record(2.5);
+        }
+    };
+
+    Widget w(ctx);
+    MetricsRegistry m(ctx);
+    m.addGauge("g", [] { return 1.5; });
+    m.sampleOnce();
+    std::string json = m.toJson();
+    EXPECT_NE(json.find("\"widget\""), std::string::npos);
+    EXPECT_NE(json.find("\"hits\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"lat\""), std::string::npos);
+    EXPECT_NE(json.find("\"stddev\""), std::string::npos);
+    EXPECT_NE(json.find("\"timeseries\""), std::string::npos);
+    EXPECT_NE(json.find("\"g\": [[0, 1.5]"), std::string::npos);
+}
+
+TEST(MetricsRegistry, UnknownSeriesIsEmpty)
+{
+    SimContext ctx;
+    MetricsRegistry m(ctx);
+    EXPECT_TRUE(m.series("nope").empty());
 }
