@@ -22,7 +22,7 @@ main()
     std::printf("%10s %10s %10s %10s %10s\n", "window us", "Mb/s",
                 "gstIrq/s", "idle %", "hyp %");
     for (double us : {18.0, 36.0, 72.0, 145.0, 290.0, 580.0}) {
-        auto cfg = core::makeCdnaConfig(1, true);
+        auto cfg = core::SystemConfig::cdna(1);
         cfg.costs.cdnaCoalesce.delay = sim::microseconds(us);
         auto r = runConfig(std::move(cfg));
         std::printf("%10.0f %10.0f %10.0f %10.1f %10.1f\n", us, r.mbps,

@@ -21,7 +21,7 @@ main()
     std::printf("%8s %10s %10s %10s %10s\n", "guests", "Mb/s", "fw util",
                 "fairness", "idle %");
     for (std::uint32_t g : {1u, 2u, 4u, 8u, 16u, 24u, 30u}) {
-        auto cfg = core::makeCdnaConfig(g, true);
+        auto cfg = core::SystemConfig::cdna(g);
         cfg.numNics = 1;
         core::System sys(cfg);
         auto r = sys.run(kWarmup, kMeasure);

@@ -21,17 +21,17 @@ main()
                 "===\n");
     printProfileHeader();
     for (std::uint32_t g : {1u, 8u}) {
-        auto flip = core::makeXenIntelConfig(g, false);
+        auto flip = core::SystemConfig::xenIntel(g).receive();
         flip.label = "xen flip, " + std::to_string(g) + "g";
         printProfileRow(runConfig(std::move(flip)), "paper's Xen 3 mode");
 
-        auto copy = core::makeXenIntelConfig(g, false);
+        auto copy = core::SystemConfig::xenIntel(g).receive();
         copy.xenRxCopyMode = true;
         copy.label = "xen copy, " + std::to_string(g) + "g";
         printProfileRow(runConfig(std::move(copy)),
                         "later Xen releases' mode");
     }
-    auto cdna = core::makeCdnaConfig(1, false);
+    auto cdna = core::SystemConfig::cdna(1).receive();
     printProfileRow(runConfig(std::move(cdna)),
                     "CDNA: beats both (1874 in the paper)");
     return 0;

@@ -34,7 +34,7 @@ main()
     };
 
     for (auto &row : rows) {
-        auto cfg = core::makeCdnaConfig(2, true, row.software_protection);
+        auto cfg = core::SystemConfig::cdna(2).withProtection(row.software_protection);
         cfg.iommuMode = row.mode;
         cfg.label = row.name;
         core::System sys(cfg);
@@ -49,7 +49,7 @@ main()
 
     // Per-device mode with several guests blocks legitimate traffic.
     {
-        auto cfg = core::makeCdnaConfig(2, true, false);
+        auto cfg = core::SystemConfig::cdna(2).withProtection(false);
         cfg.iommuMode = mem::Iommu::Mode::kPerDevice;
         core::System sys(cfg);
         for (std::uint32_t i = 0; i < 2; ++i)

@@ -19,7 +19,7 @@ core::Report
 runVariant(const char *label,
            void (*tweak)(core::CostModel &))
 {
-    auto cfg = core::makeCdnaConfig(1, true);
+    auto cfg = core::SystemConfig::cdna(1);
     if (tweak)
         tweak(cfg.costs);
     cfg.label = label;
@@ -62,7 +62,7 @@ main()
         std::fflush(stdout);
     }
 
-    auto off = runConfig(core::makeCdnaConfig(1, true, false));
+    auto off = runConfig(core::SystemConfig::cdna(1).withProtection(false));
     std::printf("%-24s %8.0f %8.1f %8.1f   (Table 4 'disabled': hyp 1.9, "
                 "idle 60.4)\n",
                 "protection disabled", off.mbps, off.hypPct, off.idlePct);

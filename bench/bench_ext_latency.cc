@@ -29,8 +29,8 @@ sweep(bool transmit)
     std::printf("%6s | %26s | %26s\n", "guests",
                 "xen mean/p50/p99 (us)", "cdna mean/p50/p99 (us)");
     for (std::uint32_t g : {1u, 4u, 8u}) {
-        auto xen = runConfig(core::makeXenIntelConfig(g, transmit));
-        auto cdna = runConfig(core::makeCdnaConfig(g, transmit));
+        auto xen = runConfig(core::SystemConfig::xenIntel(g).transmit(transmit));
+        auto cdna = runConfig(core::SystemConfig::cdna(g).transmit(transmit));
         std::printf("%6u | %8.0f %8.0f %8.0f | %8.0f %8.0f %8.0f\n", g,
                     xen.latencyMeanUs, xen.latencyP50Us, xen.latencyP99Us,
                     cdna.latencyMeanUs, cdna.latencyP50Us,

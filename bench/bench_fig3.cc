@@ -24,11 +24,11 @@ main(int argc, char **argv)
                 "cdna Mb/s", "cdna idle%", "cdna/xen");
     double xen1 = 0, xen24 = 0, cdna24 = 0;
     for (std::uint32_t g : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
-        auto xen = runConfig(core::makeXenIntelConfig(g, true));
+        auto xen = runConfig(core::SystemConfig::xenIntel(g));
         // Observe the smallest CDNA run: its trace stays readable and
         // exercises every lane (CPU, hypervisor, NIC, DMA protection).
-        auto cdna = g == 1 ? runObserved(core::makeCdnaConfig(g, true), obs)
-                           : runConfig(core::makeCdnaConfig(g, true));
+        auto cdna = g == 1 ? runObserved(core::SystemConfig::cdna(g), obs)
+                           : runConfig(core::SystemConfig::cdna(g));
         std::printf("%6u %10.0f %10.0f %10.1f %10.2f\n", g, xen.mbps,
                     cdna.mbps, cdna.idlePct, cdna.mbps / xen.mbps);
         std::fflush(stdout);

@@ -22,10 +22,10 @@ main(int argc, char **argv)
                 "cdna Mb/s", "cdna idle%", "cdna/xen");
     double xen24 = 0, cdna24 = 0;
     for (std::uint32_t g : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
-        auto xen = runConfig(core::makeXenIntelConfig(g, false));
+        auto xen = runConfig(core::SystemConfig::xenIntel(g).receive());
         // Observe the smallest CDNA run (see bench_fig3).
-        auto cdna = g == 1 ? runObserved(core::makeCdnaConfig(g, false), obs)
-                           : runConfig(core::makeCdnaConfig(g, false));
+        auto cdna = g == 1 ? runObserved(core::SystemConfig::cdna(g).receive(), obs)
+                           : runConfig(core::SystemConfig::cdna(g).receive());
         std::printf("%6u %10.0f %10.0f %10.1f %10.2f\n", g, xen.mbps,
                     cdna.mbps, cdna.idlePct, cdna.mbps / xen.mbps);
         std::fflush(stdout);

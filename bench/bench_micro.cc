@@ -97,7 +97,7 @@ static void
 BM_SimulateCdna10ms(benchmark::State &state)
 {
     for (auto _ : state) {
-        core::System sys(core::makeCdnaConfig(1, true));
+        core::System sys(core::SystemConfig::cdna(1));
         auto r = sys.run(sim::milliseconds(2), sim::milliseconds(10));
         benchmark::DoNotOptimize(r.mbps);
     }
@@ -109,7 +109,7 @@ static void
 BM_SimulateXen10ms(benchmark::State &state)
 {
     for (auto _ : state) {
-        core::System sys(core::makeXenIntelConfig(1, true));
+        core::System sys(core::SystemConfig::xenIntel(1));
         auto r = sys.run(sim::milliseconds(2), sim::milliseconds(10));
         benchmark::DoNotOptimize(r.mbps);
     }

@@ -28,11 +28,11 @@ main()
         const char *paper;
     };
 
-    auto native_tx = core::makeNativeConfig(6, true);
-    auto native_rx = core::makeNativeConfig(6, false);
-    auto xen_tx = core::makeXenIntelConfig(1, true);
+    auto native_tx = core::SystemConfig::native(6);
+    auto native_rx = core::SystemConfig::native(6).receive();
+    auto xen_tx = core::SystemConfig::xenIntel(1);
     xen_tx.numNics = 6;
-    auto xen_rx = core::makeXenIntelConfig(1, false);
+    auto xen_rx = core::SystemConfig::xenIntel(1).receive();
     xen_rx.numNics = 6;
 
     Row rows[] = {

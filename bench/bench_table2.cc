@@ -21,11 +21,11 @@ main()
 {
     std::printf("=== Table 2: single-guest transmit, 2 NICs ===\n");
     printProfileHeader();
-    printProfileRow(runConfig(core::makeXenIntelConfig(1, true)),
+    printProfileRow(runConfig(core::SystemConfig::xenIntel(1)),
                     "1602 | 19.8 35.7 0.8 39.7 1.0  3.0 | 7438 7853");
-    printProfileRow(runConfig(core::makeXenRiceConfig(1, true)),
+    printProfileRow(runConfig(core::SystemConfig::xenRice(1)),
                     "1674 | 13.7 41.5 0.5 39.5 1.0  3.8 | 8839 5661");
-    printProfileRow(runConfig(core::makeCdnaConfig(1, true)),
+    printProfileRow(runConfig(core::SystemConfig::cdna(1)),
                     "1867 | 10.2  0.3 0.2 37.8 0.7 50.8 |    0 13659");
     return 0;
 }

@@ -19,11 +19,11 @@ main()
 {
     std::printf("=== Table 3: single-guest receive, 2 NICs ===\n");
     printProfileHeader();
-    printProfileRow(runConfig(core::makeXenIntelConfig(1, false)),
+    printProfileRow(runConfig(core::SystemConfig::xenIntel(1).receive()),
                     "1112 | 25.7 36.8 0.5 31.0 1.0  5.0 | 11138 5193");
-    printProfileRow(runConfig(core::makeXenRiceConfig(1, false)),
+    printProfileRow(runConfig(core::SystemConfig::xenRice(1).receive()),
                     "1075 | 30.6 39.4 0.6 28.8 0.6  0.0 | 10946 5163");
-    printProfileRow(runConfig(core::makeCdnaConfig(1, false)),
+    printProfileRow(runConfig(core::SystemConfig::cdna(1).receive()),
                     "1874 |  9.9  0.3 0.2 48.0 0.7 40.9 |     0 7402");
     return 0;
 }

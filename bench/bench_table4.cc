@@ -21,13 +21,13 @@ main()
 {
     std::printf("=== Table 4: CDNA with/without DMA protection ===\n");
     printProfileHeader();
-    printProfileRow(runConfig(core::makeCdnaConfig(1, true, true)),
+    printProfileRow(runConfig(core::SystemConfig::cdna(1)),
                     "1867 | 10.2 0.3 0.2 37.8 0.7 50.8 | 0 13659");
-    printProfileRow(runConfig(core::makeCdnaConfig(1, true, false)),
+    printProfileRow(runConfig(core::SystemConfig::cdna(1).withProtection(false)),
                     "1867 |  1.9 0.2 0.2 37.0 0.3 60.4 | 0 13680");
-    printProfileRow(runConfig(core::makeCdnaConfig(1, false, true)),
+    printProfileRow(runConfig(core::SystemConfig::cdna(1).receive()),
                     "1874 |  9.9 0.3 0.2 48.0 0.7 40.9 | 0  7402");
-    printProfileRow(runConfig(core::makeCdnaConfig(1, false, false)),
+    printProfileRow(runConfig(core::SystemConfig::cdna(1).receive().withProtection(false)),
                     "1874 |  1.9 0.2 0.2 47.2 0.3 50.2 | 0  7243");
     return 0;
 }

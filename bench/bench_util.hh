@@ -64,10 +64,10 @@ runObserved(core::SystemConfig cfg, const core::CliOptions &obs,
             sim::Time warmup = kWarmup, sim::Time measure = kMeasure)
 {
     core::System sys(std::move(cfg));
-    core::applyObservability(sys, obs);
+    core::ObservabilitySession session(sys, obs);
     core::Report r = sys.run(warmup, measure);
     std::string error;
-    if (!core::flushObservability(sys, obs, &error))
+    if (!session.close(&error))
         std::fprintf(stderr, "warning: %s\n", error.c_str());
     return r;
 }

@@ -35,9 +35,9 @@ main(int argc, char **argv)
     }
 
     core::System sys(opt->config);
-    core::applyObservability(sys, *opt);
+    core::ObservabilitySession obs(sys, *opt);
     core::Report r = sys.run(opt->warmup, opt->measure);
-    if (!core::flushObservability(sys, *opt, &error)) {
+    if (!obs.close(&error)) {
         std::fprintf(stderr, "cdna_sim: %s\n", error.c_str());
         return 1;
     }
@@ -51,6 +51,8 @@ main(int argc, char **argv)
                     "fairness: %.2f\n",
                     r.latencyMeanUs, r.latencyP50Us, r.latencyP99Us,
                     r.fairness());
+        if (r.anyFaultActivity())
+            std::printf("%s\n", r.faultSummary().c_str());
     }
     return 0;
 }

@@ -33,7 +33,7 @@ banner(const char *text)
 System
 makeSystem(bool protection)
 {
-    SystemConfig cfg = makeCdnaConfig(2, true, protection);
+    SystemConfig cfg = SystemConfig::cdna(2).withProtection(protection);
     cfg.numNics = 1;
     return System(std::move(cfg));
 }

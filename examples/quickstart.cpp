@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,19 +41,20 @@ main(int argc, char **argv)
 
     for (bool transmit : {true, false}) {
         core::SystemConfig configs[] = {
-            core::makeXenIntelConfig(1, transmit),
-            core::makeXenRiceConfig(1, transmit),
-            core::makeCdnaConfig(1, transmit),
+            core::SystemConfig::xenIntel(1).transmit(transmit),
+            core::SystemConfig::xenRice(1).transmit(transmit),
+            core::SystemConfig::cdna(1).transmit(transmit),
         };
         for (auto &cfg : configs) {
             bool observe = transmit && cfg.mode == core::IoMode::kCdna;
             core::System sys(cfg);
+            std::unique_ptr<core::ObservabilitySession> session;
             if (observe)
-                core::applyObservability(sys, *obs);
+                session = std::make_unique<core::ObservabilitySession>(
+                    sys, *obs);
             core::Report r = sys.run(sim::milliseconds(50),
                                      sim::milliseconds(400));
-            if (observe &&
-                !core::flushObservability(sys, *obs, &error))
+            if (session && !session->close(&error))
                 std::fprintf(stderr, "warning: %s\n", error.c_str());
             std::printf("%s\n", r.row().c_str());
         }

@@ -24,14 +24,13 @@ using namespace cdna;
 namespace {
 
 void
-sweep(const char *name,
-      core::SystemConfig (*make)(std::uint32_t, bool))
+sweep(const char *name, core::SystemConfig (*make)(std::uint32_t))
 {
     std::printf("--- %s ---\n", name);
     std::printf("%5s %10s %12s %10s %10s\n", "VMs", "agg Mb/s",
                 "per-VM Mb/s", "fairness", "idle %");
     for (std::uint32_t vms : {1u, 4u, 8u, 16u, 24u}) {
-        core::System sys(make(vms, /*transmit=*/true));
+        core::System sys(make(vms).transmit());
         core::Report r = sys.run(sim::milliseconds(100),
                                  sim::milliseconds(400));
         std::printf("%5u %10.0f %12.1f %10.2f %10.1f\n", vms, r.mbps,
@@ -48,11 +47,9 @@ main()
 {
     std::printf("Server consolidation: transmit-heavy services, "
                 "2 Gigabit NICs, one Opteron-class core\n\n");
-    sweep("Xen software I/O virtualization", core::makeXenIntelConfig);
+    sweep("Xen software I/O virtualization", core::SystemConfig::xenIntel);
     sweep("CDNA (concurrent direct network access)",
-          [](std::uint32_t g, bool tx) {
-              return core::makeCdnaConfig(g, tx, true);
-          });
+          core::SystemConfig::cdna);
 
     std::printf("Reading: with CDNA each tenant keeps its share of the "
                 "wire as density grows;\nwith software virtualization the "

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/assert.hh"
+#include "sim/fault_injector.hh"
 
 namespace cdna::core {
 
@@ -21,7 +22,9 @@ CdnaGuestDriver::CdnaGuestDriver(sim::SimContext &ctx, std::string name,
       nDoorbells_(stats().addCounter("doorbells")),
       nTxPkts_(stats().addCounter("tx_packets")),
       nRxPkts_(stats().addCounter("rx_packets")),
-      nFaultsSeen_(stats().addCounter("faults_seen"))
+      nFaultsSeen_(stats().addCounter("faults_seen")),
+      nMboxTimeouts_(stats().addCounter("mailbox_timeouts")),
+      nRingResyncs_(stats().addCounter("ring_resyncs"))
 {
 }
 
@@ -48,6 +51,60 @@ CdnaGuestDriver::attach()
     for (auto p : pages)
         rxRefillStage_.push_back(p);
     flushRxRefills();
+    armWatchdog();
+}
+
+void
+CdnaGuestDriver::armWatchdog()
+{
+    // The watchdog exists to recover doorbells lost to injected
+    // firmware faults.  It is armed only when a fault injector is
+    // installed so fault-free runs execute exactly the pre-fault
+    // event sequence (see sim/fault_injector.hh).
+    if (watchdogArmed_ || detached_ || !ctx().faultInjector())
+        return;
+    watchdogArmed_ = true;
+    wdTxConsumer_ = nic_.txConsumer(cxt_);
+    wdRxConsumer_ = nic_.rxConsumer(cxt_);
+    events().schedule(watchdogDelay_, [this] { fireWatchdog(); });
+}
+
+void
+CdnaGuestDriver::fireWatchdog()
+{
+    watchdogArmed_ = false;
+    if (detached_)
+        return;
+    std::uint32_t txc = nic_.txConsumer(cxt_);
+    std::uint32_t rxc = nic_.rxConsumer(cxt_);
+    bool pending = txEnqueued_ != txDrained_ || rxEnqueued_ != rxc;
+    bool progress = txc != wdTxConsumer_ || rxc != wdRxConsumer_;
+    if (progress) {
+        watchdogDelay_ = kWatchdogBase;
+    } else if (pending) {
+        // Work is posted but the NIC made no progress for a whole
+        // watchdog period: assume the doorbells were lost and re-ring
+        // both producer mailboxes with their current values.  The NIC
+        // treats an unchanged producer as a no-op, so a spurious
+        // timeout costs only the PIO writes.  Exponential backoff
+        // keeps a genuinely wedged NIC from being hammered.
+        nMboxTimeouts_.inc();
+        if (sim::FaultInjector *fi = ctx().faultInjector())
+            fi->noteMailboxTimeout();
+        watchdogDelay_ = std::min(watchdogDelay_ * 2, kWatchdogMax);
+        sim::Time cost = 2 * costs_.drvPioWrite + costs_.drvIrqHandler;
+        dom_.vcpu().post(cpu::Bucket::kOs, cost, [this] {
+            if (detached_)
+                return;
+            nRingResyncs_.inc();
+            if (sim::FaultInjector *fi = ctx().faultInjector())
+                fi->noteRingResync();
+            nic_.pioWriteMailbox(cxt_, nic::kMboxTxProducer, txEnqueued_);
+            nic_.pioWriteMailbox(cxt_, nic::kMboxRxProducer, rxEnqueued_);
+            nDoorbells_.inc(2);
+        });
+    }
+    armWatchdog();
 }
 
 void

@@ -78,8 +78,15 @@ class CdnaGuestDriver : public sim::SimObject, public os::NetDevice
     /** Ring-doorbell writes issued (PIO mailbox updates). */
     std::uint64_t doorbells() const { return nDoorbells_.value(); }
 
+    /** Mailbox timeouts detected by the watchdog (fault injection). */
+    std::uint64_t mailboxTimeouts() const { return nMboxTimeouts_.value(); }
+    /** Descriptor-ring resynchronizations performed after a timeout. */
+    std::uint64_t ringResyncs() const { return nRingResyncs_.value(); }
+
   private:
     void flushRxRefills();
+    void armWatchdog();
+    void fireWatchdog();
     std::uint64_t sgPages(const mem::SgList &sg) const;
 
     vmm::Domain &dom_;
@@ -109,10 +116,24 @@ class CdnaGuestDriver : public sim::SimObject, public os::NetDevice
     bool autoRefill_ = true;
     bool detached_ = false;
 
+    // Mailbox-timeout watchdog (armed only under fault injection; see
+    // armWatchdog()).  The NIC can lose rung doorbells across a
+    // firmware watchdog reboot; the driver detects the resulting lack
+    // of consumer progress and re-rings both producer mailboxes, which
+    // is idempotent when nothing was actually lost.
+    static constexpr sim::Time kWatchdogBase = sim::kMillisecond;
+    static constexpr sim::Time kWatchdogMax = 16 * sim::kMillisecond;
+    bool watchdogArmed_ = false;
+    sim::Time watchdogDelay_ = kWatchdogBase;
+    std::uint32_t wdTxConsumer_ = 0;
+    std::uint32_t wdRxConsumer_ = 0;
+
     sim::Counter &nDoorbells_;
     sim::Counter &nTxPkts_;
     sim::Counter &nRxPkts_;
     sim::Counter &nFaultsSeen_;
+    sim::Counter &nMboxTimeouts_;
+    sim::Counter &nRingResyncs_;
 };
 
 } // namespace cdna::core

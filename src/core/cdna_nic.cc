@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/assert.hh"
+#include "sim/fault_injector.hh"
 
 namespace cdna::core {
 
@@ -42,7 +43,8 @@ CdnaNic::CdnaNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
       nSeqnoFaults_(stats().addCounter("seqno_faults")),
       nMailboxEvents_(stats().addCounter("mailbox_events")),
       nBitVectors_(stats().addCounter("bit_vectors")),
-      nIommuDrops_(stats().addCounter("iommu_drops"))
+      nIommuDrops_(stats().addCounter("iommu_drops")),
+      nFwResets_(stats().addCounter("fw_resets"))
 {
     SIM_ASSERT(params.numContexts >= 1 &&
                    params.numContexts <= nic::kMaxContexts,
@@ -92,6 +94,24 @@ CdnaNic::revokeContext(ContextId id)
         txArb_.erase(it);
     pendingVector_ &= ~(1u << id);
     c = Context{};
+}
+
+void
+CdnaNic::stallFirmware(sim::Time duration, bool watchdog_reset)
+{
+    fw_.stall(duration);
+    if (!watchdog_reset)
+        return;
+    // The on-NIC watchdog expires during the stall and reboots the
+    // firmware.  The event scratchpad is volatile: every doorbell rung
+    // between now and the reboot -- including ones already queued -- is
+    // lost, and drivers must detect the silence and re-ring.
+    events().schedule(duration, [this] {
+        hier_.clearAll();
+        nFwResets_.inc();
+        if (sim::FaultInjector *fi = ctx().faultInjector())
+            fi->noteFirmwareReset();
+    });
 }
 
 void

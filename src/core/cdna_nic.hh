@@ -113,6 +113,17 @@ class CdnaNic : public nic::NicBase
     /** Hypervisor memory for the interrupt bit-vector ring (§3.2). */
     void setInterruptRing(mem::PhysAddr base);
 
+    /**
+     * Fault injection: wedge the firmware processor for @p duration.
+     * With @p watchdog_reset the on-NIC watchdog reboots the firmware
+     * at the end of the stall, losing every queued mailbox event --
+     * the recovery then depends on the drivers' mailbox timeouts.
+     */
+    void stallFirmware(sim::Time duration, bool watchdog_reset);
+
+    /** Watchdog firmware reboots performed (fault injection). */
+    std::uint64_t firmwareResets() const { return nFwResets_.value(); }
+
     void setFaultHandler(FaultHandler fn) { faultHandler_ = std::move(fn); }
 
     /**
@@ -252,6 +263,7 @@ class CdnaNic : public nic::NicBase
     sim::Counter &nMailboxEvents_;
     sim::Counter &nBitVectors_;
     sim::Counter &nIommuDrops_;
+    sim::Counter &nFwResets_;
 };
 
 } // namespace cdna::core

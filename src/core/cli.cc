@@ -3,41 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-namespace cdna::core {
+#include "core/fault_plan.hh"
 
-std::string
-cliUsage()
-{
-    return
-        "usage: cdna_sim [options]\n"
-        "\n"
-        "I/O architecture:\n"
-        "  --mode MODE         native | xen | cdna (default cdna)\n"
-        "  --nic KIND          intel | rice (xen mode only; default intel)\n"
-        "  --no-protection     disable CDNA DMA memory protection\n"
-        "  --iommu MODE        none | device | context (default none)\n"
-        "\n"
-        "topology & workload:\n"
-        "  --guests N          number of guest VMs (default 1)\n"
-        "  --nics N            number of physical NICs (default 2)\n"
-        "  --direction DIR     tx | rx (default tx)\n"
-        "  --connections N     connections per interface (default 2)\n"
-        "\n"
-        "run control:\n"
-        "  --warmup MS         warmup before measuring (default 100)\n"
-        "  --seconds S         measurement window (default 0.5)\n"
-        "  --seed N            simulation seed (default 1)\n"
-        "  --json              emit the report as JSON\n"
-        "  --help              this text\n"
-        "\n"
-        "observability (flags also accept --opt=value):\n"
-        "  --trace FILE        write a Chrome trace-event JSON file\n"
-        "  --trace-filter S    only trace lanes whose name contains one\n"
-        "                      of the comma-separated substrings\n"
-        "  --stats-json FILE   dump every component's stats as JSON\n"
-        "  --sample-period US  sample gauges every US microseconds of\n"
-        "                      simulated time (0 = off; default 0)\n";
-}
+namespace cdna::core {
 
 namespace {
 
@@ -63,18 +31,10 @@ parseF(const std::string &s, double *out)
     return true;
 }
 
-} // namespace
-
-std::optional<CliOptions>
-parseCli(const std::vector<std::string> &args, std::string *error)
+/** Everything the option handlers accumulate before the config exists. */
+struct ParseState
 {
     CliOptions opt;
-    auto fail = [&](const std::string &msg) -> std::optional<CliOptions> {
-        if (error)
-            *error = msg;
-        return std::nullopt;
-    };
-
     std::string mode = "cdna";
     std::string nic = "intel";
     std::string iommu = "none";
@@ -83,10 +43,384 @@ parseCli(const std::vector<std::string> &args, std::string *error)
     std::uint32_t guests = 1;
     std::uint32_t nics = 2;
     std::uint32_t connections = 2;
-    std::uint32_t warmup_ms = 100;
+    std::uint32_t warmupMs = 100;
     double seconds = 0.5;
     std::uint32_t seed = 1;
-    double sample_us = 0.0;
+    double sampleUs = 0.0;
+    FaultPlan faults;
+    bool haveFaults = false;
+};
+
+using Handler = bool (*)(ParseState &, const std::string &, std::string *);
+
+/** One table row: the public spec plus its parse action. */
+struct Spec
+{
+    const char *name;    // "--mode"
+    const char *argName; // metavariable, nullptr for flags
+    const char *help;    // '\n' continues on an indented line
+    const char *group;   // usage section
+    Handler handle;      // value is empty for flags
+};
+
+bool
+failWith(std::string *error, std::string msg)
+{
+    if (error)
+        *error = std::move(msg);
+    return false;
+}
+
+bool
+rateArg(const char *flag, const std::string &v, double *out,
+        std::string *error)
+{
+    if (!parseF(v, out) || *out < 0.0 || *out > 1.0)
+        return failWith(error,
+                        std::string(flag) + " needs a probability in [0,1]");
+    return true;
+}
+
+// The single source of truth for the CLI surface.  cliUsage(), the
+// parser, and cliOptionTable() all derive from this array, so adding a
+// flag here is the whole job.
+const Spec kSpecs[] = {
+    // --- I/O architecture ------------------------------------------------
+    {"--mode", "MODE", "native | xen | cdna (default cdna)",
+     "I/O architecture",
+     [](ParseState &st, const std::string &v, std::string *) {
+         st.mode = v;
+         return true;
+     }},
+    {"--nic", "KIND", "intel | rice (xen mode only; default intel)",
+     "I/O architecture",
+     [](ParseState &st, const std::string &v, std::string *) {
+         st.nic = v;
+         return true;
+     }},
+    {"--no-protection", nullptr, "disable CDNA DMA memory protection",
+     "I/O architecture",
+     [](ParseState &st, const std::string &, std::string *) {
+         st.protection = false;
+         return true;
+     }},
+    {"--iommu", "MODE", "none | device | context (default none)",
+     "I/O architecture",
+     [](ParseState &st, const std::string &v, std::string *) {
+         st.iommu = v;
+         return true;
+     }},
+
+    // --- topology & workload ---------------------------------------------
+    {"--guests", "N", "number of guest VMs (default 1)",
+     "topology & workload",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!parseU32(v, &st.guests) || st.guests == 0)
+             return failWith(error, "--guests needs a positive integer");
+         return true;
+     }},
+    {"--nics", "N", "number of physical NICs (default 2)",
+     "topology & workload",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!parseU32(v, &st.nics) || st.nics == 0)
+             return failWith(error, "--nics needs a positive integer");
+         return true;
+     }},
+    {"--direction", "DIR", "tx | rx (default tx)", "topology & workload",
+     [](ParseState &st, const std::string &v, std::string *) {
+         st.direction = v;
+         return true;
+     }},
+    {"--connections", "N", "connections per interface (default 2)",
+     "topology & workload",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!parseU32(v, &st.connections) || st.connections == 0)
+             return failWith(error,
+                             "--connections needs a positive integer");
+         return true;
+     }},
+
+    // --- run control -----------------------------------------------------
+    {"--warmup", "MS", "warmup before measuring (default 100)",
+     "run control",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!parseU32(v, &st.warmupMs))
+             return failWith(error, "--warmup needs milliseconds");
+         return true;
+     }},
+    {"--seconds", "S", "measurement window (default 0.5)", "run control",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!parseF(v, &st.seconds) || st.seconds <= 0)
+             return failWith(error, "--seconds needs a positive number");
+         return true;
+     }},
+    {"--seed", "N", "simulation seed (default 1)", "run control",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!parseU32(v, &st.seed))
+             return failWith(error, "--seed needs an integer");
+         return true;
+     }},
+    {"--json", nullptr, "emit the report as JSON", "run control",
+     [](ParseState &st, const std::string &, std::string *) {
+         st.opt.json = true;
+         return true;
+     }},
+    {"--help", nullptr, "this text", "run control",
+     [](ParseState &st, const std::string &, std::string *) {
+         st.opt.help = true;
+         return true;
+     }},
+
+    // --- observability ---------------------------------------------------
+    {"--trace", "FILE", "write a Chrome trace-event JSON file",
+     "observability",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (v.empty())
+             return failWith(error, "--trace needs a file name");
+         st.opt.traceFile = v;
+         return true;
+     }},
+    {"--trace-filter", "S",
+     "only trace lanes whose name contains one\n"
+     "of the comma-separated substrings",
+     "observability",
+     [](ParseState &st, const std::string &v, std::string *) {
+         st.opt.traceFilter = v;
+         return true;
+     }},
+    {"--stats-json", "FILE", "dump every component's stats as JSON",
+     "observability",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (v.empty())
+             return failWith(error, "--stats-json needs a file name");
+         st.opt.statsJsonFile = v;
+         return true;
+     }},
+    {"--sample-period", "US",
+     "sample gauges every US microseconds of\n"
+     "simulated time (0 = off; default 0)",
+     "observability",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!parseF(v, &st.sampleUs) || st.sampleUs < 0)
+             return failWith(error,
+                             "--sample-period needs microseconds >= 0");
+         return true;
+     }},
+
+    // --- fault injection -------------------------------------------------
+    {"--fault-plan", "FILE",
+     "load a fault plan file (see core/fault_plan.hh);\n"
+     "later fault flags override its rates",
+     "fault injection",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         std::string err;
+         auto plan = FaultPlan::fromFile(v, &err);
+         if (!plan)
+             return failWith(error, err);
+         // Keep any stalls/kills already given on the command line.
+         for (const auto &fs : st.faults.firmwareStalls)
+             plan->firmwareStalls.push_back(fs);
+         for (const auto &gk : st.faults.guestKills)
+             plan->guestKills.push_back(gk);
+         st.faults = std::move(*plan);
+         st.haveFaults = true;
+         return true;
+     }},
+    {"--drop-rate", "P", "P(frame lost on the wire)", "fault injection",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!rateArg("--drop-rate", v, &st.faults.dropRate, error))
+             return false;
+         st.haveFaults = true;
+         return true;
+     }},
+    {"--corrupt-rate", "P", "P(frame corrupted; dropped at the receiver)",
+     "fault injection",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!rateArg("--corrupt-rate", v, &st.faults.corruptRate, error))
+             return false;
+         st.haveFaults = true;
+         return true;
+     }},
+    {"--dup-rate", "P", "P(frame delivered twice)", "fault injection",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!rateArg("--dup-rate", v, &st.faults.dupRate, error))
+             return false;
+         st.haveFaults = true;
+         return true;
+     }},
+    {"--dma-delay-rate", "P", "P(DMA completion delayed)",
+     "fault injection",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!rateArg("--dma-delay-rate", v, &st.faults.dmaDelayRate,
+                      error))
+             return false;
+         if (st.faults.dmaDelayUs <= 0.0)
+             st.faults.dmaDelayUs = 25.0;
+         st.haveFaults = true;
+         return true;
+     }},
+    {"--dma-delay-us", "US", "delayed-completion latency (default 25)",
+     "fault injection",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         if (!parseF(v, &st.faults.dmaDelayUs) || st.faults.dmaDelayUs <= 0)
+             return failWith(error,
+                             "--dma-delay-us needs microseconds > 0");
+         st.haveFaults = true;
+         return true;
+     }},
+    {"--firmware-stall", "NIC@MS:DURMS",
+     "stall NIC's firmware at MS ms for DURMS ms,\n"
+     "then watchdog-reset it (repeatable)",
+     "fault injection",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         auto fs = parseStallSpec(v);
+         if (!fs)
+             return failWith(error, "--firmware-stall needs NIC@MS:DURMS, "
+                                    "got \"" + v + "\"");
+         st.faults.firmwareStalls.push_back(*fs);
+         st.haveFaults = true;
+         return true;
+     }},
+    {"--kill-guest", "G@MS",
+     "kill guest G at MS ms, revoking its NIC\n"
+     "contexts mid-transfer (repeatable)",
+     "fault injection",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         auto gk = parseKillSpec(v);
+         if (!gk)
+             return failWith(error, "--kill-guest needs G@MS, got \"" + v +
+                                    "\"");
+         st.faults.guestKills.push_back(*gk);
+         st.haveFaults = true;
+         return true;
+     }},
+};
+
+const Spec *
+findSpec(const std::string &name)
+{
+    std::string key = name == "-h" ? "--help" : name;
+    for (const Spec &s : kSpecs)
+        if (key == s.name)
+            return &s;
+    return nullptr;
+}
+
+/** Turn the accumulated state into a SystemConfig, or fail. */
+std::optional<CliOptions>
+finalize(ParseState st, std::string *error)
+{
+    auto fail = [&](const std::string &msg) -> std::optional<CliOptions> {
+        if (error)
+            *error = msg;
+        return std::nullopt;
+    };
+
+    bool transmit;
+    if (st.direction == "tx")
+        transmit = true;
+    else if (st.direction == "rx")
+        transmit = false;
+    else
+        return fail("--direction must be tx or rx");
+
+    SystemConfig cfg;
+    if (st.mode == "native") {
+        cfg = SystemConfig::native(st.nics);
+    } else if (st.mode == "xen") {
+        if (st.nic == "intel")
+            cfg = SystemConfig::xenIntel(st.guests);
+        else if (st.nic == "rice")
+            cfg = SystemConfig::xenRice(st.guests);
+        else
+            return fail("--nic must be intel or rice");
+        cfg.withNics(st.nics);
+    } else if (st.mode == "cdna") {
+        cfg = SystemConfig::cdna(st.guests)
+                  .withNics(st.nics)
+                  .withProtection(st.protection);
+    } else {
+        return fail("--mode must be native, xen, or cdna");
+    }
+    cfg.transmit(transmit);
+
+    if (st.iommu == "none")
+        cfg.withIommu(mem::Iommu::Mode::kNone);
+    else if (st.iommu == "device")
+        cfg.withIommu(mem::Iommu::Mode::kPerDevice);
+    else if (st.iommu == "context")
+        cfg.withIommu(mem::Iommu::Mode::kPerContext);
+    else
+        return fail("--iommu must be none, device, or context");
+
+    cfg.withConnections(st.connections).withSeed(st.seed);
+    if (st.haveFaults)
+        cfg.withFaults(std::move(st.faults));
+
+    st.opt.config = std::move(cfg);
+    st.opt.warmup = sim::milliseconds(static_cast<double>(st.warmupMs));
+    st.opt.measure = sim::seconds(st.seconds);
+    st.opt.samplePeriod = sim::microseconds(st.sampleUs);
+    return std::move(st.opt);
+}
+
+} // namespace
+
+const std::vector<CliOptionSpec> &
+cliOptionTable()
+{
+    static const std::vector<CliOptionSpec> table = [] {
+        std::vector<CliOptionSpec> t;
+        for (const Spec &s : kSpecs)
+            t.push_back({s.name, s.argName ? s.argName : "", s.help,
+                         s.group});
+        return t;
+    }();
+    return table;
+}
+
+std::string
+cliUsage()
+{
+    constexpr std::size_t kHelpCol = 22;
+    std::string out = "usage: cdna_sim [options]\n"
+                      "\n"
+                      "options accept both \"--opt value\" and "
+                      "\"--opt=value\".\n";
+    std::string group;
+    for (const CliOptionSpec &s : cliOptionTable()) {
+        if (s.group != group) {
+            group = s.group;
+            out += "\n" + group + ":\n";
+        }
+        std::string lead = "  " + s.name;
+        if (s.takesValue())
+            lead += " " + s.argName;
+        if (lead.size() + 2 > kHelpCol)
+            lead += "  ";
+        else
+            lead.resize(kHelpCol, ' ');
+        out += lead;
+        // Indent continuation lines under the help column.
+        for (char c : s.help) {
+            out += c;
+            if (c == '\n')
+                out.append(kHelpCol, ' ');
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::optional<CliOptions>
+parseCli(const std::vector<std::string> &args, std::string *error)
+{
+    ParseState st;
+    auto fail = [&](const std::string &msg) -> std::optional<CliOptions> {
+        if (error)
+            *error = msg;
+        return std::nullopt;
+    };
 
     // Accept both "--opt value" and "--opt=value".
     std::vector<std::string> argv;
@@ -103,144 +437,66 @@ parseCli(const std::vector<std::string> &args, std::string *error)
     }
 
     for (std::size_t i = 0; i < argv.size(); ++i) {
-        const std::string &a = argv[i];
-        auto next = [&](std::string *out) {
+        const Spec *spec = findSpec(argv[i]);
+        if (!spec)
+            return fail("unknown option: " + argv[i]);
+        std::string value;
+        if (spec->argName) {
             if (i + 1 >= argv.size())
-                return false;
-            *out = argv[++i];
-            return true;
-        };
-        std::string v;
-        if (a == "--help" || a == "-h") {
-            opt.help = true;
-            return opt;
-        } else if (a == "--json") {
-            opt.json = true;
-        } else if (a == "--no-protection") {
-            protection = false;
-        } else if (a == "--mode") {
-            if (!next(&mode))
-                return fail("--mode needs a value");
-        } else if (a == "--nic") {
-            if (!next(&nic))
-                return fail("--nic needs a value");
-        } else if (a == "--iommu") {
-            if (!next(&iommu))
-                return fail("--iommu needs a value");
-        } else if (a == "--direction") {
-            if (!next(&direction))
-                return fail("--direction needs a value");
-        } else if (a == "--guests") {
-            if (!next(&v) || !parseU32(v, &guests) || guests == 0)
-                return fail("--guests needs a positive integer");
-        } else if (a == "--nics") {
-            if (!next(&v) || !parseU32(v, &nics) || nics == 0)
-                return fail("--nics needs a positive integer");
-        } else if (a == "--connections") {
-            if (!next(&v) || !parseU32(v, &connections) ||
-                connections == 0)
-                return fail("--connections needs a positive integer");
-        } else if (a == "--warmup") {
-            if (!next(&v) || !parseU32(v, &warmup_ms))
-                return fail("--warmup needs milliseconds");
-        } else if (a == "--seconds") {
-            if (!next(&v) || !parseF(v, &seconds) || seconds <= 0)
-                return fail("--seconds needs a positive number");
-        } else if (a == "--seed") {
-            if (!next(&v) || !parseU32(v, &seed))
-                return fail("--seed needs an integer");
-        } else if (a == "--trace") {
-            if (!next(&opt.traceFile) || opt.traceFile.empty())
-                return fail("--trace needs a file name");
-        } else if (a == "--trace-filter") {
-            if (!next(&opt.traceFilter))
-                return fail("--trace-filter needs a value");
-        } else if (a == "--stats-json") {
-            if (!next(&opt.statsJsonFile) || opt.statsJsonFile.empty())
-                return fail("--stats-json needs a file name");
-        } else if (a == "--sample-period") {
-            if (!next(&v) || !parseF(v, &sample_us) || sample_us < 0)
-                return fail("--sample-period needs microseconds >= 0");
-        } else {
-            return fail("unknown option: " + a);
+                return fail(std::string(spec->name) + " needs a value");
+            value = argv[++i];
         }
+        std::string err;
+        if (!spec->handle(st, value, &err))
+            return fail(err);
+        if (st.opt.help)
+            return std::move(st.opt);
     }
 
-    bool transmit;
-    if (direction == "tx")
-        transmit = true;
-    else if (direction == "rx")
-        transmit = false;
-    else
-        return fail("--direction must be tx or rx");
-
-    SystemConfig cfg;
-    if (mode == "native") {
-        cfg = makeNativeConfig(nics, transmit);
-    } else if (mode == "xen") {
-        if (nic == "intel")
-            cfg = makeXenIntelConfig(guests, transmit);
-        else if (nic == "rice")
-            cfg = makeXenRiceConfig(guests, transmit);
-        else
-            return fail("--nic must be intel or rice");
-        cfg.numNics = nics;
-    } else if (mode == "cdna") {
-        cfg = makeCdnaConfig(guests, transmit, protection);
-        cfg.numNics = nics;
-    } else {
-        return fail("--mode must be native, xen, or cdna");
-    }
-
-    if (iommu == "none")
-        cfg.iommuMode = mem::Iommu::Mode::kNone;
-    else if (iommu == "device")
-        cfg.iommuMode = mem::Iommu::Mode::kPerDevice;
-    else if (iommu == "context")
-        cfg.iommuMode = mem::Iommu::Mode::kPerContext;
-    else
-        return fail("--iommu must be none, device, or context");
-
-    cfg.connectionsPerVif = connections;
-    cfg.seed = seed;
-    opt.config = std::move(cfg);
-    opt.warmup = sim::milliseconds(static_cast<double>(warmup_ms));
-    opt.measure = sim::seconds(seconds);
-    opt.samplePeriod = sim::microseconds(sample_us);
-    return opt;
+    return finalize(std::move(st), error);
 }
 
-void
-applyObservability(System &sys, const CliOptions &opt)
+ObservabilitySession::ObservabilitySession(System &sys, const CliOptions &opt)
+    : sys_(sys),
+      traceFile_(opt.traceFile),
+      statsJsonFile_(opt.statsJsonFile)
 {
-    if (!opt.traceFile.empty()) {
-        sys.ctx().tracer().enable();
+    if (!traceFile_.empty()) {
+        sys_.ctx().tracer().enable();
         if (!opt.traceFilter.empty())
-            sys.ctx().tracer().setFilter(opt.traceFilter);
+            sys_.ctx().tracer().setFilter(opt.traceFilter);
     }
     // Sampling is useful on its own (the series land in --stats-json),
     // so it is keyed off the period, not the trace flag.
     if (opt.samplePeriod > 0)
-        sys.metrics().startSampling(opt.samplePeriod);
-    else if (!opt.statsJsonFile.empty())
+        sys_.metrics().startSampling(opt.samplePeriod);
+    else if (!statsJsonFile_.empty())
         // A stats dump with no explicit period still gets a coarse
         // time-series: one sample per simulated millisecond.
-        sys.metrics().startSampling(sim::milliseconds(1.0));
+        sys_.metrics().startSampling(sim::milliseconds(1.0));
+}
+
+ObservabilitySession::~ObservabilitySession()
+{
+    close(nullptr);
 }
 
 bool
-flushObservability(System &sys, const CliOptions &opt, std::string *error)
+ObservabilitySession::close(std::string *error)
 {
-    if (!opt.traceFile.empty() &&
-        !sys.ctx().tracer().writeChromeJson(opt.traceFile)) {
+    if (closed_)
+        return true;
+    closed_ = true;
+    if (!traceFile_.empty() &&
+        !sys_.ctx().tracer().writeChromeJson(traceFile_)) {
         if (error)
-            *error = "cannot write trace file: " + opt.traceFile;
+            *error = "cannot write trace file: " + traceFile_;
         return false;
     }
-    if (!opt.statsJsonFile.empty() &&
-        !sys.metrics().writeJson(opt.statsJsonFile)) {
+    if (!statsJsonFile_.empty() &&
+        !sys_.metrics().writeJson(statsJsonFile_)) {
         if (error)
-            *error = "cannot write stats file: " + opt.statsJsonFile;
+            *error = "cannot write stats file: " + statsJsonFile_;
         return false;
     }
     return true;
@@ -254,6 +510,11 @@ reportToJson(const Report &r)
     auto add = [&](const char *key, double value, bool last = false) {
         std::snprintf(buf, sizeof(buf), "  \"%s\": %.4f%s\n", key, value,
                       last ? "" : ",");
+        out += buf;
+    };
+    auto addU = [&](const char *key, std::uint64_t value) {
+        std::snprintf(buf, sizeof(buf), "  \"%s\": %llu,\n", key,
+                      static_cast<unsigned long long>(value));
         out += buf;
     };
     std::snprintf(buf, sizeof(buf), "  \"label\": \"%s\",\n",
@@ -275,12 +536,19 @@ reportToJson(const Report &r)
     add("latency_p50_us", r.latencyP50Us);
     add("latency_p99_us", r.latencyP99Us);
     add("fairness", r.fairness());
-    std::snprintf(buf, sizeof(buf),
-                  "  \"protection_faults\": %llu,\n"
-                  "  \"dma_violations\": %llu,\n",
-                  static_cast<unsigned long long>(r.protectionFaults),
-                  static_cast<unsigned long long>(r.dmaViolations));
-    out += buf;
+    addU("protection_faults", r.protectionFaults);
+    addU("dma_violations", r.dmaViolations);
+    addU("rx_drops_no_desc", r.rxDropsNoDesc);
+    addU("rx_drops_no_buf", r.rxDropsNoBuf);
+    addU("rx_drops_filter", r.rxDropsFilter);
+    addU("frames_dropped", r.faultFramesDropped);
+    addU("frames_corrupted", r.faultFramesCorrupted);
+    addU("frames_duplicated", r.faultFramesDuplicated);
+    addU("dma_delays", r.faultDmaDelays);
+    addU("firmware_stalls", r.firmwareStalls);
+    addU("guest_kills", r.guestKills);
+    addU("mailbox_timeouts", r.mailboxTimeouts);
+    addU("ring_resyncs", r.ringResyncs);
     out += "  \"per_guest_mbps\": [";
     for (std::size_t i = 0; i < r.perGuestMbps.size(); ++i) {
         std::snprintf(buf, sizeof(buf), "%s%.2f", i ? ", " : "",

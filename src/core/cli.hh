@@ -4,8 +4,12 @@
  *
  * Turns argv into a SystemConfig + run parameters and renders reports
  * as text or JSON, so scripts can sweep configurations without writing
- * C++.  Used by the `cdna_sim` tool; exposed as a library so the
- * parsing is unit-testable.
+ * C++.  Used by the `cdna_sim` and `chaos` tools; exposed as a library
+ * so the parsing is unit-testable.
+ *
+ * Parsing is table-driven: every option lives in one spec table (see
+ * cliOptionTable()) from which the usage text is generated, so a new
+ * flag cannot be parsed but undocumented or vice versa.
  */
 
 #ifndef CDNA_CORE_CLI_HH
@@ -35,7 +39,25 @@ struct CliOptions
     sim::Time samplePeriod = 0; //!< --sample-period US (0 = no sampling)
 };
 
-/** Usage text for the CLI. */
+/**
+ * One CLI option as rendered in the usage text.  The same table drives
+ * the parser, so tests can iterate it to check that every documented
+ * option is accepted.
+ */
+struct CliOptionSpec
+{
+    std::string name;    //!< e.g. "--mode"
+    std::string argName; //!< metavariable, empty for boolean flags
+    std::string help;    //!< one-line description ('\n' allowed)
+    std::string group;   //!< usage section heading
+
+    bool takesValue() const { return !argName.empty(); }
+};
+
+/** Every option the parser understands, in usage order. */
+const std::vector<CliOptionSpec> &cliOptionTable();
+
+/** Usage text for the CLI (generated from cliOptionTable()). */
 std::string cliUsage();
 
 /**
@@ -51,17 +73,39 @@ std::optional<CliOptions> parseCli(const std::vector<std::string> &args,
 std::string reportToJson(const Report &r);
 
 /**
- * Enable tracing / gauge sampling on @p sys per the parsed options.
- * Call once after constructing the System, before run().
+ * RAII wrapper around a run's observability outputs.
+ *
+ * Construction enables tracing and gauge sampling on @p sys per the
+ * parsed options; destruction writes the requested trace / stats files.
+ * Call close() before destruction to learn about I/O failures — the
+ * destructor flushes too, but has nowhere to report errors.
+ *
+ *   core::System sys(opt->config);
+ *   core::ObservabilitySession obs(sys, *opt);
+ *   core::Report r = sys.run(opt->warmup, opt->measure);
+ *   if (!obs.close(&error)) { ... }
  */
-void applyObservability(System &sys, const CliOptions &opt);
+class ObservabilitySession
+{
+  public:
+    ObservabilitySession(System &sys, const CliOptions &opt);
+    ~ObservabilitySession();
 
-/**
- * Write the trace and stats JSON files requested by @p opt.
- * Call after run().  @return false (with *error set) on I/O failure.
- */
-bool flushObservability(System &sys, const CliOptions &opt,
-                        std::string *error);
+    ObservabilitySession(const ObservabilitySession &) = delete;
+    ObservabilitySession &operator=(const ObservabilitySession &) = delete;
+
+    /**
+     * Write the trace and stats files now (idempotent; the destructor
+     * becomes a no-op).  @return false (with *error set) on failure.
+     */
+    bool close(std::string *error = nullptr);
+
+  private:
+    System &sys_;
+    std::string traceFile_;
+    std::string statsJsonFile_;
+    bool closed_ = false;
+};
 
 } // namespace cdna::core
 

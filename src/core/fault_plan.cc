@@ -1,0 +1,167 @@
+#include "core/fault_plan.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cdna::core {
+
+bool
+FaultPlan::empty() const
+{
+    return !rates().framesArmed() && !rates().dmaArmed() &&
+           firmwareStalls.empty() && guestKills.empty();
+}
+
+sim::FaultRates
+FaultPlan::rates() const
+{
+    sim::FaultRates r;
+    r.frameDrop = dropRate;
+    r.frameCorrupt = corruptRate;
+    r.frameDuplicate = dupRate;
+    r.dmaDelayChance = dmaDelayRate;
+    r.dmaDelay = sim::microseconds(dmaDelayUs);
+    return r;
+}
+
+namespace {
+
+bool
+parseDouble(const std::string &s, double *out)
+{
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseU32(const std::string &s, std::uint32_t *out)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        return false;
+    *out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+bool
+parseRate(const std::string &s, double *out)
+{
+    return parseDouble(s, out) && *out >= 0.0 && *out <= 1.0;
+}
+
+} // namespace
+
+std::optional<FaultPlan::FirmwareStall>
+parseStallSpec(const std::string &spec)
+{
+    std::size_t at = spec.find('@');
+    std::size_t colon = spec.find(':', at == std::string::npos ? 0 : at);
+    if (at == std::string::npos || colon == std::string::npos ||
+        colon < at)
+        return std::nullopt;
+    FaultPlan::FirmwareStall fs;
+    if (!parseU32(spec.substr(0, at), &fs.nic) ||
+        !parseDouble(spec.substr(at + 1, colon - at - 1), &fs.atMs) ||
+        !parseDouble(spec.substr(colon + 1), &fs.durMs) || fs.atMs < 0 ||
+        fs.durMs <= 0)
+        return std::nullopt;
+    return fs;
+}
+
+std::optional<FaultPlan::GuestKill>
+parseKillSpec(const std::string &spec)
+{
+    std::size_t at = spec.find('@');
+    if (at == std::string::npos)
+        return std::nullopt;
+    FaultPlan::GuestKill gk;
+    if (!parseU32(spec.substr(0, at), &gk.guest) ||
+        !parseDouble(spec.substr(at + 1), &gk.atMs) || gk.atMs < 0)
+        return std::nullopt;
+    return gk;
+}
+
+std::optional<FaultPlan>
+FaultPlan::parse(const std::string &text, std::string *error)
+{
+    auto fail = [&](std::size_t line_no,
+                    const std::string &line) -> std::optional<FaultPlan> {
+        if (error)
+            *error = "fault plan line " + std::to_string(line_no) +
+                     ": cannot parse \"" + line + "\"";
+        return std::nullopt;
+    };
+
+    FaultPlan plan;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key))
+            continue; // blank or comment-only line
+        std::vector<std::string> args;
+        std::string a;
+        while (ls >> a)
+            args.push_back(a);
+
+        if (key == "drop-rate" && args.size() == 1) {
+            if (!parseRate(args[0], &plan.dropRate))
+                return fail(line_no, line);
+        } else if (key == "corrupt-rate" && args.size() == 1) {
+            if (!parseRate(args[0], &plan.corruptRate))
+                return fail(line_no, line);
+        } else if (key == "dup-rate" && args.size() == 1) {
+            if (!parseRate(args[0], &plan.dupRate))
+                return fail(line_no, line);
+        } else if (key == "dma-delay" && args.size() == 2) {
+            if (!parseRate(args[0], &plan.dmaDelayRate) ||
+                !parseDouble(args[1], &plan.dmaDelayUs) ||
+                plan.dmaDelayUs < 0)
+                return fail(line_no, line);
+        } else if (key == "firmware-stall" &&
+                   (args.size() == 1 ||
+                    (args.size() == 2 && args[1] == "no-reset"))) {
+            auto fs = parseStallSpec(args[0]);
+            if (!fs)
+                return fail(line_no, line);
+            fs->watchdogReset = args.size() == 1;
+            plan.firmwareStalls.push_back(*fs);
+        } else if (key == "kill-guest" && args.size() == 1) {
+            auto gk = parseKillSpec(args[0]);
+            if (!gk)
+                return fail(line_no, line);
+            plan.guestKills.push_back(*gk);
+        } else {
+            return fail(line_no, line);
+        }
+    }
+    return plan;
+}
+
+std::optional<FaultPlan>
+FaultPlan::fromFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open fault plan: " + path;
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), error);
+}
+
+} // namespace cdna::core

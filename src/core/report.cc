@@ -25,6 +25,37 @@ Report::row() const
     return buf;
 }
 
+bool
+Report::anyFaultActivity() const
+{
+    return faultFramesDropped || faultFramesCorrupted ||
+           faultFramesDuplicated || faultDmaDelays || firmwareStalls ||
+           guestKills || mailboxTimeouts || ringResyncs;
+}
+
+std::string
+Report::faultSummary() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  drops: nodesc=%llu nobuf=%llu filter=%llu | faults: "
+        "drop=%llu corrupt=%llu dup=%llu dmadelay=%llu fwstall=%llu "
+        "kill=%llu | recovery: timeout=%llu resync=%llu",
+        static_cast<unsigned long long>(rxDropsNoDesc),
+        static_cast<unsigned long long>(rxDropsNoBuf),
+        static_cast<unsigned long long>(rxDropsFilter),
+        static_cast<unsigned long long>(faultFramesDropped),
+        static_cast<unsigned long long>(faultFramesCorrupted),
+        static_cast<unsigned long long>(faultFramesDuplicated),
+        static_cast<unsigned long long>(faultDmaDelays),
+        static_cast<unsigned long long>(firmwareStalls),
+        static_cast<unsigned long long>(guestKills),
+        static_cast<unsigned long long>(mailboxTimeouts),
+        static_cast<unsigned long long>(ringResyncs));
+    return buf;
+}
+
 double
 Report::fairness() const
 {

@@ -44,6 +44,19 @@ struct Report
     std::uint64_t protectionFaults = 0;
     std::uint64_t dmaViolations = 0;
     std::uint64_t rxDropsNoDesc = 0;
+    std::uint64_t rxDropsNoBuf = 0;  //!< NIC packet buffer exhausted
+    std::uint64_t rxDropsFilter = 0; //!< frame matched no context MAC
+
+    // Fault injection & recovery (totals over the window; all zero
+    // unless the run carries a fault plan).
+    std::uint64_t faultFramesDropped = 0;
+    std::uint64_t faultFramesCorrupted = 0;
+    std::uint64_t faultFramesDuplicated = 0;
+    std::uint64_t faultDmaDelays = 0;
+    std::uint64_t firmwareStalls = 0;
+    std::uint64_t guestKills = 0;
+    std::uint64_t mailboxTimeouts = 0; //!< driver watchdog expiries
+    std::uint64_t ringResyncs = 0;     //!< producer mailboxes re-rung
 
     /** Per-guest goodput (fairness analysis), Mb/s. */
     std::vector<double> perGuestMbps;
@@ -65,6 +78,15 @@ struct Report
 
     /** Header matching row(). */
     static std::string header();
+
+    /** True when any fault was injected or recovered from. */
+    bool anyFaultActivity() const;
+
+    /**
+     * One-line summary of RX drops and fault/recovery counters, for
+     * the text report ("drops: nodesc=3 ... resync=2").
+     */
+    std::string faultSummary() const;
 
     /** Min/max per-guest throughput ratio (1.0 = perfectly fair). */
     double fairness() const;

@@ -10,6 +10,15 @@ namespace cdna::core {
 
 System::System(SystemConfig cfg) : cfg_(std::move(cfg)), ctx_(cfg_.seed)
 {
+    // Install the injector before any component is built so fault
+    // hooks (driver watchdogs, link faults) see it from the start.  An
+    // empty plan installs nothing, keeping the run bit-identical to a
+    // fault-free build.
+    if (!cfg_.faults.empty()) {
+        faults_ = std::make_unique<sim::FaultInjector>(
+            ctx_, "faults", cfg_.seed, cfg_.faults.rates());
+        ctx_.setFaultInjector(faults_.get());
+    }
     buildCommon();
     switch (cfg_.mode) {
       case IoMode::kNative:
@@ -24,6 +33,8 @@ System::System(SystemConfig cfg) : cfg_(std::move(cfg)), ctx_(cfg_.seed)
     }
     startTimers();
     registerGauges();
+    if (faults_)
+        scheduleFaultEvents();
 }
 
 System::~System() = default;
@@ -67,8 +78,8 @@ System::buildCommon()
                 intelNics_.back()->dma().setIommu(iommu_.get());
         } else {
             auto params = cfg_.cdnaParams;
-            params.coalesce = cfg_.transmit ? cfg_.costs.cdnaCoalesce
-                                            : cfg_.costs.cdnaCoalesceRx;
+            params.coalesce = cfg_.transmitDir ? cfg_.costs.cdnaCoalesce
+                                               : cfg_.costs.cdnaCoalesceRx;
             params.seqnoCheck = cfg_.dmaProtection;
             cdnaNics_.push_back(std::make_unique<CdnaNic>(
                 ctx_, "cdna" + suffix, *buses_.back(), *mem_, i,
@@ -227,7 +238,7 @@ System::buildNative()
         stacks_.back()->setDefaultDst(peers_[i]->mac());
         workload::TrafficApp::Params ap;
         ap.connections = cfg_.connectionsPerVif;
-        ap.transmit = cfg_.transmit;
+        ap.transmit = cfg_.transmitDir;
         apps_.push_back(std::make_unique<workload::TrafficApp>(
             ctx_, "app0." + std::to_string(i), *stacks_.back(),
             cfg_.costs, ap));
@@ -301,7 +312,7 @@ System::buildXen()
             stacks_.back()->setDefaultDst(peers_[i]->mac());
             workload::TrafficApp::Params ap;
             ap.connections = cfg_.connectionsPerVif;
-            ap.transmit = cfg_.transmit;
+            ap.transmit = cfg_.transmitDir;
             apps_.push_back(std::make_unique<workload::TrafficApp>(
                 ctx_, "app" + std::to_string(g) + "." + std::to_string(i),
                 *stacks_.back(), cfg_.costs, ap));
@@ -355,7 +366,7 @@ System::buildCdna()
             stacks_.back()->setDefaultDst(peers_[i]->mac());
             workload::TrafficApp::Params ap;
             ap.connections = cfg_.connectionsPerVif;
-            ap.transmit = cfg_.transmit;
+            ap.transmit = cfg_.transmitDir;
             apps_.push_back(std::make_unique<workload::TrafficApp>(
                 ctx_, "app" + std::to_string(g) + "." + std::to_string(i),
                 *stacks_.back(), cfg_.costs, ap));
@@ -391,7 +402,7 @@ System::start()
     started_ = true;
     for (auto &app : apps_)
         app->start();
-    if (!cfg_.transmit) {
+    if (!cfg_.transmitDir) {
         // Receive experiments: the peer floods the guests' MACs at line
         // rate once the guests have had a moment to post RX buffers.
         for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
@@ -427,7 +438,7 @@ System::snapshot() const
             std::size_t idx = static_cast<std::size_t>(i) * guests_.size() + g;
             if (idx >= stacks_.size())
                 continue;
-            if (cfg_.transmit) {
+            if (cfg_.transmitDir) {
                 auto mac = cfg_.mode == IoMode::kNative
                                ? guestMac(0, i)
                                : guestMac(static_cast<std::uint32_t>(g), i);
@@ -455,10 +466,26 @@ System::snapshot() const
     s.switches = cpu_->domainSwitches();
     s.faults = hv_->faultCount();
     s.violations = mem_->violationCount();
-    for (const auto &n : intelNics_)
+    for (const auto &n : intelNics_) {
         s.rxDropsNoDesc += n->rxDropNoDesc();
-    for (const auto &n : cdnaNics_)
+        s.rxDropsNoBuf += n->rxDropNoBuf();
+        s.rxDropsFilter += n->rxDropFilter();
+    }
+    for (const auto &n : cdnaNics_) {
         s.rxDropsNoDesc += n->rxDropNoDesc();
+        s.rxDropsNoBuf += n->rxDropNoBuf();
+        s.rxDropsFilter += n->rxDropFilter();
+    }
+    if (faults_) {
+        s.faultFramesDropped = faults_->framesDropped();
+        s.faultFramesCorrupted = faults_->framesCorrupted();
+        s.faultFramesDuplicated = faults_->framesDuplicated();
+        s.faultDmaDelays = faults_->dmaDelays();
+        s.firmwareStalls = faults_->firmwareStalls();
+        s.guestKills = faults_->guestKills();
+        s.mailboxTimeouts = faults_->mailboxTimeouts();
+        s.ringResyncs = faults_->ringResyncs();
+    }
     return s;
 }
 
@@ -480,11 +507,11 @@ Report
 System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
 {
     Report r;
-    r.label = cfg_.label;
+    r.label = cfg_.effectiveLabel();
     r.window = window;
     double secs = sim::toSeconds(window);
 
-    std::uint64_t goodput_bytes = cfg_.transmit
+    std::uint64_t goodput_bytes = cfg_.transmitDir
         ? b.peerRxPayload - a.peerRxPayload
         : b.stackRxBytes - a.stackRxBytes;
     r.mbps = static_cast<double>(goodput_bytes) * 8.0 / secs / 1.0e6;
@@ -520,6 +547,18 @@ System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
     r.protectionFaults = b.faults - a.faults;
     r.dmaViolations = b.violations - a.violations;
     r.rxDropsNoDesc = b.rxDropsNoDesc - a.rxDropsNoDesc;
+    r.rxDropsNoBuf = b.rxDropsNoBuf - a.rxDropsNoBuf;
+    r.rxDropsFilter = b.rxDropsFilter - a.rxDropsFilter;
+    r.faultFramesDropped = b.faultFramesDropped - a.faultFramesDropped;
+    r.faultFramesCorrupted =
+        b.faultFramesCorrupted - a.faultFramesCorrupted;
+    r.faultFramesDuplicated =
+        b.faultFramesDuplicated - a.faultFramesDuplicated;
+    r.faultDmaDelays = b.faultDmaDelays - a.faultDmaDelays;
+    r.firmwareStalls = b.firmwareStalls - a.firmwareStalls;
+    r.guestKills = b.guestKills - a.guestKills;
+    r.mailboxTimeouts = b.mailboxTimeouts - a.mailboxTimeouts;
+    r.ringResyncs = b.ringResyncs - a.ringResyncs;
 
     r.perGuestMbps.resize(guests_.size());
     for (std::size_t g = 0; g < guests_.size(); ++g) {
@@ -533,7 +572,7 @@ System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
     sim::Histogram merged;
     double lat_sum = 0.0;
     std::uint64_t lat_n = 0;
-    if (cfg_.transmit) {
+    if (cfg_.transmitDir) {
         for (const auto &p : peers_) {
             merged.merge(p->latencyHist());
             lat_sum += p->latency().sum();
@@ -570,6 +609,36 @@ vmm::Domain *
 System::guestDomain(std::uint32_t g)
 {
     return g < guests_.size() ? guests_[g] : nullptr;
+}
+
+void
+System::scheduleFaultEvents()
+{
+    for (const auto &fs : cfg_.faults.firmwareStalls) {
+        if (fs.nic >= cdnaNics_.size())
+            continue; // no CDNA NIC with that index in this mode
+        CdnaNic *nic = cdnaNics_[fs.nic].get();
+        ctx_.events().schedule(
+            sim::milliseconds(fs.atMs), [this, nic, fs] {
+                faults_->noteFirmwareStall();
+                nic->stallFirmware(sim::milliseconds(fs.durMs),
+                                   fs.watchdogReset);
+            });
+    }
+    for (const auto &gk : cfg_.faults.guestKills)
+        ctx_.events().schedule(sim::milliseconds(gk.atMs),
+                               [this, g = gk.guest] { killGuest(g); });
+}
+
+bool
+System::killGuest(std::uint32_t guest)
+{
+    bool any = false;
+    for (std::uint32_t i = 0; i < cfg_.numNics; ++i)
+        any = revokeGuestContext(guest, i) || any;
+    if (any && faults_)
+        faults_->noteGuestKill();
+    return any;
 }
 
 bool
@@ -612,54 +681,99 @@ System::app(std::uint32_t guest, std::uint32_t nic)
 }
 
 SystemConfig
-makeNativeConfig(std::uint32_t num_nics, bool transmit)
+SystemConfig::native(std::uint32_t nics)
 {
     SystemConfig cfg;
     cfg.mode = IoMode::kNative;
     cfg.nicKind = NicKind::kIntel;
     cfg.numGuests = 1;
-    cfg.numNics = num_nics;
-    cfg.transmit = transmit;
-    cfg.label = std::string("native/") + (transmit ? "tx" : "rx");
+    cfg.numNics = nics;
     return cfg;
 }
 
 SystemConfig
-makeXenIntelConfig(std::uint32_t guests, bool transmit)
+SystemConfig::xenIntel(std::uint32_t guests)
 {
     SystemConfig cfg;
     cfg.mode = IoMode::kXen;
     cfg.nicKind = NicKind::kIntel;
     cfg.numGuests = guests;
-    cfg.transmit = transmit;
-    cfg.label = std::string("xen-intel/") + (transmit ? "tx" : "rx");
     return cfg;
 }
 
 SystemConfig
-makeXenRiceConfig(std::uint32_t guests, bool transmit)
+SystemConfig::xenRice(std::uint32_t guests)
 {
     SystemConfig cfg;
     cfg.mode = IoMode::kXen;
     cfg.nicKind = NicKind::kRice;
     cfg.numGuests = guests;
-    cfg.transmit = transmit;
-    cfg.label = std::string("xen-ricenic/") + (transmit ? "tx" : "rx");
     return cfg;
 }
 
 SystemConfig
-makeCdnaConfig(std::uint32_t guests, bool transmit, bool protection)
+SystemConfig::cdna(std::uint32_t guests)
 {
     SystemConfig cfg;
     cfg.mode = IoMode::kCdna;
     cfg.nicKind = NicKind::kRice;
     cfg.numGuests = guests;
-    cfg.transmit = transmit;
-    cfg.dmaProtection = protection;
-    cfg.label = std::string("cdna/") + (transmit ? "tx" : "rx") +
-                (protection ? "" : "/noprot");
     return cfg;
 }
+
+std::string
+SystemConfig::effectiveLabel() const
+{
+    if (!label.empty())
+        return label;
+    std::string base;
+    switch (mode) {
+      case IoMode::kNative:
+        base = "native";
+        break;
+      case IoMode::kXen:
+        base = nicKind == NicKind::kIntel ? "xen-intel" : "xen-ricenic";
+        break;
+      case IoMode::kCdna:
+        base = "cdna";
+        break;
+    }
+    base += transmitDir ? "/tx" : "/rx";
+    if (mode == IoMode::kCdna && !dmaProtection)
+        base += "/noprot";
+    return base;
+}
+
+// The shims funnel into the named constructors; suppress their own
+// deprecation warnings.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+SystemConfig
+makeNativeConfig(std::uint32_t num_nics, bool transmit)
+{
+    return SystemConfig::native(num_nics).transmit(transmit);
+}
+
+SystemConfig
+makeXenIntelConfig(std::uint32_t guests, bool transmit)
+{
+    return SystemConfig::xenIntel(guests).transmit(transmit);
+}
+
+SystemConfig
+makeXenRiceConfig(std::uint32_t guests, bool transmit)
+{
+    return SystemConfig::xenRice(guests).transmit(transmit);
+}
+
+SystemConfig
+makeCdnaConfig(std::uint32_t guests, bool transmit, bool protection)
+{
+    return SystemConfig::cdna(guests).transmit(transmit).withProtection(
+        protection);
+}
+
+#pragma GCC diagnostic pop
 
 } // namespace cdna::core

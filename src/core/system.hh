@@ -36,6 +36,7 @@
 #include "core/cdna_nic.hh"
 #include "core/cost_model.hh"
 #include "core/dma_protection.hh"
+#include "core/fault_plan.hh"
 #include "core/report.hh"
 #include "mem/grant_table.hh"
 #include "mem/iommu.hh"
@@ -56,6 +57,19 @@ enum class IoMode { kNative, kXen, kCdna };
 /** Physical NIC model. */
 enum class NicKind { kIntel, kRice };
 
+/**
+ * System configuration.
+ *
+ * Build one fluently from a named constructor matching the paper's
+ * rows, e.g.:
+ *
+ *   auto cfg = SystemConfig::cdna(4).transmit(false)
+ *                  .withProtection(false)
+ *                  .withFaults(FaultPlan{}.dropping(0.01));
+ *
+ * All fields remain public for ablations; the fluent setters only make
+ * the common paths read well.
+ */
 struct SystemConfig
 {
     IoMode mode = IoMode::kCdna;
@@ -68,14 +82,113 @@ struct SystemConfig
     bool xenRxCopyMode = false;
     mem::Iommu::Mode iommuMode = mem::Iommu::Mode::kNone;
     /** Workload direction: transmit from guests, or receive into them. */
-    bool transmit = true;
+    bool transmitDir = true;
     std::uint32_t connectionsPerVif = 2;
     std::uint64_t seed = 1;
     std::uint64_t memoryPages = 256 * 1024; // 1 GB
     CostModel costs{};
     CdnaNicParams cdnaParams{};
     nic::IntelNicParams intelParams{};
+    /** Explicit report label; empty derives one (see effectiveLabel()). */
     std::string label;
+    /** Fault plan; an empty plan injects nothing (see fault_plan.hh). */
+    FaultPlan faults{};
+
+    // --- named constructors (the paper's configurations) -----------------
+    /** Native Linux owning @p nics NICs directly (Table 1 baseline). */
+    static SystemConfig native(std::uint32_t nics = 2);
+    /** Xen split drivers over the Intel NIC (Tables 2-3 "Xen"). */
+    static SystemConfig xenIntel(std::uint32_t guests = 1);
+    /** Xen split drivers over the RiceNIC ("Xen/RiceNIC" rows). */
+    static SystemConfig xenRice(std::uint32_t guests = 1);
+    /** CDNA: per-guest hardware contexts (section 3). */
+    static SystemConfig cdna(std::uint32_t guests = 1);
+
+    // --- fluent setters ---------------------------------------------------
+    /** Workload direction: guests transmit (default) or receive. */
+    SystemConfig &
+    transmit(bool tx = true)
+    {
+        transmitDir = tx;
+        return *this;
+    }
+
+    SystemConfig &
+    receive()
+    {
+        transmitDir = false;
+        return *this;
+    }
+
+    SystemConfig &
+    withGuests(std::uint32_t n)
+    {
+        numGuests = n;
+        return *this;
+    }
+
+    SystemConfig &
+    withNics(std::uint32_t n)
+    {
+        numNics = n;
+        return *this;
+    }
+
+    SystemConfig &
+    withProtection(bool on)
+    {
+        dmaProtection = on;
+        return *this;
+    }
+
+    SystemConfig &
+    withIommu(mem::Iommu::Mode m)
+    {
+        iommuMode = m;
+        return *this;
+    }
+
+    SystemConfig &
+    withRxCopy(bool on)
+    {
+        xenRxCopyMode = on;
+        return *this;
+    }
+
+    SystemConfig &
+    withConnections(std::uint32_t n)
+    {
+        connectionsPerVif = n;
+        return *this;
+    }
+
+    SystemConfig &
+    withSeed(std::uint64_t s)
+    {
+        seed = s;
+        return *this;
+    }
+
+    SystemConfig &
+    withLabel(std::string l)
+    {
+        label = std::move(l);
+        return *this;
+    }
+
+    SystemConfig &
+    withFaults(FaultPlan plan)
+    {
+        faults = std::move(plan);
+        return *this;
+    }
+
+    /**
+     * The report label: the explicit label if set, otherwise derived
+     * from mode/direction/protection ("cdna/tx", "xen-intel/rx",
+     * "cdna/tx/noprot", ...) so it always matches the configuration.
+     */
+    std::string effectiveLabel() const;
 };
 
 class System
@@ -129,6 +242,18 @@ class System
      * @retval true the context existed and was revoked
      */
     bool revokeGuestContext(std::uint32_t guest, std::uint32_t nic);
+
+    /**
+     * Simulate a guest crash: revoke its context on every NIC (fault
+     * plans schedule this via FaultPlan::killingGuest).  CDNA mode
+     * only.
+     * @retval true at least one context was revoked
+     */
+    bool killGuest(std::uint32_t guest);
+
+    /** Fault injector, or null when the fault plan is empty. */
+    sim::FaultInjector *faultInjector() { return faults_.get(); }
+
     os::NetStack &stack(std::uint32_t guest, std::uint32_t nic);
     workload::TrafficApp &app(std::uint32_t guest, std::uint32_t nic);
 
@@ -146,9 +271,20 @@ class System
         std::uint64_t faults = 0;
         std::uint64_t violations = 0;
         std::uint64_t rxDropsNoDesc = 0;
+        std::uint64_t rxDropsNoBuf = 0;
+        std::uint64_t rxDropsFilter = 0;
+        std::uint64_t faultFramesDropped = 0;
+        std::uint64_t faultFramesCorrupted = 0;
+        std::uint64_t faultFramesDuplicated = 0;
+        std::uint64_t faultDmaDelays = 0;
+        std::uint64_t firmwareStalls = 0;
+        std::uint64_t guestKills = 0;
+        std::uint64_t mailboxTimeouts = 0;
+        std::uint64_t ringResyncs = 0;
     };
 
     void buildCommon();
+    void scheduleFaultEvents();
     void registerGauges();
     void buildNative();
     void buildXen();
@@ -163,6 +299,7 @@ class System
     SystemConfig cfg_;
     sim::SimContext ctx_;
     sim::MetricsRegistry metrics_{ctx_};
+    std::unique_ptr<sim::FaultInjector> faults_;
     std::unique_ptr<mem::PhysMemory> mem_;
     std::unique_ptr<cpu::SimCpu> cpu_;
     std::unique_ptr<vmm::Hypervisor> hv_;
@@ -198,10 +335,16 @@ class System
     bool started_ = false;
 };
 
-/** Preset configuration helpers matching the paper's rows. */
+// --- deprecated preset helpers ------------------------------------------
+// Thin shims over the named constructors, kept for source compatibility.
+[[deprecated("use SystemConfig::native(nics).transmit(tx)")]]
 SystemConfig makeNativeConfig(std::uint32_t num_nics, bool transmit);
+[[deprecated("use SystemConfig::xenIntel(guests).transmit(tx)")]]
 SystemConfig makeXenIntelConfig(std::uint32_t guests, bool transmit);
+[[deprecated("use SystemConfig::xenRice(guests).transmit(tx)")]]
 SystemConfig makeXenRiceConfig(std::uint32_t guests, bool transmit);
+[[deprecated(
+    "use SystemConfig::cdna(guests).transmit(tx).withProtection(prot)")]]
 SystemConfig makeCdnaConfig(std::uint32_t guests, bool transmit,
                             bool protection = true);
 

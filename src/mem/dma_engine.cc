@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/fault_injector.hh"
+
 namespace cdna::mem {
 
 std::uint64_t
@@ -66,6 +68,18 @@ DmaEngine::doTransfer(const SgList &sg, DomainId behalf, ContextId cxt,
                 result.safe = false;
         }
         carried += e.len;
+    }
+    // Fault injection: a delayed completion widens the window between a
+    // descriptor being consumed and its pages being released, stressing
+    // the protection layer's deferred-reallocation rule.
+    sim::Time extra = 0;
+    if (sim::FaultInjector *fi = ctx().faultInjector(); fi && fi->dmaArmed())
+        extra = fi->dmaDelay();
+    if (extra > 0) {
+        bus_.transfer(carried, [this, cb = std::move(cb), result, extra] {
+            events().schedule(extra, [cb, result] { cb(result); });
+        });
+        return;
     }
     bus_.transfer(carried, [cb = std::move(cb), result] { cb(result); });
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/assert.hh"
+#include "sim/fault_injector.hh"
 
 namespace cdna::net {
 
@@ -18,6 +19,9 @@ EthLink::EthLink(sim::SimContext &ctx, std::string name, double bits_per_sec,
     aToB_.payloadBytes = &stats().addCounter("a2b_payload_bytes");
     bToA_.frames = &stats().addCounter("b2a_frames");
     bToA_.payloadBytes = &stats().addCounter("b2a_payload_bytes");
+    faultDrops_ = &stats().addCounter("fault_drops");
+    faultCorrupts_ = &stats().addCounter("fault_corrupts");
+    faultDups_ = &stats().addCounter("fault_dups");
 }
 
 void
@@ -69,12 +73,39 @@ EthLink::send(Side from, Packet pkt, sim::Time extra_gap,
     if (serialized)
         events().scheduleAt(end, std::move(serialized));
 
+    // Fault injection: the frame still occupied the wire, but it may
+    // never reach the far side (drop, or corrupt = bad FCS discarded by
+    // the receiving MAC), or arrive twice (duplicate).
+    auto fate = sim::FaultInjector::FrameFault::kNone;
+    if (sim::FaultInjector *fi = ctx().faultInjector();
+        fi && fi->framesArmed())
+        fate = fi->frameFault();
+    if (fate == sim::FaultInjector::FrameFault::kDrop ||
+        fate == sim::FaultInjector::FrameFault::kCorrupt) {
+        (fate == sim::FaultInjector::FrameFault::kDrop ? faultDrops_
+                                                       : faultCorrupts_)
+            ->inc();
+        return end;
+    }
+
     // Packets leave host memory when they hit the wire.
     pkt.hostSg.clear();
+    Packet dup;
+    if (fate == sim::FaultInjector::FrameFault::kDuplicate) {
+        faultDups_->inc();
+        dup = pkt;
+        dup.duplicated = true;
+    }
     events().scheduleAt(end + propagation_,
                         [dest = d.dest, p = std::move(pkt)]() mutable {
                             dest->receiveFrame(std::move(p));
                         });
+    if (fate == sim::FaultInjector::FrameFault::kDuplicate)
+        // FIFO ties: arrives right behind the original.
+        events().scheduleAt(end + propagation_,
+                            [dest = d.dest, p = std::move(dup)]() mutable {
+                                dest->receiveFrame(std::move(p));
+                            });
     return end;
 }
 

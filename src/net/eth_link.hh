@@ -90,6 +90,9 @@ class EthLink : public sim::SimObject
     sim::Time propagation_;
     Dir aToB_;
     Dir bToA_;
+    sim::Counter *faultDrops_ = nullptr;
+    sim::Counter *faultCorrupts_ = nullptr;
+    sim::Counter *faultDups_ = nullptr;
 };
 
 } // namespace cdna::net

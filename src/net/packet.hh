@@ -93,6 +93,13 @@ struct Packet
     std::uint64_t id = 0;             //!< unique id for tracing
     std::uint64_t flowId = 0;         //!< connection the packet belongs to
     sim::Time created = 0;            //!< creation time (latency stats)
+    /**
+     * Injected duplicate of an already-delivered frame (fault
+     * injection).  Duplicates consume wire, NIC, and stack resources
+     * but are excluded from goodput, latency, and ACK accounting so
+     * faults can only ever lower measured throughput.
+     */
+    bool duplicated = false;
 
     /** Number of wire frames this packet occupies. */
     std::uint32_t

@@ -12,7 +12,8 @@ TrafficPeer::TrafficPeer(sim::SimContext &ctx, std::string name,
       side_(side),
       nRxFrames_(stats().addCounter("rx_frames")),
       nRxPayload_(stats().addCounter("rx_payload_bytes")),
-      nTxFrames_(stats().addCounter("tx_frames"))
+      nTxFrames_(stats().addCounter("tx_frames")),
+      nRxDups_(stats().addCounter("rx_duplicates"))
 {
     // Derive the peer's MAC from its name so it is stable per component
     // regardless of construction order; peers live in a reserved id range
@@ -102,6 +103,12 @@ void
 TrafficPeer::receiveFrame(Packet pkt)
 {
     nRxFrames_.inc(pkt.wireFrames());
+    if (pkt.duplicated) {
+        // Injected duplicate: TCP discards it, so it contributes
+        // nothing to goodput, latency, windows, or the ACK clock.
+        nRxDups_.inc();
+        return;
+    }
     nRxPayload_.inc(pkt.payloadBytes);
     rxBySrc_[pkt.src] += pkt.payloadBytes;
 

@@ -114,6 +114,7 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
     sim::Counter &nRxFrames_;
     sim::Counter &nRxPayload_;
     sim::Counter &nTxFrames_;
+    sim::Counter &nRxDups_;
 };
 
 } // namespace cdna::net

@@ -9,7 +9,8 @@ namespace cdna::nic {
 
 FirmwareProc::FirmwareProc(sim::SimContext &ctx, std::string name)
     : sim::SimObject(ctx, std::move(name)),
-      nJobs_(stats().addCounter("jobs"))
+      nJobs_(stats().addCounter("jobs")),
+      nStalls_(stats().addCounter("stalls"))
 {
 }
 
@@ -29,6 +30,18 @@ sim::Time
 FirmwareProc::estimate(sim::Time cost) const
 {
     return std::max(now(), busyUntil_) + cost;
+}
+
+void
+FirmwareProc::stall(sim::Time duration)
+{
+    SIM_ASSERT(duration >= 0, "negative firmware stall");
+    nStalls_.inc();
+    sim::Time start = std::max(now(), busyUntil_);
+    busyUntil_ = start + duration;
+    busyAccum_ += duration;
+    CDNA_TRACE_SPAN(ctx().tracer(), traceLane(), "fw_stall", start,
+                    duration);
 }
 
 double

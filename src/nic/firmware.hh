@@ -36,6 +36,14 @@ class FirmwareProc : public sim::SimObject
     /** Completion time a job of @p cost would get if submitted now. */
     sim::Time estimate(sim::Time cost) const;
 
+    /**
+     * Wedge the processor for @p duration (fault injection): queued and
+     * newly submitted jobs execute only after the stall ends.
+     */
+    void stall(sim::Time duration);
+
+    std::uint64_t stallCount() const { return nStalls_.value(); }
+
     /** Fraction of elapsed time the processor has been busy. */
     double utilization(sim::Time elapsed) const;
 
@@ -48,6 +56,7 @@ class FirmwareProc : public sim::SimObject
     sim::Time busyUntil_ = 0;
     sim::Time busyAccum_ = 0;
     sim::Counter &nJobs_;
+    sim::Counter &nStalls_;
 };
 
 } // namespace cdna::nic

@@ -131,6 +131,18 @@ class MailboxEventHier
         level0_ &= ~(1u << cxt);
     }
 
+    /**
+     * Drop every pending event (firmware watchdog reboot): the
+     * scratchpad is volatile, so undecoded doorbells are simply lost
+     * and drivers must re-ring them.
+     */
+    void
+    clearAll()
+    {
+        level0_ = 0;
+        level1_.fill(0);
+    }
+
   private:
     std::uint32_t level0_ = 0;
     std::array<std::uint32_t, kMaxContexts> level1_{};

@@ -17,7 +17,8 @@ NetStack::NetStack(sim::SimContext &ctx, std::string name, vmm::Domain &dom,
       nTxBytes_(stats().addCounter("tx_bytes")),
       nRxBytes_(stats().addCounter("rx_bytes")),
       nRxPkts_(stats().addCounter("rx_packets")),
-      nTxStalls_(stats().addCounter("tx_stalls"))
+      nTxStalls_(stats().addCounter("tx_stalls")),
+      nRxDups_(stats().addCounter("rx_duplicates"))
 {
     dev_.setRxHandler([this](net::Packet pkt) { onRxPacket(std::move(pkt)); });
     dev_.setTxCompleteHandler([this](std::uint64_t bytes) {
@@ -111,6 +112,12 @@ NetStack::pushToDevice()
 void
 NetStack::onRxPacket(net::Packet pkt)
 {
+    if (pkt.duplicated) {
+        // TCP sequence check discards injected duplicates before they
+        // count toward goodput, latency, or the delayed-ACK clock.
+        nRxDups_.inc();
+        return;
+    }
     if (pkt.payloadBytes == 0) {
         // Pure TCP ACK: cheap to process, never re-acknowledged.
         rxBatchAcks_ += 1;

@@ -99,6 +99,7 @@ class NetStack : public sim::SimObject
     sim::Counter &nRxBytes_;
     sim::Counter &nRxPkts_;
     sim::Counter &nTxStalls_;
+    sim::Counter &nRxDups_;
 };
 
 } // namespace cdna::os

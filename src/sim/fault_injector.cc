@@ -1,0 +1,104 @@
+#include "sim/fault_injector.hh"
+
+#include <utility>
+
+#include "sim/trace.hh"
+
+namespace cdna::sim {
+
+FaultInjector::FaultInjector(SimContext &ctx, std::string name,
+                             std::uint64_t system_seed, FaultRates rates)
+    : SimObject(ctx, std::move(name)),
+      rates_(rates),
+      rng_(faultStreamSeed(system_seed)),
+      nDrop_(stats().addCounter("frames_dropped")),
+      nCorrupt_(stats().addCounter("frames_corrupted")),
+      nDup_(stats().addCounter("frames_duplicated")),
+      nDmaDelay_(stats().addCounter("dma_delays")),
+      nFwStall_(stats().addCounter("firmware_stalls")),
+      nFwReset_(stats().addCounter("firmware_resets")),
+      nGuestKill_(stats().addCounter("guest_kills")),
+      nMboxTimeout_(stats().addCounter("mailbox_timeouts")),
+      nRingResync_(stats().addCounter("ring_resyncs"))
+{
+}
+
+FaultInjector::FrameFault
+FaultInjector::frameFault()
+{
+    if (!rates_.framesArmed())
+        return FrameFault::kNone;
+    // One draw decides the frame's fate; the sub-ranges partition [0,1).
+    double u = rng_.uniform();
+    if (u < rates_.frameDrop) {
+        nDrop_.inc();
+        CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "frame_drop",
+                           now());
+        return FrameFault::kDrop;
+    }
+    u -= rates_.frameDrop;
+    if (u < rates_.frameCorrupt) {
+        nCorrupt_.inc();
+        CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "frame_corrupt",
+                           now());
+        return FrameFault::kCorrupt;
+    }
+    u -= rates_.frameCorrupt;
+    if (u < rates_.frameDuplicate) {
+        nDup_.inc();
+        CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "frame_dup",
+                           now());
+        return FrameFault::kDuplicate;
+    }
+    return FrameFault::kNone;
+}
+
+Time
+FaultInjector::dmaDelay()
+{
+    if (!rates_.dmaArmed() || !rng_.chance(rates_.dmaDelayChance))
+        return 0;
+    nDmaDelay_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "dma_delay", now());
+    return rates_.dmaDelay;
+}
+
+void
+FaultInjector::noteFirmwareStall()
+{
+    nFwStall_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "firmware_stall",
+                       now());
+}
+
+void
+FaultInjector::noteFirmwareReset()
+{
+    nFwReset_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "firmware_reset",
+                       now());
+}
+
+void
+FaultInjector::noteGuestKill()
+{
+    nGuestKill_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "guest_kill", now());
+}
+
+void
+FaultInjector::noteMailboxTimeout()
+{
+    nMboxTimeout_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "mailbox_timeout",
+                       now());
+}
+
+void
+FaultInjector::noteRingResync()
+{
+    nRingResync_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "ring_resync", now());
+}
+
+} // namespace cdna::sim

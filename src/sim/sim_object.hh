@@ -23,6 +23,7 @@
 namespace cdna::sim {
 
 class SimObject;
+class FaultInjector;
 
 /** Shared simulation services: clock, randomness, component registry. */
 class SimContext
@@ -44,6 +45,15 @@ class SimContext
     void registerObject(SimObject *obj) { objects_.push_back(obj); }
     const std::vector<SimObject *> &objects() const { return objects_; }
 
+    /**
+     * Fault injector, or null when no faults are configured.  Fault
+     * hooks throughout the simulator key off this pointer and must not
+     * change behavior at all while it is null (see
+     * sim/fault_injector.hh).
+     */
+    FaultInjector *faultInjector() { return faults_; }
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
     /** Dump every registered component's stats (debugging aid). */
     std::string dumpStats() const;
 
@@ -52,6 +62,7 @@ class SimContext
     Rng rng_;
     Tracer tracer_;
     std::vector<SimObject *> objects_;
+    FaultInjector *faults_ = nullptr;
 };
 
 /** A named component bound to a SimContext. */

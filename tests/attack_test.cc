@@ -22,7 +22,7 @@ struct AttackFixture : ::testing::TestWithParam<bool>
     SystemConfig
     baseConfig(bool protection)
     {
-        SystemConfig cfg = makeCdnaConfig(2, true, protection);
+        SystemConfig cfg = SystemConfig::cdna(2).withProtection(protection);
         cfg.numNics = 1;
         return cfg;
     }
@@ -201,7 +201,7 @@ TEST_F(AttackFixture, PerContextIommuBlocksDirectForeignDma)
 {
     // Section 5.3: with a context-aware IOMMU, even the unprotected
     // direct path cannot reach foreign memory.
-    SystemConfig cfg = makeCdnaConfig(2, true, false);
+    SystemConfig cfg = SystemConfig::cdna(2).withProtection(false);
     cfg.numNics = 1;
     cfg.iommuMode = mem::Iommu::Mode::kPerContext;
     System sys(cfg);

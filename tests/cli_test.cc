@@ -1,12 +1,17 @@
 /**
  * @file
  * Unit tests for the command-line front end: argument parsing, config
- * mapping, error handling, and JSON report rendering.
+ * mapping, the option table, fault-injection flags, error handling,
+ * ObservabilitySession, and JSON report rendering.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "core/cli.hh"
+#include "core/fault_plan.hh"
 
 using namespace cdna;
 using namespace cdna::core;
@@ -21,6 +26,19 @@ parse(std::initializer_list<const char *> args, std::string *err = nullptr)
     return parseCli(v, err ? err : &local);
 }
 
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream f(path);
+    return f.good();
+}
+
 } // namespace
 
 TEST(Cli, DefaultsAreCdnaTransmit)
@@ -28,7 +46,7 @@ TEST(Cli, DefaultsAreCdnaTransmit)
     auto opt = parse({});
     ASSERT_TRUE(opt.has_value());
     EXPECT_EQ(opt->config.mode, IoMode::kCdna);
-    EXPECT_TRUE(opt->config.transmit);
+    EXPECT_TRUE(opt->config.transmitDir);
     EXPECT_EQ(opt->config.numGuests, 1u);
     EXPECT_EQ(opt->config.numNics, 2u);
     EXPECT_TRUE(opt->config.dmaProtection);
@@ -55,7 +73,7 @@ TEST(Cli, TopologyAndWorkload)
     ASSERT_TRUE(opt.has_value());
     EXPECT_EQ(opt->config.numGuests, 8u);
     EXPECT_EQ(opt->config.numNics, 3u);
-    EXPECT_FALSE(opt->config.transmit);
+    EXPECT_FALSE(opt->config.transmitDir);
     EXPECT_EQ(opt->config.connectionsPerVif, 5u);
     EXPECT_EQ(opt->config.seed, 9u);
 }
@@ -99,6 +117,119 @@ TEST(Cli, ErrorsAreReported)
     EXPECT_NE(err.find("--nonsense"), std::string::npos);
 }
 
+// ----------------------------------------------------- option table ----
+
+TEST(Cli, OptionTableDrivesUsageText)
+{
+    std::string usage = cliUsage();
+    ASSERT_FALSE(cliOptionTable().empty());
+    for (const CliOptionSpec &s : cliOptionTable()) {
+        EXPECT_NE(usage.find(s.name), std::string::npos) << s.name;
+        EXPECT_NE(usage.find(s.group + ":"), std::string::npos) << s.group;
+        if (s.takesValue()) {
+            EXPECT_NE(usage.find(s.name + " " + s.argName),
+                      std::string::npos)
+                << s.name;
+        }
+    }
+}
+
+TEST(Cli, EveryTableOptionIsParsed)
+{
+    // Any option in the table must be recognized by the parser: it may
+    // reject a bogus value, but never as "unknown option".
+    for (const CliOptionSpec &s : cliOptionTable()) {
+        std::vector<std::string> args{s.name};
+        if (s.takesValue())
+            args.push_back("0");
+        std::string err;
+        auto opt = parseCli(args, &err);
+        if (!opt) {
+            EXPECT_EQ(err.find("unknown option"), std::string::npos)
+                << s.name << ": " << err;
+        }
+    }
+}
+
+// ------------------------------------------------------- fault flags ----
+
+TEST(CliFault, FaultFlagsBuildPlan)
+{
+    auto opt = parse({"--drop-rate", "0.01", "--corrupt-rate=0.002",
+                      "--dup-rate", "0.001", "--dma-delay-rate", "0.05",
+                      "--dma-delay-us", "30", "--firmware-stall", "0@20:5",
+                      "--kill-guest", "1@40"});
+    ASSERT_TRUE(opt.has_value());
+    const FaultPlan &p = opt->config.faults;
+    EXPECT_FALSE(p.empty());
+    EXPECT_DOUBLE_EQ(p.dropRate, 0.01);
+    EXPECT_DOUBLE_EQ(p.corruptRate, 0.002);
+    EXPECT_DOUBLE_EQ(p.dupRate, 0.001);
+    EXPECT_DOUBLE_EQ(p.dmaDelayRate, 0.05);
+    EXPECT_DOUBLE_EQ(p.dmaDelayUs, 30.0);
+    ASSERT_EQ(p.firmwareStalls.size(), 1u);
+    EXPECT_EQ(p.firmwareStalls[0].nic, 0u);
+    EXPECT_DOUBLE_EQ(p.firmwareStalls[0].atMs, 20.0);
+    EXPECT_DOUBLE_EQ(p.firmwareStalls[0].durMs, 5.0);
+    EXPECT_TRUE(p.firmwareStalls[0].watchdogReset);
+    ASSERT_EQ(p.guestKills.size(), 1u);
+    EXPECT_EQ(p.guestKills[0].guest, 1u);
+    EXPECT_DOUBLE_EQ(p.guestKills[0].atMs, 40.0);
+}
+
+TEST(CliFault, DefaultPlanIsEmpty)
+{
+    auto opt = parse({});
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_TRUE(opt->config.faults.empty());
+}
+
+TEST(CliFault, DmaDelayRateGetsDefaultLatency)
+{
+    auto opt = parse({"--dma-delay-rate", "0.1"});
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_DOUBLE_EQ(opt->config.faults.dmaDelayUs, 25.0);
+}
+
+TEST(CliFault, BadFaultFlagsRejected)
+{
+    std::string err;
+    EXPECT_FALSE(parse({"--drop-rate", "1.5"}, &err).has_value());
+    EXPECT_NE(err.find("--drop-rate"), std::string::npos);
+    EXPECT_FALSE(parse({"--corrupt-rate", "-0.1"}, &err).has_value());
+    EXPECT_FALSE(parse({"--dma-delay-us", "0"}, &err).has_value());
+    EXPECT_FALSE(parse({"--firmware-stall", "abc"}, &err).has_value());
+    EXPECT_NE(err.find("--firmware-stall"), std::string::npos);
+    EXPECT_FALSE(parse({"--kill-guest", "1:40"}, &err).has_value());
+    std::string missing = tempPath("no-such-plan.txt");
+    EXPECT_FALSE(parse({"--fault-plan", missing.c_str()}, &err).has_value());
+}
+
+TEST(CliFault, FaultPlanFileLoaded)
+{
+    std::string path = tempPath("cli_fault_plan.txt");
+    {
+        std::ofstream f(path);
+        f << "# test plan\n"
+             "drop-rate 0.02\n"
+             "firmware-stall 1@10:2 no-reset\n"
+             "kill-guest 0@30\n";
+    }
+    auto opt = parse({"--fault-plan", path.c_str(), "--dup-rate", "0.005"});
+    std::remove(path.c_str());
+    ASSERT_TRUE(opt.has_value());
+    const FaultPlan &p = opt->config.faults;
+    EXPECT_DOUBLE_EQ(p.dropRate, 0.02);
+    EXPECT_DOUBLE_EQ(p.dupRate, 0.005); // flag after the file still applies
+    ASSERT_EQ(p.firmwareStalls.size(), 1u);
+    EXPECT_EQ(p.firmwareStalls[0].nic, 1u);
+    EXPECT_FALSE(p.firmwareStalls[0].watchdogReset);
+    ASSERT_EQ(p.guestKills.size(), 1u);
+    EXPECT_EQ(p.guestKills[0].guest, 0u);
+}
+
+// ----------------------------------------------------- observability ----
+
 TEST(Cli, ObservabilityFlags)
 {
     auto opt = parse({"--trace", "out.json", "--trace-filter", "cdna,cpu",
@@ -121,6 +252,55 @@ TEST(Cli, ObservabilityFlags)
     EXPECT_FALSE(parse({"--sample-period", "-3"}, &err).has_value());
 }
 
+TEST(Cli, ObservabilitySessionWritesOnClose)
+{
+    std::string trace = tempPath("cli_obs_trace.json");
+    std::string stats = tempPath("cli_obs_stats.json");
+    auto opt = parse({"--trace", trace.c_str(), "--stats-json",
+                      stats.c_str(), "--guests", "1"});
+    ASSERT_TRUE(opt.has_value());
+
+    System sys(opt->config);
+    ObservabilitySession session(sys, *opt);
+    sys.run(sim::milliseconds(1), sim::milliseconds(2));
+    std::string err;
+    EXPECT_TRUE(session.close(&err)) << err;
+    EXPECT_TRUE(fileExists(trace));
+    EXPECT_TRUE(fileExists(stats));
+    std::remove(trace.c_str());
+    std::remove(stats.c_str());
+}
+
+TEST(Cli, ObservabilitySessionFlushesOnDestruction)
+{
+    std::string stats = tempPath("cli_obs_dtor_stats.json");
+    auto opt = parse({"--stats-json", stats.c_str()});
+    ASSERT_TRUE(opt.has_value());
+    {
+        System sys(opt->config);
+        ObservabilitySession session(sys, *opt);
+        sys.run(sim::milliseconds(1), sim::milliseconds(2));
+        // No close(): the destructor must still write the file.
+    }
+    EXPECT_TRUE(fileExists(stats));
+    std::remove(stats.c_str());
+}
+
+TEST(Cli, ObservabilitySessionReportsWriteErrors)
+{
+    std::string bad = tempPath("no-such-dir/stats.json");
+    auto opt = parse({"--stats-json", bad.c_str()});
+    ASSERT_TRUE(opt.has_value());
+    System sys(opt->config);
+    ObservabilitySession session(sys, *opt);
+    sys.run(sim::milliseconds(1), sim::milliseconds(1));
+    std::string err;
+    EXPECT_FALSE(session.close(&err));
+    EXPECT_NE(err.find(bad), std::string::npos);
+}
+
+// --------------------------------------------------------------- misc ----
+
 TEST(Cli, EqualsFormAccepted)
 {
     auto opt = parse({"--trace=out.json", "--guests=4", "--mode=xen",
@@ -140,14 +320,32 @@ TEST(Cli, JsonContainsAllKeys)
     r.idlePct = 50.8;
     r.perGuestMbps = {933.7, 933.8};
     r.protectionFaults = 2;
+    r.faultFramesDropped = 7;
+    r.mailboxTimeouts = 3;
     std::string json = reportToJson(r);
     for (const char *key :
          {"\"label\"", "\"mbps\"", "\"hyp_pct\"", "\"idle_pct\"",
           "\"guest_intr_per_sec\"", "\"latency_p99_us\"", "\"fairness\"",
           "\"protection_faults\"", "\"dma_violations\"",
+          "\"rx_drops_no_desc\"", "\"rx_drops_no_buf\"",
+          "\"rx_drops_filter\"", "\"frames_dropped\"",
+          "\"frames_corrupted\"", "\"frames_duplicated\"",
+          "\"dma_delays\"", "\"firmware_stalls\"", "\"guest_kills\"",
+          "\"mailbox_timeouts\"", "\"ring_resyncs\"",
           "\"per_guest_mbps\""})
         EXPECT_NE(json.find(key), std::string::npos) << key;
     EXPECT_NE(json.find("test/tx"), std::string::npos);
     EXPECT_NE(json.find("1867.5"), std::string::npos);
     EXPECT_NE(json.find("933.70, 933.80"), std::string::npos);
+    EXPECT_NE(json.find("\"frames_dropped\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"mailbox_timeouts\": 3"), std::string::npos);
+
+    // Stable key order: fault counters sit between the protection
+    // counters and the per-guest array.
+    EXPECT_LT(json.find("\"dma_violations\""),
+              json.find("\"frames_dropped\""));
+    EXPECT_LT(json.find("\"frames_dropped\""),
+              json.find("\"ring_resyncs\""));
+    EXPECT_LT(json.find("\"ring_resyncs\""),
+              json.find("\"per_guest_mbps\""));
 }

@@ -126,7 +126,7 @@ TEST_P(ProtectionFuzz, MaliciousEnqueuesNeverCorrupt)
     // victim's pages, the hypervisor's, unmapped addresses -- at the
     // protected interface while traffic flows.  Whatever it does, no
     // DMA may ever touch memory it does not own.
-    SystemConfig cfg = makeCdnaConfig(2, true, true);
+    SystemConfig cfg = SystemConfig::cdna(2);
     cfg.numNics = 1;
     cfg.seed = GetParam();
     System sys(cfg);
@@ -216,7 +216,7 @@ class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
 TEST_P(SeedSweep, RunsAreReproducible)
 {
     auto once = [&] {
-        SystemConfig cfg = makeCdnaConfig(2, true);
+        SystemConfig cfg = SystemConfig::cdna(2);
         cfg.seed = GetParam();
         System sys(cfg);
         return sys.run(sim::milliseconds(30), sim::milliseconds(60));

@@ -28,7 +28,7 @@ TEST(Latency, HistogramMerge)
 
 TEST(Latency, TransmitLatencyMeasured)
 {
-    System sys(makeCdnaConfig(1, true));
+    System sys(SystemConfig::cdna(1));
     auto r = sys.run(sim::milliseconds(40), sim::milliseconds(150));
     EXPECT_GT(r.latencyMeanUs, 10.0);   // at least the wire + NIC path
     EXPECT_LT(r.latencyMeanUs, 50000.0);
@@ -37,7 +37,7 @@ TEST(Latency, TransmitLatencyMeasured)
 
 TEST(Latency, ReceiveLatencyMeasured)
 {
-    System sys(makeCdnaConfig(1, false));
+    System sys(SystemConfig::cdna(1).receive());
     auto r = sys.run(sim::milliseconds(40), sim::milliseconds(150));
     EXPECT_GT(r.latencyMeanUs, 5.0);
     EXPECT_LE(r.latencyP50Us, r.latencyP99Us);
@@ -48,9 +48,9 @@ TEST(Latency, QueueingDominatesTransmit)
     // CDNA receive latency (shallow queues: NIC ring only) is far
     // below CDNA transmit latency (the sender's in-flight window sits
     // queued ahead of every new frame).
-    System tx_sys(makeCdnaConfig(1, true));
+    System tx_sys(SystemConfig::cdna(1));
     auto tx = tx_sys.run(sim::milliseconds(40), sim::milliseconds(150));
-    System rx_sys(makeCdnaConfig(1, false));
+    System rx_sys(SystemConfig::cdna(1).receive());
     auto rx = rx_sys.run(sim::milliseconds(40), sim::milliseconds(150));
     EXPECT_LT(rx.latencyMeanUs, tx.latencyMeanUs);
 }
@@ -59,9 +59,9 @@ TEST(Latency, XenAddsLatencyOverCdnaOnReceive)
 {
     // The software path adds driver-domain queueing and a second
     // scheduling hop on every received frame.
-    System xen(makeXenIntelConfig(1, false));
+    System xen(SystemConfig::xenIntel(1).receive());
     auto xr = xen.run(sim::milliseconds(40), sim::milliseconds(150));
-    System cdna(makeCdnaConfig(1, false));
+    System cdna(SystemConfig::cdna(1).receive());
     auto cr = cdna.run(sim::milliseconds(40), sim::milliseconds(150));
     EXPECT_GT(xr.latencyMeanUs, cr.latencyMeanUs);
 }

@@ -58,7 +58,7 @@ TEST(Misc, NicIommuDropAccounting)
 {
     // A per-device IOMMU mis-bound for CDNA drops traffic at the NIC,
     // and the NIC accounts for every suppressed packet.
-    SystemConfig cfg = makeCdnaConfig(2, true);
+    SystemConfig cfg = SystemConfig::cdna(2);
     cfg.numNics = 1;
     cfg.iommuMode = mem::Iommu::Mode::kPerDevice;
     System sys(cfg);
@@ -71,7 +71,7 @@ TEST(Misc, NicIommuDropAccounting)
 
 TEST(Misc, SystemStatsDumpEnumeratesComponents)
 {
-    SystemConfig cfg = makeCdnaConfig(1, true);
+    SystemConfig cfg = SystemConfig::cdna(1);
     System sys(cfg);
     sys.run(sim::milliseconds(10), sim::milliseconds(20));
     std::string dump = sys.ctx().dumpStats();
@@ -82,7 +82,7 @@ TEST(Misc, SystemStatsDumpEnumeratesComponents)
 
 TEST(Misc, ReportWindowAndLabelPropagate)
 {
-    SystemConfig cfg = makeCdnaConfig(1, true);
+    SystemConfig cfg = SystemConfig::cdna(1);
     cfg.label = "custom-label";
     System sys(cfg);
     auto r = sys.run(sim::milliseconds(10), sim::milliseconds(30));
@@ -92,7 +92,7 @@ TEST(Misc, ReportWindowAndLabelPropagate)
 
 TEST(Misc, PerGuestThroughputSumsToAggregate)
 {
-    SystemConfig cfg = makeCdnaConfig(3, true);
+    SystemConfig cfg = SystemConfig::cdna(3);
     System sys(cfg);
     auto r = sys.run(sim::milliseconds(40), sim::milliseconds(120));
     double sum = 0;
@@ -103,7 +103,7 @@ TEST(Misc, PerGuestThroughputSumsToAggregate)
 
 TEST(Misc, NativeModeHasNoHypervisorActivity)
 {
-    SystemConfig cfg = makeNativeConfig(2, true);
+    SystemConfig cfg = SystemConfig::native(2);
     System sys(cfg);
     auto r = sys.run(sim::milliseconds(40), sim::milliseconds(100));
     EXPECT_LT(r.hypPct, 1.0);

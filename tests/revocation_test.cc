@@ -20,7 +20,7 @@ struct RevocationFixture : ::testing::Test
     SystemConfig
     config()
     {
-        SystemConfig cfg = makeCdnaConfig(2, true);
+        SystemConfig cfg = SystemConfig::cdna(2);
         cfg.numNics = 1;
         return cfg;
     }
@@ -118,9 +118,56 @@ TEST_F(RevocationFixture, FramesToRevokedMacAreDropped)
     EXPECT_EQ(nic.rxDropFilter(), drops_before + 1);
 }
 
+TEST_F(RevocationFixture, RevokeUnderActiveDmaReclaimsAllPins)
+{
+    // Revoke one guest very early, while its first transfers (and the
+    // enqueue hypercalls pinning their pages) are still in flight.
+    System sys(config());
+    sys.start();
+    sys.ctx().events().runUntil(sim::microseconds(2500.0));
+    ASSERT_GT(sys.protection()->pagesPinned(),
+              sys.protection()->pagesUnpinned());
+
+    ASSERT_TRUE(sys.revokeGuestContext(0, 0));
+    sys.ctx().events().runUntil(sys.ctx().now() + sim::milliseconds(30));
+    ASSERT_TRUE(sys.revokeGuestContext(1, 0));
+    sys.ctx().events().runUntil(sys.ctx().now() + sim::milliseconds(20));
+
+    EXPECT_EQ(sys.protection()->pagesPinned(),
+              sys.protection()->pagesUnpinned());
+    EXPECT_EQ(sys.mem().violationCount(), 0u);
+}
+
+TEST_F(RevocationFixture, SurvivorThroughputUnaffectedByMidRunKill)
+{
+    sim::Time warmup = sim::milliseconds(100);
+    sim::Time measure = sim::milliseconds(300);
+
+    System base(config());
+    Report rb = base.run(warmup, measure);
+    ASSERT_EQ(rb.perGuestMbps.size(), 2u);
+
+    SystemConfig cfg = config();
+    cfg.withFaults(FaultPlan{}.killingGuest(1, /*at_ms=*/150.0));
+    System killed(cfg);
+    Report rk = killed.run(warmup, measure);
+
+    EXPECT_EQ(rk.guestKills, 1u);
+    EXPECT_EQ(rk.dmaViolations, 0u);
+    // The survivor keeps (at least) its two-guest share of the wire.
+    EXPECT_GE(rk.perGuestMbps[0], 0.9 * rb.perGuestMbps[0]);
+    // The killed guest's pins were reclaimed: once the survivor is
+    // revoked too, every pin ever taken has been dropped.
+    ASSERT_TRUE(killed.revokeGuestContext(0, 0));
+    killed.ctx().events().runUntil(killed.ctx().now() +
+                                   sim::milliseconds(20));
+    EXPECT_EQ(killed.protection()->pagesPinned(),
+              killed.protection()->pagesUnpinned());
+}
+
 TEST_F(RevocationFixture, XenModeHasNoContextsToRevoke)
 {
-    SystemConfig cfg = makeXenIntelConfig(1, true);
+    SystemConfig cfg = SystemConfig::xenIntel(1);
     System sys(cfg);
     sys.start();
     sys.ctx().events().runUntil(sim::milliseconds(5));

@@ -30,7 +30,7 @@ quickRun(SystemConfig cfg, sim::Time measure = sim::milliseconds(150))
 
 TEST(SystemIntegration, NativeTransmitsNearLineRate)
 {
-    auto r = quickRun(makeNativeConfig(2, true));
+    auto r = quickRun(SystemConfig::native(2));
     EXPECT_GT(r.mbps, 1700.0);
     EXPECT_LE(r.mbps, 1900.0);
     EXPECT_EQ(r.protectionFaults, 0u);
@@ -39,7 +39,7 @@ TEST(SystemIntegration, NativeTransmitsNearLineRate)
 
 TEST(SystemIntegration, XenIntelTransmitCpuBound)
 {
-    auto r = quickRun(makeXenIntelConfig(1, true));
+    auto r = quickRun(SystemConfig::xenIntel(1));
     EXPECT_GT(r.mbps, 1300.0);
     EXPECT_LT(r.mbps, 1800.0);
     EXPECT_LT(r.idlePct, 5.0); // saturated, as in the paper
@@ -49,7 +49,7 @@ TEST(SystemIntegration, XenIntelTransmitCpuBound)
 
 TEST(SystemIntegration, XenRiceNicWorks)
 {
-    auto r = quickRun(makeXenRiceConfig(1, true));
+    auto r = quickRun(SystemConfig::xenRice(1));
     EXPECT_GT(r.mbps, 800.0);
     EXPECT_EQ(r.dmaViolations, 0u);
     EXPECT_EQ(r.protectionFaults, 0u);
@@ -57,7 +57,7 @@ TEST(SystemIntegration, XenRiceNicWorks)
 
 TEST(SystemIntegration, CdnaTransmitSaturatesWithIdleTime)
 {
-    auto r = quickRun(makeCdnaConfig(1, true));
+    auto r = quickRun(SystemConfig::cdna(1));
     EXPECT_GT(r.mbps, 1840.0);
     EXPECT_GT(r.idlePct, 40.0); // the paper's headline efficiency win
     EXPECT_LT(r.drvOsPct, 2.0); // driver domain out of the data path
@@ -68,7 +68,7 @@ TEST(SystemIntegration, CdnaTransmitSaturatesWithIdleTime)
 
 TEST(SystemIntegration, CdnaReceiveSaturatesWithIdleTime)
 {
-    auto r = quickRun(makeCdnaConfig(1, false));
+    auto r = quickRun(SystemConfig::cdna(1).receive());
     EXPECT_GT(r.mbps, 1840.0);
     EXPECT_GT(r.idlePct, 35.0);
     EXPECT_EQ(r.dmaViolations, 0u);
@@ -76,8 +76,8 @@ TEST(SystemIntegration, CdnaReceiveSaturatesWithIdleTime)
 
 TEST(SystemIntegration, XenReceiveSlowerThanCdna)
 {
-    auto xen = quickRun(makeXenIntelConfig(1, false));
-    auto cdna = quickRun(makeCdnaConfig(1, false));
+    auto xen = quickRun(SystemConfig::xenIntel(1).receive());
+    auto cdna = quickRun(SystemConfig::cdna(1).receive());
     EXPECT_GT(cdna.mbps, xen.mbps * 1.3);
 }
 
@@ -85,13 +85,13 @@ TEST(SystemIntegration, XenReceiveSlowerThanCdna)
 
 TEST(SystemIntegration, ProfileSumsToHundredPercent)
 {
-    for (auto mk : {makeXenIntelConfig, makeXenRiceConfig}) {
-        auto r = quickRun(mk(2, true));
+    for (auto cfg : {SystemConfig::xenIntel(2), SystemConfig::xenRice(2)}) {
+        auto r = quickRun(cfg);
         double total = r.hypPct + r.drvOsPct + r.drvUserPct +
                        r.guestOsPct + r.guestUserPct + r.idlePct;
         EXPECT_NEAR(total, 100.0, 1.5) << r.label;
     }
-    auto r = quickRun(makeCdnaConfig(2, false));
+    auto r = quickRun(SystemConfig::cdna(2).receive());
     double total = r.hypPct + r.drvOsPct + r.drvUserPct + r.guestOsPct +
                    r.guestUserPct + r.idlePct;
     EXPECT_NEAR(total, 100.0, 1.5);
@@ -99,8 +99,8 @@ TEST(SystemIntegration, ProfileSumsToHundredPercent)
 
 TEST(SystemIntegration, DeterministicAcrossRuns)
 {
-    auto a = quickRun(makeCdnaConfig(2, true), sim::milliseconds(80));
-    auto b = quickRun(makeCdnaConfig(2, true), sim::milliseconds(80));
+    auto a = quickRun(SystemConfig::cdna(2), sim::milliseconds(80));
+    auto b = quickRun(SystemConfig::cdna(2), sim::milliseconds(80));
     EXPECT_DOUBLE_EQ(a.mbps, b.mbps);
     EXPECT_DOUBLE_EQ(a.hypPct, b.hypPct);
     EXPECT_DOUBLE_EQ(a.guestIntrPerSec, b.guestIntrPerSec);
@@ -111,7 +111,7 @@ TEST(SystemIntegration, PacketConservationOnTransmit)
 {
     // Everything the guests' stacks emitted either reached the peer or
     // is still in flight (bounded by ring/buffer capacity).
-    SystemConfig cfg = makeCdnaConfig(2, true);
+    SystemConfig cfg = SystemConfig::cdna(2);
     System sys(cfg);
     sys.run(sim::milliseconds(40), sim::milliseconds(120));
     std::uint64_t sent = 0;
@@ -129,7 +129,7 @@ TEST(SystemIntegration, PacketConservationOnTransmit)
 
 TEST(SystemIntegration, CdnaFairAcrossGuests)
 {
-    auto r = quickRun(makeCdnaConfig(4, true), sim::milliseconds(300));
+    auto r = quickRun(SystemConfig::cdna(4), sim::milliseconds(300));
     ASSERT_EQ(r.perGuestMbps.size(), 4u);
     EXPECT_GT(r.fairness(), 0.85);
     double sum = 0;
@@ -141,22 +141,22 @@ TEST(SystemIntegration, CdnaFairAcrossGuests)
 TEST(SystemIntegration, ThroughputOrderingMatchesPaper)
 {
     // CDNA > Xen in both directions (Tables 2-3).
-    auto xen_tx = quickRun(makeXenIntelConfig(1, true));
-    auto cdna_tx = quickRun(makeCdnaConfig(1, true));
+    auto xen_tx = quickRun(SystemConfig::xenIntel(1));
+    auto cdna_tx = quickRun(SystemConfig::cdna(1));
     EXPECT_GT(cdna_tx.mbps, xen_tx.mbps);
-    auto xen_rx = quickRun(makeXenIntelConfig(1, false));
-    auto cdna_rx = quickRun(makeCdnaConfig(1, false));
+    auto xen_rx = quickRun(SystemConfig::xenIntel(1).receive());
+    auto cdna_rx = quickRun(SystemConfig::cdna(1).receive());
     EXPECT_GT(cdna_rx.mbps, xen_rx.mbps);
 }
 
 TEST(SystemIntegration, XenDeclinesWithGuestsCdnaDoesNot)
 {
-    auto xen1 = quickRun(makeXenIntelConfig(1, true));
-    auto xen8 = quickRun(makeXenIntelConfig(8, true));
+    auto xen1 = quickRun(SystemConfig::xenIntel(1));
+    auto xen8 = quickRun(SystemConfig::xenIntel(8));
     EXPECT_LT(xen8.mbps, xen1.mbps * 0.8);
 
-    auto cdna1 = quickRun(makeCdnaConfig(1, true));
-    auto cdna8 = quickRun(makeCdnaConfig(8, true));
+    auto cdna1 = quickRun(SystemConfig::cdna(1));
+    auto cdna8 = quickRun(SystemConfig::cdna(8));
     EXPECT_GT(cdna8.mbps, cdna1.mbps * 0.95);
     EXPECT_LT(cdna8.idlePct, cdna1.idlePct);
 }
@@ -165,8 +165,8 @@ TEST(SystemIntegration, ProtectionOffSameThroughputLessHypervisor)
 {
     // Table 4: disabling DMA protection changes efficiency, not
     // bandwidth.
-    auto on = quickRun(makeCdnaConfig(1, true, true));
-    auto off = quickRun(makeCdnaConfig(1, true, false));
+    auto on = quickRun(SystemConfig::cdna(1));
+    auto off = quickRun(SystemConfig::cdna(1).withProtection(false));
     EXPECT_NEAR(on.mbps, off.mbps, on.mbps * 0.01);
     EXPECT_LT(off.hypPct, on.hypPct - 4.0);
     EXPECT_GT(off.idlePct, on.idlePct + 3.0);
@@ -174,7 +174,7 @@ TEST(SystemIntegration, ProtectionOffSameThroughputLessHypervisor)
 
 TEST(SystemIntegration, PerContextIommuCarriesTraffic)
 {
-    SystemConfig cfg = makeCdnaConfig(2, true);
+    SystemConfig cfg = SystemConfig::cdna(2);
     cfg.iommuMode = mem::Iommu::Mode::kPerContext;
     System sys(cfg);
     auto r = sys.run(sim::milliseconds(40), sim::milliseconds(120));
@@ -189,7 +189,7 @@ TEST(SystemIntegration, PerDeviceIommuInsufficientForCdna)
     // Section 5.3's argument: a per-device IOMMU cannot express
     // "context k belongs to guest k"; with several guests it blocks
     // legitimate traffic.
-    SystemConfig cfg = makeCdnaConfig(2, true);
+    SystemConfig cfg = SystemConfig::cdna(2);
     cfg.iommuMode = mem::Iommu::Mode::kPerDevice;
     System sys(cfg);
     // Bind each device to guest 0 only.
@@ -204,9 +204,9 @@ TEST(SystemIntegration, GuestIntrRateTracksCoalescing)
 {
     // Halving the coalescing window roughly doubles the interrupt rate
     // (the paper tuned this knob per experiment).
-    SystemConfig slow = makeCdnaConfig(1, true);
+    SystemConfig slow = SystemConfig::cdna(1);
     slow.costs.cdnaCoalesce.delay = sim::microseconds(290);
-    SystemConfig fast = makeCdnaConfig(1, true);
+    SystemConfig fast = SystemConfig::cdna(1);
     fast.costs.cdnaCoalesce.delay = sim::microseconds(145);
     auto rs = quickRun(std::move(slow));
     auto rf = quickRun(std::move(fast));
@@ -215,13 +215,13 @@ TEST(SystemIntegration, GuestIntrRateTracksCoalescing)
 
 TEST(SystemIntegration, NoRxDropsOnTransmitTests)
 {
-    auto r = quickRun(makeCdnaConfig(1, true));
+    auto r = quickRun(SystemConfig::cdna(1));
     EXPECT_EQ(r.rxDropsNoDesc, 0u);
 }
 
 TEST(SystemIntegration, XenGrantsBalance)
 {
-    SystemConfig cfg = makeXenIntelConfig(1, true);
+    SystemConfig cfg = SystemConfig::xenIntel(1);
     System sys(cfg);
     sys.run(sim::milliseconds(40), sim::milliseconds(100));
     // Grants are created and retired continuously; the number still
@@ -243,7 +243,7 @@ TEST(SystemIntegration, ReportFairnessHelper)
 
 TEST(SystemIntegration, ReportRowContainsLabelAndRate)
 {
-    SystemConfig cfg = makeCdnaConfig(1, true);
+    SystemConfig cfg = SystemConfig::cdna(1);
     System sys(cfg);
     auto r = sys.run(sim::milliseconds(40), sim::milliseconds(80));
     std::string row = r.row();
@@ -256,7 +256,7 @@ TEST(SystemIntegration, CopyModeNetbackCarriesTraffic)
     // Copy-mode replaces the flip hypercall with a driver-domain memcpy
     // plus grant map/unmap; functionally the guest still receives into
     // its own pages, and no flips occur.
-    SystemConfig cfg = makeXenIntelConfig(1, false);
+    SystemConfig cfg = SystemConfig::xenIntel(1).receive();
     cfg.xenRxCopyMode = true;
     System sys(cfg);
     auto r = sys.run(sim::milliseconds(40), sim::milliseconds(150));
@@ -267,7 +267,7 @@ TEST(SystemIntegration, CopyModeNetbackCarriesTraffic)
 
 TEST(SystemIntegration, FlipModeActuallyFlips)
 {
-    SystemConfig cfg = makeXenIntelConfig(1, false);
+    SystemConfig cfg = SystemConfig::xenIntel(1).receive();
     System sys(cfg);
     sys.run(sim::milliseconds(40), sim::milliseconds(100));
     EXPECT_GT(sys.hv().grants().flipCount(), 1000u);
