@@ -15,19 +15,20 @@ using namespace cdna;
 using namespace cdna::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = parseBenchArgs(argc, argv);
+    auto result = runBenchSweep(sim::presets::coalesce(), opt);
     std::printf("=== Ablation: CDNA interrupt coalescing window (TX, "
                 "1 guest, 2 NICs) ===\n");
     std::printf("%10s %10s %10s %10s %10s\n", "window us", "Mb/s",
                 "gstIrq/s", "idle %", "hyp %");
     for (double us : {18.0, 36.0, 72.0, 145.0, 290.0, 580.0}) {
-        auto cfg = core::SystemConfig::cdna(1);
-        cfg.costs.cdnaCoalesce.delay = sim::microseconds(us);
-        auto r = runConfig(std::move(cfg));
+        char cell[32];
+        std::snprintf(cell, sizeof(cell), "cdna/w%.0fus", us);
+        const auto &r = cellReport(result, cell);
         std::printf("%10.0f %10.0f %10.0f %10.1f %10.1f\n", us, r.mbps,
                     r.guestIntrPerSec, r.idlePct, r.hypPct);
-        std::fflush(stdout);
     }
     std::printf("\npaper operating point: ~13.7k irq/s TX, ~7.4k RX\n");
     return 0;

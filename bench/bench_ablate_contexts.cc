@@ -15,21 +15,19 @@ using namespace cdna;
 using namespace cdna::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = parseBenchArgs(argc, argv);
+    auto result = runBenchSweep(sim::presets::contexts(), opt);
     std::printf("=== Ablation: contexts per NIC (TX, single NIC) ===\n");
     std::printf("%8s %10s %10s %10s %10s\n", "guests", "Mb/s", "fw util",
                 "fairness", "idle %");
     for (std::uint32_t g : {1u, 2u, 4u, 8u, 16u, 24u, 30u}) {
-        auto cfg = core::SystemConfig::cdna(g);
-        cfg.numNics = 1;
-        core::System sys(cfg);
-        auto r = sys.run(kWarmup, kMeasure);
-        double fw =
-            sys.cdnaNic(0)->firmwareUtilization(sys.cpu().elapsed());
-        std::printf("%8u %10.0f %10.2f %10.2f %10.1f\n", g, r.mbps, fw,
-                    r.fairness(), r.idlePct);
-        std::fflush(stdout);
+        const auto &run =
+            cellRun(result, "cdna1nic/g" + std::to_string(g));
+        const auto &r = run.report;
+        std::printf("%8u %10.0f %10.2f %10.2f %10.1f\n", g, r.mbps,
+                    run.extra.at("fw_util"), r.fairness(), r.idlePct);
     }
     std::printf("\npaper: 32 contexts supported; one embedded core "
                 "saturates the link\n");

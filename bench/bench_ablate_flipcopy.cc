@@ -15,24 +15,18 @@ using namespace cdna;
 using namespace cdna::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = parseBenchArgs(argc, argv);
+    auto result = runBenchSweep(sim::presets::flipcopy(), opt);
     std::printf("=== Ablation: Xen RX page-flip vs copy-mode netback "
                 "===\n");
-    printProfileHeader();
-    for (std::uint32_t g : {1u, 8u}) {
-        auto flip = core::SystemConfig::xenIntel(g).receive();
-        flip.label = "xen flip, " + std::to_string(g) + "g";
-        printProfileRow(runConfig(std::move(flip)), "paper's Xen 3 mode");
-
-        auto copy = core::SystemConfig::xenIntel(g).receive();
-        copy.xenRxCopyMode = true;
-        copy.label = "xen copy, " + std::to_string(g) + "g";
-        printProfileRow(runConfig(std::move(copy)),
-                        "later Xen releases' mode");
-    }
-    auto cdna = core::SystemConfig::cdna(1).receive();
-    printProfileRow(runConfig(std::move(cdna)),
-                    "CDNA: beats both (1874 in the paper)");
+    printProfileCells(
+        result,
+        {{"xen-flip/g1", "paper's Xen 3 mode"},
+         {"xen-copy/g1", "later Xen releases' mode"},
+         {"xen-flip/g8", "paper's Xen 3 mode"},
+         {"xen-copy/g8", "later Xen releases' mode"},
+         {"cdna/g1", "CDNA: beats both (1874 in the paper)"}});
     return 0;
 }

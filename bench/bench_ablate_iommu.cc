@@ -15,8 +15,10 @@ using namespace cdna;
 using namespace cdna::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = parseBenchArgs(argc, argv);
+    auto result = runBenchSweep(sim::presets::iommu(), opt);
     std::printf("=== Ablation: IOMMU modes (TX, 2 guests, 2 NICs) ===\n");
     std::printf("%-34s %8s %8s %10s %10s\n", "variant", "Mb/s", "hyp %",
                 "blocked", "violations");
@@ -24,43 +26,22 @@ main()
     struct Row
     {
         const char *name;
-        bool software_protection;
-        mem::Iommu::Mode mode;
+        const char *cell;
+        const char *note;
     } rows[] = {
-        {"software protection (CDNA)", true, mem::Iommu::Mode::kNone},
-        {"no protection, no IOMMU", false, mem::Iommu::Mode::kNone},
-        {"per-context IOMMU, direct enqueue", false,
-         mem::Iommu::Mode::kPerContext},
+        {"software protection (CDNA)", "swprot", ""},
+        {"no protection, no IOMMU", "noprot-noiommu", ""},
+        {"per-context IOMMU, direct enqueue", "percontext", ""},
+        {"per-device IOMMU (sec. 5.3)", "perdevice",
+         "   <- cannot express per-guest contexts"},
     };
-
-    for (auto &row : rows) {
-        auto cfg = core::SystemConfig::cdna(2).withProtection(row.software_protection);
-        cfg.iommuMode = row.mode;
-        cfg.label = row.name;
-        core::System sys(cfg);
-        auto r = sys.run(kWarmup, kMeasure);
-        std::uint64_t blocked =
-            sys.iommu() ? sys.iommu()->blockedCount() : 0;
-        std::printf("%-34s %8.0f %8.1f %10llu %10llu\n", row.name, r.mbps,
-                    r.hypPct, static_cast<unsigned long long>(blocked),
-                    static_cast<unsigned long long>(r.dmaViolations));
-        std::fflush(stdout);
-    }
-
-    // Per-device mode with several guests blocks legitimate traffic.
-    {
-        auto cfg = core::SystemConfig::cdna(2).withProtection(false);
-        cfg.iommuMode = mem::Iommu::Mode::kPerDevice;
-        core::System sys(cfg);
-        for (std::uint32_t i = 0; i < 2; ++i)
-            sys.iommu()->bindDevice(i, sys.guestDomain(0)->id());
-        auto r = sys.run(kWarmup, kMeasure);
-        std::printf("%-34s %8.0f %8.1f %10llu %10llu   <- cannot express "
-                    "per-guest contexts\n",
-                    "per-device IOMMU (sec. 5.3)", r.mbps, r.hypPct,
-                    static_cast<unsigned long long>(
-                        sys.iommu()->blockedCount()),
-                    static_cast<unsigned long long>(r.dmaViolations));
+    for (const Row &row : rows) {
+        const auto &run = cellRun(result, row.cell);
+        const auto &r = run.report;
+        std::printf("%-34s %8.0f %8.1f %10.0f %10llu%s\n", row.name,
+                    r.mbps, r.hypPct, run.extra.at("iommu_blocked"),
+                    static_cast<unsigned long long>(r.dmaViolations),
+                    row.note);
     }
     return 0;
 }

@@ -13,24 +13,11 @@
 using namespace cdna;
 using namespace cdna::bench;
 
-namespace {
-
-core::Report
-runVariant(const char *label,
-           void (*tweak)(core::CostModel &))
-{
-    auto cfg = core::SystemConfig::cdna(1);
-    if (tweak)
-        tweak(cfg.costs);
-    cfg.label = label;
-    return runConfig(std::move(cfg));
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = parseBenchArgs(argc, argv);
+    auto result = runBenchSweep(sim::presets::protectionAblation(), opt);
     std::printf("=== Ablation: protection cost decomposition (TX, "
                 "1 guest) ===\n");
     std::printf("%-24s %8s %8s %8s\n", "variant", "Mb/s", "hyp %",
@@ -39,32 +26,21 @@ main()
     struct Row
     {
         const char *name;
-        void (*tweak)(core::CostModel &);
+        const char *cell;
+        const char *note;
     } rows[] = {
-        {"full protection", nullptr},
-        {"free validation",
-         [](core::CostModel &c) { c.protValidatePerPage = 0; }},
-        {"free pin/unpin",
-         [](core::CostModel &c) {
-             c.protPinPerPage = 0;
-             c.protUnpinPerPage = 0;
-         }},
-        {"free stamp/enqueue",
-         [](core::CostModel &c) { c.protEnqueuePerDesc = 0; }},
-        {"free hypercall entry",
-         [](core::CostModel &c) { c.hv.hypercallOverhead = 0; }},
+        {"full protection", "cdna/full", ""},
+        {"free validation", "cdna/free-validate", ""},
+        {"free pin/unpin", "cdna/free-pin", ""},
+        {"free stamp/enqueue", "cdna/free-enqueue", ""},
+        {"free hypercall entry", "cdna/free-hypercall", ""},
+        {"protection disabled", "cdna/disabled",
+         "   (Table 4 'disabled': hyp 1.9, idle 60.4)"},
     };
-
-    for (auto &row : rows) {
-        auto r = runVariant(row.name, row.tweak);
-        std::printf("%-24s %8.0f %8.1f %8.1f\n", row.name, r.mbps,
-                    r.hypPct, r.idlePct);
-        std::fflush(stdout);
+    for (const Row &row : rows) {
+        const auto &r = cellReport(result, row.cell);
+        std::printf("%-24s %8.0f %8.1f %8.1f%s\n", row.name, r.mbps,
+                    r.hypPct, r.idlePct, row.note);
     }
-
-    auto off = runConfig(core::SystemConfig::cdna(1).withProtection(false));
-    std::printf("%-24s %8.0f %8.1f %8.1f   (Table 4 'disabled': hyp 1.9, "
-                "idle 60.4)\n",
-                "protection disabled", off.mbps, off.hypPct, off.idlePct);
     return 0;
 }

@@ -22,20 +22,21 @@ using namespace cdna::bench;
 namespace {
 
 void
-sweep(bool transmit)
+printDirection(const sim::SweepResult &result, bool transmit)
 {
     std::printf("--- %s ---\n", transmit ? "transmit (stack -> peer)"
                                          : "receive (wire -> user)");
     std::printf("%6s | %26s | %26s\n", "guests",
                 "xen mean/p50/p99 (us)", "cdna mean/p50/p99 (us)");
+    const char *dir = transmit ? "/tx" : "/rx";
     for (std::uint32_t g : {1u, 4u, 8u}) {
-        auto xen = runConfig(core::SystemConfig::xenIntel(g).transmit(transmit));
-        auto cdna = runConfig(core::SystemConfig::cdna(g).transmit(transmit));
+        std::string suffix = "/g" + std::to_string(g) + dir;
+        const auto &xen = cellReport(result, "xen" + suffix);
+        const auto &cdna = cellReport(result, "cdna" + suffix);
         std::printf("%6u | %8.0f %8.0f %8.0f | %8.0f %8.0f %8.0f\n", g,
                     xen.latencyMeanUs, xen.latencyP50Us, xen.latencyP99Us,
                     cdna.latencyMeanUs, cdna.latencyP50Us,
                     cdna.latencyP99Us);
-        std::fflush(stdout);
     }
     std::printf("\n");
 }
@@ -43,11 +44,13 @@ sweep(bool transmit)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = parseBenchArgs(argc, argv);
+    auto result = runBenchSweep(sim::presets::latency(), opt);
     std::printf("=== Extension: end-to-end latency under load, "
                 "2 NICs ===\n");
-    sweep(true);
-    sweep(false);
+    printDirection(result, true);
+    printDirection(result, false);
     return 0;
 }

@@ -18,20 +18,22 @@ using namespace cdna::bench;
 int
 main(int argc, char **argv)
 {
-    core::CliOptions obs = parseObsArgs(argc, argv);
+    auto opt = parseBenchArgs(argc, argv);
+    // Observe the smallest CDNA run: its trace stays readable and
+    // exercises every lane (CPU, hypervisor, NIC, DMA protection).
+    opt.observeCell = "cdna/g1";
+    auto result = runBenchSweep(sim::presets::fig3(), opt);
+
     std::printf("=== Figure 3: transmit throughput vs guest count ===\n");
     std::printf("%6s %10s %10s %10s %10s\n", "guests", "xen Mb/s",
                 "cdna Mb/s", "cdna idle%", "cdna/xen");
     double xen1 = 0, xen24 = 0, cdna24 = 0;
     for (std::uint32_t g : {1u, 2u, 4u, 8u, 12u, 16u, 20u, 24u}) {
-        auto xen = runConfig(core::SystemConfig::xenIntel(g));
-        // Observe the smallest CDNA run: its trace stays readable and
-        // exercises every lane (CPU, hypervisor, NIC, DMA protection).
-        auto cdna = g == 1 ? runObserved(core::SystemConfig::cdna(g), obs)
-                           : runConfig(core::SystemConfig::cdna(g));
+        std::string suffix = "/g" + std::to_string(g);
+        const auto &xen = cellReport(result, "xen" + suffix);
+        const auto &cdna = cellReport(result, "cdna" + suffix);
         std::printf("%6u %10.0f %10.0f %10.1f %10.2f\n", g, xen.mbps,
                     cdna.mbps, cdna.idlePct, cdna.mbps / xen.mbps);
-        std::fflush(stdout);
         if (g == 1)
             xen1 = xen.mbps;
         if (g == 24) {

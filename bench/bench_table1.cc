@@ -15,36 +15,26 @@ using namespace cdna;
 using namespace cdna::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = parseBenchArgs(argc, argv);
+    auto result = runBenchSweep(sim::presets::table1(), opt);
     std::printf("=== Table 1: native Linux vs Xen guest (6 GbE NICs) ===\n");
     std::printf("%-16s %10s %10s\n", "system", "TX Mb/s", "RX Mb/s");
 
     struct Row
     {
         const char *name;
-        core::SystemConfig tx;
-        core::SystemConfig rx;
+        const char *cell;
         const char *paper;
+    } rows[] = {
+        {"Native Linux", "native", "paper: 5126 / 3629"},
+        {"Xen Guest", "xen", "paper: 1602 / 1112"},
     };
-
-    auto native_tx = core::SystemConfig::native(6);
-    auto native_rx = core::SystemConfig::native(6).receive();
-    auto xen_tx = core::SystemConfig::xenIntel(1);
-    xen_tx.numNics = 6;
-    auto xen_rx = core::SystemConfig::xenIntel(1).receive();
-    xen_rx.numNics = 6;
-
-    Row rows[] = {
-        {"Native Linux", native_tx, native_rx, "paper: 5126 / 3629"},
-        {"Xen Guest", xen_tx, xen_rx, "paper: 1602 / 1112"},
-    };
-
-    for (auto &row : rows) {
-        auto tx = runConfig(row.tx);
-        auto rx = runConfig(row.rx);
-        std::printf("%-16s %10.0f %10.0f   (%s)\n", row.name, tx.mbps,
-                    rx.mbps, row.paper);
-    }
+    for (const Row &row : rows)
+        std::printf("%-16s %10.0f %10.0f   (%s)\n", row.name,
+                    cellReport(result, std::string(row.cell) + "/tx").mbps,
+                    cellReport(result, std::string(row.cell) + "/rx").mbps,
+                    row.paper);
     return 0;
 }

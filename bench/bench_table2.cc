@@ -4,11 +4,6 @@
  * two NICs -- Xen software virtualization over the Intel NIC, Xen over
  * the (CDNA-capable) RiceNIC with one context assigned to the driver
  * domain, and CDNA itself.
- *
- * Paper reference rows (Mb/s | Hyp DrvOS DrvU GstOS GstU Idle | irq/s):
- *   Xen/Intel    1602 | 19.8 35.7 0.8 39.7 1.0  3.0 | 7438  7853
- *   Xen/RiceNIC  1674 | 13.7 41.5 0.5 39.5 1.0  3.8 | 8839  5661
- *   CDNA/RiceNIC 1867 | 10.2  0.3 0.2 37.8 0.7 50.8 |    0 13659
  */
 
 #include "bench_util.hh"
@@ -17,15 +12,16 @@ using namespace cdna;
 using namespace cdna::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = parseBenchArgs(argc, argv);
+    auto result = runBenchSweep(sim::presets::table2(), opt);
     std::printf("=== Table 2: single-guest transmit, 2 NICs ===\n");
-    printProfileHeader();
-    printProfileRow(runConfig(core::SystemConfig::xenIntel(1)),
-                    "1602 | 19.8 35.7 0.8 39.7 1.0  3.0 | 7438 7853");
-    printProfileRow(runConfig(core::SystemConfig::xenRice(1)),
-                    "1674 | 13.7 41.5 0.5 39.5 1.0  3.8 | 8839 5661");
-    printProfileRow(runConfig(core::SystemConfig::cdna(1)),
-                    "1867 | 10.2  0.3 0.2 37.8 0.7 50.8 |    0 13659");
+    printProfileCells(
+        result,
+        {{"xen-intel", "1602 | 19.8 35.7 0.8 39.7 1.0  3.0 | 7438 7853"},
+         {"xen-ricenic",
+          "1674 | 13.7 41.5 0.5 39.5 1.0  3.8 | 8839 5661"},
+         {"cdna", "1867 | 10.2  0.3 0.2 37.8 0.7 50.8 |    0 13659"}});
     return 0;
 }

@@ -2,11 +2,6 @@
  * @file
  * Table 3 of the paper: receive performance for a single guest with
  * two NICs.
- *
- * Paper reference rows (Mb/s | Hyp DrvOS DrvU GstOS GstU Idle | irq/s):
- *   Xen/Intel    1112 | 25.7 36.8 0.5 31.0 1.0  5.0 | 11138 5193
- *   Xen/RiceNIC  1075 | 30.6 39.4 0.6 28.8 0.6  0.0 | 10946 5163
- *   CDNA/RiceNIC 1874 |  9.9  0.3 0.2 48.0 0.7 40.9 |     0 7402
  */
 
 #include "bench_util.hh"
@@ -15,15 +10,17 @@ using namespace cdna;
 using namespace cdna::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = parseBenchArgs(argc, argv);
+    auto result = runBenchSweep(sim::presets::table3(), opt);
     std::printf("=== Table 3: single-guest receive, 2 NICs ===\n");
-    printProfileHeader();
-    printProfileRow(runConfig(core::SystemConfig::xenIntel(1).receive()),
-                    "1112 | 25.7 36.8 0.5 31.0 1.0  5.0 | 11138 5193");
-    printProfileRow(runConfig(core::SystemConfig::xenRice(1).receive()),
-                    "1075 | 30.6 39.4 0.6 28.8 0.6  0.0 | 10946 5163");
-    printProfileRow(runConfig(core::SystemConfig::cdna(1).receive()),
-                    "1874 |  9.9  0.3 0.2 48.0 0.7 40.9 |     0 7402");
+    printProfileCells(
+        result,
+        {{"xen-intel/rx",
+          "1112 | 25.7 36.8 0.5 31.0 1.0  5.0 | 11138 5193"},
+         {"xen-ricenic/rx",
+          "1075 | 30.6 39.4 0.6 28.8 0.6  0.0 | 10946 5163"},
+         {"cdna/rx", "1874 |  9.9  0.3 0.2 48.0 0.7 40.9 |     0 7402"}});
     return 0;
 }

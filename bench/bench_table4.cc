@@ -3,12 +3,6 @@
  * Table 4 of the paper: CDNA with and without DMA memory protection,
  * transmit and receive.  Disabling protection establishes the upper
  * bound a context-aware hardware IOMMU could reach (section 5.3).
- *
- * Paper reference rows (Mb/s | Hyp DrvOS DrvU GstOS GstU Idle | irq/s):
- *   TX enabled   1867 | 10.2 0.3 0.2 37.8 0.7 50.8 | 0 13659
- *   TX disabled  1867 |  1.9 0.2 0.2 37.0 0.3 60.4 | 0 13680
- *   RX enabled   1874 |  9.9 0.3 0.2 48.0 0.7 40.9 | 0  7402
- *   RX disabled  1874 |  1.9 0.2 0.2 47.2 0.3 50.2 | 0  7243
  */
 
 #include "bench_util.hh"
@@ -17,17 +11,18 @@ using namespace cdna;
 using namespace cdna::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto opt = parseBenchArgs(argc, argv);
+    auto result = runBenchSweep(sim::presets::table4(), opt);
     std::printf("=== Table 4: CDNA with/without DMA protection ===\n");
-    printProfileHeader();
-    printProfileRow(runConfig(core::SystemConfig::cdna(1)),
-                    "1867 | 10.2 0.3 0.2 37.8 0.7 50.8 | 0 13659");
-    printProfileRow(runConfig(core::SystemConfig::cdna(1).withProtection(false)),
-                    "1867 |  1.9 0.2 0.2 37.0 0.3 60.4 | 0 13680");
-    printProfileRow(runConfig(core::SystemConfig::cdna(1).receive()),
-                    "1874 |  9.9 0.3 0.2 48.0 0.7 40.9 | 0  7402");
-    printProfileRow(runConfig(core::SystemConfig::cdna(1).receive().withProtection(false)),
-                    "1874 |  1.9 0.2 0.2 47.2 0.3 50.2 | 0  7243");
+    printProfileCells(
+        result,
+        {{"cdna/tx/prot", "1867 | 10.2 0.3 0.2 37.8 0.7 50.8 | 0 13659"},
+         {"cdna/tx/noprot",
+          "1867 |  1.9 0.2 0.2 37.0 0.3 60.4 | 0 13680"},
+         {"cdna/rx/prot", "1874 |  9.9 0.3 0.2 48.0 0.7 40.9 | 0  7402"},
+         {"cdna/rx/noprot",
+          "1874 |  1.9 0.2 0.2 47.2 0.3 50.2 | 0  7243"}});
     return 0;
 }

@@ -4,7 +4,20 @@
  *
  * Each bench binary regenerates one table or figure of the paper and
  * prints the simulated results next to the paper's published numbers
- * so the shape comparison is immediate.
+ * so the shape comparison is immediate.  A bench file is just its
+ * ExperimentSpec (usually a shared preset from sim/sweep_presets.hh)
+ * plus the paper reference strings: argv parsing, parallel execution,
+ * seed ensembles, and JSON output are all handled here on top of the
+ * sweep runner.
+ *
+ * Every bench accepts:
+ *   -j/--jobs N     worker threads (default 1: sequential, the
+ *                   bit-reproducibility baseline)
+ *   --seeds N       run each cell with seeds 1..N and report the mean
+ *   --json-out FILE write the full sweep JSON document
+ * plus the observability flags (--trace, --trace-filter, --stats-json,
+ * --sample-period), which are applied to the run selected by the
+ * bench's observeCell.
  */
 
 #ifndef CDNA_BENCH_BENCH_UTIL_HH
@@ -12,64 +25,134 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
 #include "core/cli.hh"
 #include "core/system.hh"
+#include "sim/sweep.hh"
+#include "sim/sweep_presets.hh"
 
 namespace cdna::bench {
 
 inline constexpr sim::Time kWarmup = sim::milliseconds(100);
 inline constexpr sim::Time kMeasure = sim::milliseconds(400);
 
-/** Run one configuration and return its report. */
-inline core::Report
-runConfig(core::SystemConfig cfg, sim::Time warmup = kWarmup,
-          sim::Time measure = kMeasure)
+/** Parsed bench command line (see file header). */
+struct BenchOptions
 {
-    core::System sys(std::move(cfg));
-    return sys.run(warmup, measure);
-}
+    unsigned jobs = 1;
+    std::uint32_t seeds = 1;
+    std::string jsonOut;
+    /** Cell substring whose first run gets the observability session. */
+    std::string observeCell;
+    core::CliOptions obs;
+};
 
 /**
- * Parse a bench binary's argv.  Benches accept the observability flags
- * (--trace, --trace-filter, --stats-json, --sample-period; both
- * "--opt value" and "--opt=value" forms) and ignore the configuration
- * flags, since each bench hard-codes its own sweep.  Exits on error.
+ * Parse a bench binary's argv.  Bench-specific flags are consumed
+ * here; anything else is handed to the core CLI parser so the
+ * observability flags keep working (configuration flags are accepted
+ * and ignored, since each bench hard-codes its own sweep).  Exits on
+ * error or --help.
  */
-inline core::CliOptions
-parseObsArgs(int argc, char **argv)
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
 {
-    std::vector<std::string> args(argv + 1, argv + argc);
+    BenchOptions opt;
+    std::vector<std::string> rest;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto numeric = [&](const char *flag) -> unsigned long {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             flag);
+                std::exit(1);
+            }
+            char *end = nullptr;
+            unsigned long v = std::strtoul(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || v == 0) {
+                std::fprintf(stderr,
+                             "%s: %s needs a positive integer\n",
+                             argv[0], flag);
+                std::exit(1);
+            }
+            return v;
+        };
+        if (a == "-j" || a == "--jobs") {
+            opt.jobs = static_cast<unsigned>(numeric("--jobs"));
+        } else if (a == "--seeds") {
+            opt.seeds = static_cast<std::uint32_t>(numeric("--seeds"));
+        } else if (a == "--json-out") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --json-out needs a value\n",
+                             argv[0]);
+                std::exit(1);
+            }
+            opt.jsonOut = argv[++i];
+        } else {
+            rest.push_back(a);
+        }
+    }
     std::string error;
-    auto opt = core::parseCli(args, &error);
-    if (!opt) {
+    auto parsed = core::parseCli(rest, &error);
+    if (!parsed) {
         std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
         std::exit(1);
     }
-    if (opt->help) {
-        std::printf("%s", core::cliUsage().c_str());
+    if (parsed->help) {
+        std::printf("bench options: [-j N] [--seeds N] [--json-out "
+                    "FILE] plus observability flags:\n%s",
+                    core::cliUsage().c_str());
         std::exit(0);
     }
-    return *opt;
+    opt.obs = *parsed;
+    return opt;
 }
 
 /**
- * Run one configuration with observability applied, writing the trace /
- * stats files named in @p obs (a later observed run overwrites them).
+ * Run @p spec under the bench options: apply the seed ensemble and
+ * observability, execute on the pool, optionally write the sweep JSON.
  */
-inline core::Report
-runObserved(core::SystemConfig cfg, const core::CliOptions &obs,
-            sim::Time warmup = kWarmup, sim::Time measure = kMeasure)
+inline sim::SweepResult
+runBenchSweep(sim::ExperimentSpec spec, const BenchOptions &opt)
 {
-    core::System sys(std::move(cfg));
-    core::ObservabilitySession session(sys, obs);
-    core::Report r = sys.run(warmup, measure);
-    std::string error;
-    if (!session.close(&error))
-        std::fprintf(stderr, "warning: %s\n", error.c_str());
-    return r;
+    spec.seeds(opt.seeds);
+    sim::SweepOptions sweep;
+    sweep.jobs = opt.jobs;
+    sweep.observeCell = opt.observeCell;
+    sweep.obs = opt.obs;
+    sim::SweepResult result = sim::runSweep(spec, sweep);
+    if (!opt.jsonOut.empty()) {
+        std::ofstream f(opt.jsonOut, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opt.jsonOut.c_str());
+            std::exit(1);
+        }
+        f << sim::sweepToJson(result);
+    }
+    return result;
+}
+
+/** The first (lowest-seed) run of @p cell; exits if the cell is absent. */
+inline const sim::RunResult &
+cellRun(const sim::SweepResult &result, const std::string &cell)
+{
+    for (const auto &cs : result.cells)
+        if (cs.cell == cell)
+            return result.runs[cs.firstRun];
+    std::fprintf(stderr, "bench: no such sweep cell: %s\n", cell.c_str());
+    std::exit(1);
+}
+
+/** The first-seed report of @p cell. */
+inline const core::Report &
+cellReport(const sim::SweepResult &result, const std::string &cell)
+{
+    return cellRun(result, cell).report;
 }
 
 /** Print one paper-style profile row with a paper-reference column. */
@@ -89,6 +172,29 @@ printProfileHeader()
     std::printf("%-22s %6s | %5s %5s %5s %5s %5s %5s | %7s %7s |\n",
                 "config", "Mb/s", "Hyp", "DrvOS", "DrvU", "GstOS", "GstU",
                 "Idle", "drvIrq", "gstIrq");
+}
+
+/** A sweep cell paired with the paper's published numbers. */
+struct PaperRef
+{
+    const char *cell;
+    const char *paper;
+};
+
+/** Print profile rows for the listed cells, in order. */
+inline void
+printProfileCells(const sim::SweepResult &result,
+                  std::initializer_list<PaperRef> refs)
+{
+    printProfileHeader();
+    for (const PaperRef &ref : refs) {
+        const core::Report &r = cellReport(result, ref.cell);
+        std::printf("%-22s %6.0f | %5.1f %5.1f %5.1f %5.1f %5.1f %5.1f | "
+                    "%7.0f %7.0f | paper: %s\n",
+                    ref.cell, r.mbps, r.hypPct, r.drvOsPct, r.drvUserPct,
+                    r.guestOsPct, r.guestUserPct, r.idlePct,
+                    r.drvIntrPerSec, r.guestIntrPerSec, ref.paper);
+    }
 }
 
 } // namespace cdna::bench

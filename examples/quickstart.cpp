@@ -6,6 +6,10 @@
  * Gigabit NICs, for both transmit and receive, and print paper-style
  * report rows (compare with Tables 2 and 3 of the paper).
  *
+ * The grid is declared once as an ExperimentSpec and executed by the
+ * sweep runner; pass -j N to run the six cells on N worker threads
+ * (the results are byte-identical regardless).
+ *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
@@ -16,48 +20,52 @@
  */
 
 #include <cstdio>
-#include <memory>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/cli.hh"
 #include "core/system.hh"
+#include "sim/sweep.hh"
 
 using namespace cdna;
 
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> args(argv + 1, argv + argc);
+    sim::SweepOptions opt;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if ((a == "-j" || a == "--jobs") && i + 1 < argc)
+            opt.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        else
+            args.push_back(a);
+    }
     std::string error;
     auto obs = core::parseCli(args, &error);
     if (!obs) {
         std::fprintf(stderr, "quickstart: %s\n", error.c_str());
         return 1;
     }
+    opt.obs = *obs;
+    opt.observeCell = "cdna/tx";
+
+    auto spec = sim::ExperimentSpec("quickstart")
+                    .config("xen-intel", core::SystemConfig::xenIntel(1))
+                    .config("xen-ricenic", core::SystemConfig::xenRice(1))
+                    .config("cdna", core::SystemConfig::cdna(1))
+                    .directions(true, true)
+                    .warmup(sim::milliseconds(50))
+                    .measure(sim::milliseconds(400));
+    auto result = sim::runSweep(spec, opt);
 
     std::printf("CDNA quickstart: 1 guest, 2 Gigabit NICs\n\n");
     std::printf("%s\n", core::Report::header().c_str());
-
-    for (bool transmit : {true, false}) {
-        core::SystemConfig configs[] = {
-            core::SystemConfig::xenIntel(1).transmit(transmit),
-            core::SystemConfig::xenRice(1).transmit(transmit),
-            core::SystemConfig::cdna(1).transmit(transmit),
-        };
-        for (auto &cfg : configs) {
-            bool observe = transmit && cfg.mode == core::IoMode::kCdna;
-            core::System sys(cfg);
-            std::unique_ptr<core::ObservabilitySession> session;
-            if (observe)
-                session = std::make_unique<core::ObservabilitySession>(
-                    sys, *obs);
-            core::Report r = sys.run(sim::milliseconds(50),
-                                     sim::milliseconds(400));
-            if (session && !session->close(&error))
-                std::fprintf(stderr, "warning: %s\n", error.c_str());
-            std::printf("%s\n", r.row().c_str());
-        }
+    for (const char *dir : {"/tx", "/rx"}) {
+        for (const auto &run : result.runs)
+            if (run.point.cell.ends_with(dir))
+                std::printf("%s\n", run.report.row().c_str());
         std::printf("\n");
     }
     return 0;

@@ -69,9 +69,6 @@ std::string cliUsage();
 std::optional<CliOptions> parseCli(const std::vector<std::string> &args,
                                    std::string *error);
 
-/** Render a report as a JSON object (stable key order). */
-std::string reportToJson(const Report &r);
-
 /**
  * RAII wrapper around a run's observability outputs.
  *

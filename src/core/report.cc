@@ -66,4 +66,64 @@ Report::fairness() const
     return hi > 0 ? lo / hi : 1.0;
 }
 
+std::string
+reportToJson(const Report &r)
+{
+    char buf[512];
+    std::string out = "{\n";
+    auto add = [&](const char *key, double value, bool last = false) {
+        std::snprintf(buf, sizeof(buf), "  \"%s\": %.4f%s\n", key, value,
+                      last ? "" : ",");
+        out += buf;
+    };
+    auto addU = [&](const char *key, std::uint64_t value) {
+        std::snprintf(buf, sizeof(buf), "  \"%s\": %llu,\n", key,
+                      static_cast<unsigned long long>(value));
+        out += buf;
+    };
+    std::snprintf(buf, sizeof(buf), "  \"schema_version\": %d,\n",
+                  kReportSchemaVersion);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  \"label\": \"%s\",\n",
+                  r.label.c_str());
+    out += buf;
+    add("mbps", r.mbps);
+    add("hyp_pct", r.hypPct);
+    add("drv_os_pct", r.drvOsPct);
+    add("drv_user_pct", r.drvUserPct);
+    add("guest_os_pct", r.guestOsPct);
+    add("guest_user_pct", r.guestUserPct);
+    add("idle_pct", r.idlePct);
+    add("drv_intr_per_sec", r.drvIntrPerSec);
+    add("guest_intr_per_sec", r.guestIntrPerSec);
+    add("phys_irq_per_sec", r.physIrqPerSec);
+    add("hypercall_per_sec", r.hypercallPerSec);
+    add("domain_switch_per_sec", r.domainSwitchPerSec);
+    add("latency_mean_us", r.latencyMeanUs);
+    add("latency_p50_us", r.latencyP50Us);
+    add("latency_p99_us", r.latencyP99Us);
+    add("fairness", r.fairness());
+    addU("protection_faults", r.protectionFaults);
+    addU("dma_violations", r.dmaViolations);
+    addU("rx_drops_no_desc", r.rxDropsNoDesc);
+    addU("rx_drops_no_buf", r.rxDropsNoBuf);
+    addU("rx_drops_filter", r.rxDropsFilter);
+    addU("frames_dropped", r.faultFramesDropped);
+    addU("frames_corrupted", r.faultFramesCorrupted);
+    addU("frames_duplicated", r.faultFramesDuplicated);
+    addU("dma_delays", r.faultDmaDelays);
+    addU("firmware_stalls", r.firmwareStalls);
+    addU("guest_kills", r.guestKills);
+    addU("mailbox_timeouts", r.mailboxTimeouts);
+    addU("ring_resyncs", r.ringResyncs);
+    out += "  \"per_guest_mbps\": [";
+    for (std::size_t i = 0; i < r.perGuestMbps.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%s%.2f", i ? ", " : "",
+                      r.perGuestMbps[i]);
+        out += buf;
+    }
+    out += "]\n}\n";
+    return out;
+}
+
 } // namespace cdna::core

@@ -18,6 +18,18 @@
 
 namespace cdna::core {
 
+/**
+ * Version of the JSON report schema (single-run reports and the sweep
+ * aggregate share it).  Bump when a key is added, removed, renamed, or
+ * reordered; consumers should reject versions they do not know.
+ *
+ * History:
+ *   1  initial versioned schema: the PR-2 report keys plus
+ *      "schema_version" itself (sweep aggregates wrap these per-run
+ *      objects under "runs[].report").
+ */
+inline constexpr int kReportSchemaVersion = 1;
+
 struct Report
 {
     std::string label;
@@ -91,6 +103,24 @@ struct Report
     /** Min/max per-guest throughput ratio (1.0 = perfectly fair). */
     double fairness() const;
 };
+
+/**
+ * Render a report as a JSON object.
+ *
+ * Key-order contract (stable across runs, platforms, and thread
+ * counts; relied on by the sweep determinism tests, which compare
+ * whole documents byte-for-byte):
+ *
+ *   schema_version, label, then the double-valued metrics in Report
+ *   declaration order (mbps, the six profile percentages, the five
+ *   rate counters, the three latency quantiles, fairness), then the
+ *   integer counters in declaration order (protection/drop counters
+ *   followed by the fault/recovery counters), then per_guest_mbps.
+ *
+ * Doubles are printed with "%.4f", integers as decimal, arrays in
+ * index order; no locale-dependent formatting is used anywhere.
+ */
+std::string reportToJson(const Report &r);
 
 } // namespace cdna::core
 

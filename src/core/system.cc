@@ -744,36 +744,4 @@ SystemConfig::effectiveLabel() const
     return base;
 }
 
-// The shims funnel into the named constructors; suppress their own
-// deprecation warnings.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-SystemConfig
-makeNativeConfig(std::uint32_t num_nics, bool transmit)
-{
-    return SystemConfig::native(num_nics).transmit(transmit);
-}
-
-SystemConfig
-makeXenIntelConfig(std::uint32_t guests, bool transmit)
-{
-    return SystemConfig::xenIntel(guests).transmit(transmit);
-}
-
-SystemConfig
-makeXenRiceConfig(std::uint32_t guests, bool transmit)
-{
-    return SystemConfig::xenRice(guests).transmit(transmit);
-}
-
-SystemConfig
-makeCdnaConfig(std::uint32_t guests, bool transmit, bool protection)
-{
-    return SystemConfig::cdna(guests).transmit(transmit).withProtection(
-        protection);
-}
-
-#pragma GCC diagnostic pop
-
 } // namespace cdna::core

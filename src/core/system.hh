@@ -335,19 +335,6 @@ class System
     bool started_ = false;
 };
 
-// --- deprecated preset helpers ------------------------------------------
-// Thin shims over the named constructors, kept for source compatibility.
-[[deprecated("use SystemConfig::native(nics).transmit(tx)")]]
-SystemConfig makeNativeConfig(std::uint32_t num_nics, bool transmit);
-[[deprecated("use SystemConfig::xenIntel(guests).transmit(tx)")]]
-SystemConfig makeXenIntelConfig(std::uint32_t guests, bool transmit);
-[[deprecated("use SystemConfig::xenRice(guests).transmit(tx)")]]
-SystemConfig makeXenRiceConfig(std::uint32_t guests, bool transmit);
-[[deprecated(
-    "use SystemConfig::cdna(guests).transmit(tx).withProtection(prot)")]]
-SystemConfig makeCdnaConfig(std::uint32_t guests, bool transmit,
-                            bool protection = true);
-
 } // namespace cdna::core
 
 #endif // CDNA_CORE_SYSTEM_HH

@@ -1,5 +1,6 @@
 #include "sim/logger.hh"
 
+#include <atomic>
 #include <cstdio>
 
 #include "sim/event_queue.hh"
@@ -8,7 +9,9 @@ namespace cdna::sim {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so sweep worker threads can consult the threshold while the
+// main thread (or a test) adjusts it; relaxed is enough for a level.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char *
 levelTag(LogLevel lvl)
@@ -33,13 +36,13 @@ Logger::Logger(std::string name, const EventQueue *eq)
 void
 Logger::setGlobalLevel(LogLevel lvl)
 {
-    g_level = lvl;
+    g_level.store(lvl, std::memory_order_relaxed);
 }
 
 LogLevel
 Logger::globalLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
@@ -52,7 +55,8 @@ Logger::setLevel(LogLevel lvl)
 bool
 Logger::enabled(LogLevel lvl) const
 {
-    LogLevel threshold = hasOverride_ ? override_ : g_level;
+    LogLevel threshold =
+        hasOverride_ ? override_ : g_level.load(std::memory_order_relaxed);
     return static_cast<int>(lvl) <= static_cast<int>(threshold);
 }
 

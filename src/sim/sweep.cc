@@ -1,0 +1,322 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "sim/assert.hh"
+#include "sim/thread_pool.hh"
+
+namespace cdna::sim {
+
+MetricStats
+MetricStats::of(const std::vector<double> &xs)
+{
+    MetricStats s;
+    if (xs.empty())
+        return s;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    s.mean = sum / static_cast<double>(xs.size());
+    if (xs.size() > 1) {
+        double sq = 0.0;
+        for (double x : xs)
+            sq += (x - s.mean) * (x - s.mean);
+        s.stddev = std::sqrt(sq / static_cast<double>(xs.size() - 1));
+        s.ci95 = 1.96 * s.stddev /
+                 std::sqrt(static_cast<double>(xs.size()));
+    }
+    return s;
+}
+
+std::vector<RunPoint>
+ExperimentSpec::expand() const
+{
+    SIM_ASSERT(!configs_.empty(), "experiment spec has no configurations");
+    SIM_ASSERT(!guests_.empty(), "experiment spec has no guest counts");
+    SIM_ASSERT(!seeds_.empty(), "experiment spec has no seeds");
+
+    std::vector<RunPoint> points;
+
+    // Odometer over the generic axes (empty product = one iteration).
+    std::vector<std::size_t> pos(axes_.size(), 0);
+    auto advance = [&]() {
+        for (std::size_t a = axes_.size(); a-- > 0;) {
+            if (++pos[a] < axes_[a].values.size())
+                return true;
+            pos[a] = 0;
+        }
+        return false;
+    };
+
+    for (const ConfigSeries &series : configs_) {
+        for (std::uint32_t g : guests_) {
+            std::fill(pos.begin(), pos.end(), 0);
+            do {
+                core::SystemConfig base = series.make(g);
+                std::string cell = series.label;
+                if (guests_.size() > 1)
+                    cell += "/g" + std::to_string(g);
+                for (std::size_t a = 0; a < axes_.size(); ++a) {
+                    const AxisValue &v = axes_[a].values[pos[a]];
+                    v.apply(base);
+                    if (!v.label.empty())
+                        cell += "/" + v.label;
+                }
+                for (std::uint64_t seed : seeds_) {
+                    RunPoint p;
+                    p.cell = cell;
+                    p.seed = seed;
+                    p.config = base;
+                    p.config.withSeed(seed);
+                    p.warmup = warmup_;
+                    p.measure = measure_;
+                    points.push_back(std::move(p));
+                }
+            } while (advance());
+        }
+    }
+    return points;
+}
+
+namespace {
+
+/** Execute one run point in complete isolation. */
+RunResult
+executeRun(const RunPoint &point, const ExperimentSpec::Setup &setup,
+           const ExperimentSpec::Probe &probe, const core::CliOptions *obs)
+{
+    RunResult result;
+    result.point = point;
+    core::System sys(point.config);
+    if (setup)
+        setup(sys, point);
+    std::unique_ptr<core::ObservabilitySession> session;
+    if (obs)
+        session = std::make_unique<core::ObservabilitySession>(sys, *obs);
+    result.report = sys.run(point.warmup, point.measure);
+    if (session) {
+        std::string error;
+        if (!session->close(&error))
+            std::fprintf(stderr, "sweep: warning: %s\n", error.c_str());
+    }
+    if (probe)
+        probe(sys, point, result.extra);
+    result.json = core::reportToJson(result.report);
+    return result;
+}
+
+/** The per-run metrics every cell aggregates, in report key order. */
+const std::vector<std::pair<const char *, double (*)(const core::Report &)>> &
+cellMetricTable()
+{
+    using R = core::Report;
+    static const std::vector<std::pair<const char *, double (*)(const R &)>>
+        table = {
+            {"mbps", [](const R &r) { return r.mbps; }},
+            {"hyp_pct", [](const R &r) { return r.hypPct; }},
+            {"drv_os_pct", [](const R &r) { return r.drvOsPct; }},
+            {"drv_user_pct", [](const R &r) { return r.drvUserPct; }},
+            {"guest_os_pct", [](const R &r) { return r.guestOsPct; }},
+            {"guest_user_pct", [](const R &r) { return r.guestUserPct; }},
+            {"idle_pct", [](const R &r) { return r.idlePct; }},
+            {"drv_intr_per_sec",
+             [](const R &r) { return r.drvIntrPerSec; }},
+            {"guest_intr_per_sec",
+             [](const R &r) { return r.guestIntrPerSec; }},
+            {"phys_irq_per_sec", [](const R &r) { return r.physIrqPerSec; }},
+            {"hypercall_per_sec",
+             [](const R &r) { return r.hypercallPerSec; }},
+            {"domain_switch_per_sec",
+             [](const R &r) { return r.domainSwitchPerSec; }},
+            {"latency_mean_us", [](const R &r) { return r.latencyMeanUs; }},
+            {"latency_p50_us", [](const R &r) { return r.latencyP50Us; }},
+            {"latency_p99_us", [](const R &r) { return r.latencyP99Us; }},
+            {"fairness", [](const R &r) { return r.fairness(); }},
+        };
+    return table;
+}
+
+std::vector<CellStats>
+aggregate(const std::vector<RunResult> &runs)
+{
+    // Group run indices by cell, preserving first-appearance order.
+    std::vector<std::string> order;
+    std::map<std::string, std::vector<std::size_t>> byCell;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        auto [it, fresh] = byCell.try_emplace(runs[i].point.cell);
+        if (fresh)
+            order.push_back(runs[i].point.cell);
+        it->second.push_back(i);
+    }
+
+    std::vector<CellStats> cells;
+    cells.reserve(order.size());
+    for (const std::string &cell : order) {
+        const std::vector<std::size_t> &idx = byCell[cell];
+        CellStats cs;
+        cs.cell = cell;
+        cs.runs = idx.size();
+        cs.firstRun = idx.front();
+        std::vector<double> xs(idx.size());
+        for (const auto &[name, get] : cellMetricTable()) {
+            for (std::size_t k = 0; k < idx.size(); ++k)
+                xs[k] = get(runs[idx[k]].report);
+            cs.metrics.emplace_back(name, MetricStats::of(xs));
+        }
+        // Probe metrics: keyed off the first run (every run of a cell
+        // shares the spec's probe, hence the same keys).
+        for (const auto &[name, unused] : runs[idx.front()].extra) {
+            (void)unused;
+            for (std::size_t k = 0; k < idx.size(); ++k) {
+                auto it = runs[idx[k]].extra.find(name);
+                xs[k] = it == runs[idx[k]].extra.end() ? 0.0 : it->second;
+            }
+            cs.metrics.emplace_back(name, MetricStats::of(xs));
+        }
+        cells.push_back(std::move(cs));
+    }
+    return cells;
+}
+
+} // namespace
+
+SweepResult
+runSweep(const ExperimentSpec &spec, const SweepOptions &opt)
+{
+    std::vector<RunPoint> points = spec.expand();
+
+    // Resolve which run (if any) carries the observability session:
+    // the first expanded point whose cell matches, at the first seed.
+    std::size_t obsIndex = points.size();
+    if (!opt.observeCell.empty()) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].seed == spec.seedEnsemble().front() &&
+                points[i].cell.find(opt.observeCell) !=
+                    std::string::npos) {
+                obsIndex = i;
+                break;
+            }
+        }
+    }
+
+    SweepResult result;
+    result.name = spec.name();
+    result.runs.resize(points.size());
+
+    std::mutex progressMu;
+    std::size_t done = 0;
+    unsigned jobs = opt.jobs ? opt.jobs : defaultThreadCount();
+
+    parallelFor(jobs, points.size(), [&](std::size_t i) {
+        const core::CliOptions *obs = i == obsIndex ? &opt.obs : nullptr;
+        RunResult r =
+            executeRun(points[i], spec.setupFn(), spec.probeFn(), obs);
+        {
+            std::lock_guard<std::mutex> lock(progressMu);
+            result.runs[i] = std::move(r);
+            ++done;
+            if (opt.onResult)
+                opt.onResult(result.runs[i], done, points.size());
+        }
+    });
+
+    result.cells = aggregate(result.runs);
+    return result;
+}
+
+namespace {
+
+/** Append @p text with every line prefixed by @p indent. */
+void
+appendIndented(std::string *out, const std::string &text,
+               const char *indent)
+{
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos)
+            nl = text.size();
+        if (nl > start) {
+            *out += indent;
+            out->append(text, start, nl - start);
+        }
+        if (nl < text.size())
+            *out += '\n';
+        start = nl + 1;
+    }
+}
+
+} // namespace
+
+std::string
+sweepToJson(const SweepResult &result)
+{
+    char buf[256];
+    std::string out = "{\n";
+    std::snprintf(buf, sizeof(buf), "  \"schema_version\": %d,\n",
+                  core::kReportSchemaVersion);
+    out += buf;
+    out += "  \"kind\": \"cdna-sweep\",\n";
+    out += "  \"name\": \"" + result.name + "\",\n";
+
+    out += "  \"runs\": [\n";
+    for (std::size_t i = 0; i < result.runs.size(); ++i) {
+        const RunResult &r = result.runs[i];
+        out += "    {\n";
+        out += "      \"cell\": \"" + r.point.cell + "\",\n";
+        std::snprintf(buf, sizeof(buf), "      \"seed\": %llu,\n",
+                      static_cast<unsigned long long>(r.point.seed));
+        out += buf;
+        if (!r.extra.empty()) {
+            out += "      \"extra\": {";
+            bool first = true;
+            for (const auto &[name, value] : r.extra) {
+                std::snprintf(buf, sizeof(buf), "%s\"%s\": %.4f",
+                              first ? "" : ", ", name.c_str(), value);
+                out += buf;
+                first = false;
+            }
+            out += "},\n";
+        }
+        out += "      \"report\": ";
+        // reportToJson output starts with '{': splice it in, indented.
+        std::string rj = r.json;
+        if (!rj.empty() && rj.back() == '\n')
+            rj.pop_back();
+        std::string indented;
+        appendIndented(&indented, rj, "      ");
+        out += indented.substr(6); // first line follows "report": directly
+        out += i + 1 < result.runs.size() ? "\n    },\n" : "\n    }\n";
+    }
+    out += "  ],\n";
+
+    out += "  \"cells\": [\n";
+    for (std::size_t c = 0; c < result.cells.size(); ++c) {
+        const CellStats &cs = result.cells[c];
+        out += "    {\n";
+        out += "      \"cell\": \"" + cs.cell + "\",\n";
+        std::snprintf(buf, sizeof(buf), "      \"runs\": %llu,\n",
+                      static_cast<unsigned long long>(cs.runs));
+        out += buf;
+        out += "      \"metrics\": {\n";
+        for (std::size_t m = 0; m < cs.metrics.size(); ++m) {
+            const auto &[name, st] = cs.metrics[m];
+            std::snprintf(buf, sizeof(buf),
+                          "        \"%s\": {\"mean\": %.4f, "
+                          "\"stddev\": %.4f, \"ci95\": %.4f}%s\n",
+                          name.c_str(), st.mean, st.stddev, st.ci95,
+                          m + 1 < cs.metrics.size() ? "," : "");
+            out += buf;
+        }
+        out += "      }\n";
+        out += c + 1 < result.cells.size() ? "    },\n" : "    }\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+} // namespace cdna::sim

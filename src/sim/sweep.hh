@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Parallel experiment sweeps: declarative specs, isolated runs,
+ * aggregated reports.
+ *
+ * The paper's evaluation is a grid of {configuration x guest count x
+ * direction x seed} runs.  An ExperimentSpec describes such a grid
+ * declaratively on top of SystemConfig: a set of base configurations
+ * (one per paper row/series) crossed with named parameter axes and a
+ * seed ensemble.  expand() turns the spec into a flat, deterministic
+ * list of RunPoints; SweepRunner executes them on a work-stealing
+ * thread pool, each run a fully isolated System + EventQueue + Rng
+ * instance, and aggregates per-cell statistics (mean / stddev / 95% CI
+ * across the seed ensemble).
+ *
+ * Determinism is the contract: a run's result depends only on its
+ * SystemConfig (including the seed), never on the thread that executed
+ * it or on how many workers ran, so per-run JSON is byte-identical
+ * between -j1, -jN, and a standalone sequential run of the same
+ * configuration.  Results are addressed by run index, and the sweep
+ * JSON document contains no wall-clock or thread-count fields.
+ */
+
+#ifndef CDNA_SIM_SWEEP_HH
+#define CDNA_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cli.hh"
+#include "core/report.hh"
+#include "core/system.hh"
+#include "sim/time.hh"
+
+namespace cdna::sim {
+
+/** One fully resolved run of the grid. */
+struct RunPoint
+{
+    /** Cell identity: config + axis labels, excluding the seed. */
+    std::string cell;
+    std::uint64_t seed = 1;
+    core::SystemConfig config;
+    sim::Time warmup = 0;
+    sim::Time measure = 0;
+};
+
+/** The outcome of one run. */
+struct RunResult
+{
+    RunPoint point;
+    core::Report report;
+    /** Canonical per-run JSON: exactly core::reportToJson(report). */
+    std::string json;
+    /** Probe-extracted metrics (deterministic order); usually empty. */
+    std::map<std::string, double> extra;
+};
+
+/** mean / sample stddev / 95% CI half-width of one metric in a cell. */
+struct MetricStats
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double ci95 = 0.0;
+    static MetricStats of(const std::vector<double> &xs);
+};
+
+/** Aggregate over the seed ensemble of one cell. */
+struct CellStats
+{
+    std::string cell;
+    std::size_t runs = 0;
+    /** Keyed by the per-run JSON metric name ("mbps", "idle_pct"...). */
+    std::vector<std::pair<std::string, MetricStats>> metrics;
+    /** Index of the cell's first run (lowest seed) in the result list. */
+    std::size_t firstRun = 0;
+};
+
+/**
+ * Declarative description of an experiment grid.
+ *
+ * Build fluently:
+ *
+ *   auto spec = ExperimentSpec("fig3")
+ *                   .config("xen", [](std::uint32_t g) {
+ *                       return core::SystemConfig::xenIntel(g);
+ *                   })
+ *                   .config("cdna", [](std::uint32_t g) {
+ *                       return core::SystemConfig::cdna(g);
+ *                   })
+ *                   .guests({1, 2, 4, 8, 12, 16, 20, 24})
+ *                   .seeds(3);
+ *
+ * Expansion order is the declaration order: configs outermost, then
+ * each axis in the order added, then seeds innermost.  Cell labels are
+ * "config/axis1/axis2" (axis labels with empty strings are skipped).
+ */
+class ExperimentSpec
+{
+  public:
+    /** Builds a base configuration for a given guest count. */
+    using ConfigFactory =
+        std::function<core::SystemConfig(std::uint32_t guests)>;
+    /** In-place tweak applied by a generic axis value. */
+    using Mutator = std::function<void(core::SystemConfig &)>;
+    /** Post-run probe: extract extra metrics from the live System. */
+    using Probe = std::function<void(core::System &, const RunPoint &,
+                                     std::map<std::string, double> &)>;
+    /** Pre-run hook: adjust the freshly built System before run(). */
+    using Setup = std::function<void(core::System &, const RunPoint &)>;
+
+    explicit ExperimentSpec(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Add a base configuration series (one curve / table row group). */
+    ExperimentSpec &
+    config(std::string label, ConfigFactory make)
+    {
+        configs_.push_back({std::move(label), std::move(make)});
+        return *this;
+    }
+
+    /** Convenience: a series from a fixed config (guest count preset). */
+    ExperimentSpec &
+    config(std::string label, core::SystemConfig cfg)
+    {
+        return config(std::move(label),
+                      [cfg = std::move(cfg)](std::uint32_t) { return cfg; });
+    }
+
+    /** Guest-count axis (passed to every ConfigFactory). */
+    ExperimentSpec &
+    guests(std::vector<std::uint32_t> counts)
+    {
+        guests_ = std::move(counts);
+        return *this;
+    }
+
+    /** Direction axis: which of tx / rx to run. */
+    ExperimentSpec &
+    directions(bool tx, bool rx)
+    {
+        Axis axis{"direction", {}};
+        if (tx)
+            axis.values.push_back(
+                {"tx", [](core::SystemConfig &c) { c.transmit(true); }});
+        if (rx)
+            axis.values.push_back(
+                {"rx", [](core::SystemConfig &c) { c.receive(); }});
+        axes_.push_back(std::move(axis));
+        return *this;
+    }
+
+    /** Generic named axis of (label, config mutation) values. */
+    ExperimentSpec &
+    vary(std::string axis_name,
+         std::vector<std::pair<std::string, Mutator>> values)
+    {
+        Axis axis{std::move(axis_name), {}};
+        for (auto &[label, apply] : values)
+            axis.values.push_back({std::move(label), std::move(apply)});
+        axes_.push_back(std::move(axis));
+        return *this;
+    }
+
+    /** Seed ensemble 1..n. */
+    ExperimentSpec &
+    seeds(std::uint32_t n)
+    {
+        seeds_.clear();
+        for (std::uint64_t s = 1; s <= n; ++s)
+            seeds_.push_back(s);
+        return *this;
+    }
+
+    /** Explicit seed ensemble. */
+    ExperimentSpec &
+    seedList(std::vector<std::uint64_t> s)
+    {
+        seeds_ = std::move(s);
+        return *this;
+    }
+
+    ExperimentSpec &
+    warmup(sim::Time t)
+    {
+        warmup_ = t;
+        return *this;
+    }
+
+    ExperimentSpec &
+    measure(sim::Time t)
+    {
+        measure_ = t;
+        return *this;
+    }
+
+    /** Install a post-run probe (see Probe). */
+    ExperimentSpec &
+    probe(Probe p)
+    {
+        probe_ = std::move(p);
+        return *this;
+    }
+
+    /** Install a pre-run hook (see Setup). */
+    ExperimentSpec &
+    setup(Setup s)
+    {
+        setup_ = std::move(s);
+        return *this;
+    }
+
+    const Probe &probeFn() const { return probe_; }
+    const Setup &setupFn() const { return setup_; }
+    const std::vector<std::uint64_t> &seedEnsemble() const { return seeds_; }
+
+    /**
+     * Expand the grid into its flat, deterministically ordered run
+     * list: configs x guests x axes x seeds, declaration order.
+     */
+    std::vector<RunPoint> expand() const;
+
+  private:
+    struct ConfigSeries
+    {
+        std::string label;
+        ConfigFactory make;
+    };
+    struct AxisValue
+    {
+        std::string label;
+        Mutator apply;
+    };
+    struct Axis
+    {
+        std::string name;
+        std::vector<AxisValue> values;
+    };
+
+    std::string name_;
+    std::vector<ConfigSeries> configs_;
+    std::vector<std::uint32_t> guests_{1};
+    std::vector<Axis> axes_;
+    std::vector<std::uint64_t> seeds_{1};
+    sim::Time warmup_ = sim::milliseconds(100);
+    sim::Time measure_ = sim::milliseconds(400);
+    Probe probe_;
+    Setup setup_;
+};
+
+/** Execution knobs for a sweep (none of these affect results). */
+struct SweepOptions
+{
+    /** Worker threads; 0 picks defaultThreadCount(). */
+    unsigned jobs = 1;
+    /**
+     * Observability: apply these CLI trace/stats options to the first
+     * run whose cell contains observeCell (first seed only).  Tracing
+     * is read-only with respect to simulated state, so an observed run
+     * still produces byte-identical JSON.
+     */
+    std::string observeCell;
+    core::CliOptions obs;
+    /**
+     * Progress hook, called after each run completes (from worker
+     * threads, serialized by the runner).  Completion order is
+     * nondeterministic; use the result list for ordered output.
+     */
+    std::function<void(const RunResult &, std::size_t done,
+                       std::size_t total)>
+        onResult;
+};
+
+/** The results of a full sweep, in expansion (not completion) order. */
+struct SweepResult
+{
+    std::string name;
+    std::vector<RunResult> runs;
+    /** Per-cell aggregates, in first-appearance order. */
+    std::vector<CellStats> cells;
+};
+
+/** Expand @p spec and execute every run; see file header for contract. */
+SweepResult runSweep(const ExperimentSpec &spec, const SweepOptions &opt);
+
+/**
+ * Render a sweep as a versioned JSON document.
+ *
+ * Layout (stable key order, byte-identical for any -j):
+ *   { "schema_version": core::kReportSchemaVersion,
+ *     "kind": "cdna-sweep", "name": ...,
+ *     "runs":  [ {"cell", "seed", ["extra",] "report": {...}} ... ],
+ *     "cells": [ {"cell", "runs", "metrics": {name: {mean,stddev,ci95}}} ] }
+ *
+ * The nested "report" objects are exactly reportToJson() output, so a
+ * sweep cell can be diffed byte-for-byte against a single run.
+ */
+std::string sweepToJson(const SweepResult &result);
+
+} // namespace cdna::sim
+
+#endif // CDNA_SIM_SWEEP_HH

@@ -1,0 +1,232 @@
+#include "sim/sweep_presets.hh"
+
+#include <cstdio>
+
+namespace cdna::sim::presets {
+
+namespace {
+
+core::SystemConfig
+xenIntelG(std::uint32_t g)
+{
+    return core::SystemConfig::xenIntel(g);
+}
+
+core::SystemConfig
+cdnaG(std::uint32_t g)
+{
+    return core::SystemConfig::cdna(g);
+}
+
+} // namespace
+
+ExperimentSpec
+table1()
+{
+    auto xen = core::SystemConfig::xenIntel(1);
+    xen.numNics = 6;
+    return ExperimentSpec("table1")
+        .config("native", core::SystemConfig::native(6))
+        .config("xen", xen)
+        .directions(true, true);
+}
+
+ExperimentSpec
+table2()
+{
+    return ExperimentSpec("table2")
+        .config("xen-intel", core::SystemConfig::xenIntel(1))
+        .config("xen-ricenic", core::SystemConfig::xenRice(1))
+        .config("cdna", core::SystemConfig::cdna(1));
+}
+
+ExperimentSpec
+table3()
+{
+    return ExperimentSpec("table3")
+        .config("xen-intel", core::SystemConfig::xenIntel(1))
+        .config("xen-ricenic", core::SystemConfig::xenRice(1))
+        .config("cdna", core::SystemConfig::cdna(1))
+        .directions(false, true);
+}
+
+ExperimentSpec
+table4()
+{
+    return ExperimentSpec("table4")
+        .config("cdna", core::SystemConfig::cdna(1))
+        .directions(true, true)
+        .vary("protection",
+              {{"prot",
+                [](core::SystemConfig &c) { c.withProtection(true); }},
+               {"noprot",
+                [](core::SystemConfig &c) { c.withProtection(false); }}});
+}
+
+ExperimentSpec
+fig3()
+{
+    return ExperimentSpec("fig3")
+        .config("xen", xenIntelG)
+        .config("cdna", cdnaG)
+        .guests({1, 2, 4, 8, 12, 16, 20, 24});
+}
+
+ExperimentSpec
+fig4()
+{
+    return ExperimentSpec("fig4")
+        .config("xen", xenIntelG)
+        .config("cdna", cdnaG)
+        .guests({1, 2, 4, 8, 12, 16, 20, 24})
+        .directions(false, true);
+}
+
+ExperimentSpec
+latency()
+{
+    return ExperimentSpec("latency")
+        .config("xen", xenIntelG)
+        .config("cdna", cdnaG)
+        .guests({1, 4, 8})
+        .directions(true, true);
+}
+
+ExperimentSpec
+coalesce()
+{
+    std::vector<std::pair<std::string, ExperimentSpec::Mutator>> windows;
+    for (double us : {18.0, 36.0, 72.0, 145.0, 290.0, 580.0}) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "w%.0fus", us);
+        windows.emplace_back(label, [us](core::SystemConfig &c) {
+            c.costs.cdnaCoalesce.delay = sim::microseconds(us);
+        });
+    }
+    return ExperimentSpec("coalesce")
+        .config("cdna", core::SystemConfig::cdna(1))
+        .vary("window", std::move(windows));
+}
+
+ExperimentSpec
+protectionAblation()
+{
+    using Cfg = core::SystemConfig;
+    return ExperimentSpec("protection")
+        .config("cdna", core::SystemConfig::cdna(1))
+        .vary("variant",
+              {{"full", [](Cfg &) {}},
+               {"free-validate",
+                [](Cfg &c) { c.costs.protValidatePerPage = 0; }},
+               {"free-pin",
+                [](Cfg &c) {
+                    c.costs.protPinPerPage = 0;
+                    c.costs.protUnpinPerPage = 0;
+                }},
+               {"free-enqueue",
+                [](Cfg &c) { c.costs.protEnqueuePerDesc = 0; }},
+               {"free-hypercall",
+                [](Cfg &c) { c.costs.hv.hypercallOverhead = 0; }},
+               {"disabled", [](Cfg &c) { c.withProtection(false); }}});
+}
+
+ExperimentSpec
+contexts()
+{
+    return ExperimentSpec("contexts")
+        .config("cdna1nic",
+                [](std::uint32_t g) {
+                    return core::SystemConfig::cdna(g).withNics(1);
+                })
+        .guests({1, 2, 4, 8, 16, 24, 30})
+        .probe([](core::System &sys, const RunPoint &,
+                  std::map<std::string, double> &extra) {
+            extra["fw_util"] =
+                sys.cdnaNic(0)->firmwareUtilization(sys.cpu().elapsed());
+        });
+}
+
+ExperimentSpec
+iommu()
+{
+    using Mode = mem::Iommu::Mode;
+    return ExperimentSpec("iommu")
+        .config("swprot", core::SystemConfig::cdna(2))
+        .config("noprot-noiommu",
+                core::SystemConfig::cdna(2).withProtection(false))
+        .config("percontext", core::SystemConfig::cdna(2)
+                                  .withProtection(false)
+                                  .withIommu(Mode::kPerContext))
+        .config("perdevice", core::SystemConfig::cdna(2)
+                                 .withProtection(false)
+                                 .withIommu(Mode::kPerDevice))
+        // The per-device IOMMU can hold only one binding per NIC; bind
+        // every NIC to guest 0, which blocks guest 1's DMA -- the
+        // section 5.3 argument that per-device granularity cannot
+        // express per-guest contexts.
+        .setup([](core::System &sys, const RunPoint &) {
+            if (sys.config().iommuMode != Mode::kPerDevice)
+                return;
+            for (std::uint32_t i = 0; i < sys.nicCount(); ++i)
+                sys.iommu()->bindDevice(i, sys.guestDomain(0)->id());
+        })
+        .probe([](core::System &sys, const RunPoint &,
+                  std::map<std::string, double> &extra) {
+            extra["iommu_blocked"] =
+                sys.iommu()
+                    ? static_cast<double>(sys.iommu()->blockedCount())
+                    : 0.0;
+        });
+}
+
+ExperimentSpec
+flipcopy()
+{
+    return ExperimentSpec("flipcopy")
+        .config("xen-flip",
+                [](std::uint32_t g) {
+                    return core::SystemConfig::xenIntel(g).receive();
+                })
+        .config("xen-copy",
+                [](std::uint32_t g) {
+                    return core::SystemConfig::xenIntel(g).receive().withRxCopy(
+                        true);
+                })
+        .config("cdna",
+                [](std::uint32_t g) {
+                    return core::SystemConfig::cdna(g).receive();
+                })
+        .guests({1, 8});
+}
+
+const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &
+all()
+{
+    static const std::vector<std::pair<std::string, ExperimentSpec (*)()>>
+        presets = {
+            {"table1", table1},
+            {"table2", table2},
+            {"table3", table3},
+            {"table4", table4},
+            {"fig3", fig3},
+            {"fig4", fig4},
+            {"latency", latency},
+            {"coalesce", coalesce},
+            {"protection", protectionAblation},
+            {"contexts", contexts},
+            {"iommu", iommu},
+            {"flipcopy", flipcopy},
+        };
+    return presets;
+}
+
+std::optional<ExperimentSpec>
+byName(const std::string &name)
+{
+    for (const auto &[key, make] : all())
+        if (key == name)
+            return make();
+    return std::nullopt;
+}
+
+} // namespace cdna::sim::presets

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Named experiment presets: every paper artifact (Tables 1-4, Figures
+ * 3-4) plus the repository's extension/ablation sweeps, expressed as
+ * ExperimentSpecs.
+ *
+ * These are the single source of truth for what each artifact runs:
+ * the `cdna_sweep` CLI, the bench_* binaries, and the determinism
+ * tests all expand the same specs, so "the Table 2 configuration"
+ * cannot drift between entry points.
+ */
+
+#ifndef CDNA_SIM_SWEEP_PRESETS_HH
+#define CDNA_SIM_SWEEP_PRESETS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace cdna::sim::presets {
+
+/** Table 1: native Linux vs a Xen guest over six Intel NICs, tx+rx. */
+ExperimentSpec table1();
+/** Table 2: single-guest transmit -- Xen/Intel, Xen/RiceNIC, CDNA. */
+ExperimentSpec table2();
+/** Table 3: single-guest receive -- Xen/Intel, Xen/RiceNIC, CDNA. */
+ExperimentSpec table3();
+/** Table 4: CDNA with/without DMA protection, tx+rx. */
+ExperimentSpec table4();
+/** Figure 3: transmit throughput vs guest count (1..24), Xen vs CDNA. */
+ExperimentSpec fig3();
+/** Figure 4: receive throughput vs guest count (1..24), Xen vs CDNA. */
+ExperimentSpec fig4();
+/** Extension: end-to-end latency under load, both directions. */
+ExperimentSpec latency();
+/** Ablation A: CDNA interrupt-coalescing window sweep. */
+ExperimentSpec coalesce();
+/** Ablation B: decomposition of the DMA-protection cost. */
+ExperimentSpec protectionAblation();
+/** Ablation C: hardware-context scaling on a single CDNA NIC. */
+ExperimentSpec contexts();
+/** Ablation D: IOMMU modes (section 5.3). */
+ExperimentSpec iommu();
+/** Ablation E: Xen RX page-flip vs copy-mode netback. */
+ExperimentSpec flipcopy();
+
+/** Every preset, keyed by CLI name, in documentation order. */
+const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &all();
+
+/** Look up a preset by name. */
+std::optional<ExperimentSpec> byName(const std::string &name);
+
+} // namespace cdna::sim::presets
+
+#endif // CDNA_SIM_SWEEP_PRESETS_HH

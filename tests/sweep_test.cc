@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the sweep subsystem and the event-queue hot path it runs
+ * on: the pooled/generation-tagged EventQueue, the work-stealing
+ * parallelFor, ExperimentSpec expansion, seed-ensemble statistics, and
+ * the determinism contract (-j1 == -jN == standalone run,
+ * byte-for-byte).
+ */
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "core/system.hh"
+#include "sim/event_queue.hh"
+#include "sim/sweep.hh"
+#include "sim/sweep_presets.hh"
+#include "sim/thread_pool.hh"
+
+namespace cdna {
+namespace {
+
+// --- EventQueue: pooled nodes, generations, cancellation ----------------
+
+TEST(EventQueuePool, FifoAtEqualTimestamps)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(100, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueuePool, CancelIsIdempotent)
+{
+    sim::EventQueue q;
+    bool fired = false;
+    auto id = q.schedule(10, [&fired] { fired = true; });
+    EXPECT_EQ(q.pendingCount(), 1u);
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)); // second cancel of the same handle
+    EXPECT_TRUE(q.empty());
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueuePool, CancelAfterFireFails)
+{
+    sim::EventQueue q;
+    auto id = q.schedule(10, [] {});
+    EXPECT_TRUE(q.runOne());
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueuePool, StaleHandleCannotCancelSlotReuse)
+{
+    sim::EventQueue q;
+    // Fire an event, freeing its pool slot.
+    auto stale = q.schedule(10, [] {});
+    q.run();
+    // The next schedule reuses that slot with a bumped generation.
+    bool fired = false;
+    auto fresh = q.schedule(10, [&fired] { fired = true; });
+    EXPECT_NE(stale, fresh);
+    EXPECT_FALSE(q.cancel(stale)); // must not kill the new event
+    q.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueuePool, CancelledSlotReusedForLaterEvent)
+{
+    sim::EventQueue q;
+    int fired = 0;
+    auto a = q.schedule(50, [&fired] { ++fired; });
+    EXPECT_TRUE(q.cancel(a));
+    // Heavy churn across the freed slot: every handle must stay distinct
+    // and every live event must fire exactly once.
+    std::set<sim::EventId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.insert(q.schedule(10 + i, [&fired] { ++fired; }));
+    EXPECT_EQ(ids.size(), 100u);
+    EXPECT_EQ(ids.count(a), 0u);
+    q.run();
+    EXPECT_EQ(fired, 100);
+}
+
+TEST(EventQueuePool, NextEventTimeSkipsNothingAfterCancel)
+{
+    sim::EventQueue q;
+    auto early = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.nextEventTime(), 10);
+    EXPECT_TRUE(q.cancel(early));
+    // Cancellation removes the node immediately -- no tombstone at top.
+    EXPECT_EQ(q.nextEventTime(), 20);
+    EXPECT_EQ(q.pendingCount(), 1u);
+}
+
+TEST(EventQueuePool, LargeCaptureFallsBackToHeap)
+{
+    sim::EventQueue q;
+    struct Big
+    {
+        char pad[96];
+    } big{};
+    big.pad[0] = 7;
+    big.pad[95] = 9;
+    int sum = 0;
+    static_assert(sizeof(Big) > sim::InplaceCallback::kInlineSize);
+    q.schedule(5, [big, &sum] { sum = big.pad[0] + big.pad[95]; });
+    q.run();
+    EXPECT_EQ(sum, 16);
+}
+
+TEST(EventQueuePool, RescheduleFromCallbackKeepsOrdering)
+{
+    sim::EventQueue q;
+    std::vector<sim::Time> times;
+    std::function<void()> tick = [&] {
+        times.push_back(q.now());
+        if (times.size() < 5)
+            q.schedule(100, tick);
+    };
+    q.schedule(0, tick);
+    q.run();
+    ASSERT_EQ(times.size(), 5u);
+    for (std::size_t i = 0; i < times.size(); ++i)
+        EXPECT_EQ(times[i], static_cast<sim::Time>(100 * i));
+}
+
+// --- parallelFor --------------------------------------------------------
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kN = 503;
+    std::vector<std::atomic<int>> hits(kN);
+    sim::parallelFor(4, kN, [&hits](std::size_t i) { hits[i]++; });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, InlineWhenSingleThread)
+{
+    std::vector<std::size_t> order;
+    sim::parallelFor(1, 5, [&order](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesTaskException)
+{
+    EXPECT_THROW(sim::parallelFor(3, 16,
+                                  [](std::size_t i) {
+                                      if (i == 7)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+}
+
+// --- MetricStats --------------------------------------------------------
+
+TEST(MetricStats, SingleSampleHasNoSpread)
+{
+    auto s = sim::MetricStats::of({42.0});
+    EXPECT_DOUBLE_EQ(s.mean, 42.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.ci95, 0.0);
+}
+
+TEST(MetricStats, KnownEnsemble)
+{
+    auto s = sim::MetricStats::of({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.stddev, 2.13809, 1e-4); // sample stddev, n-1
+    EXPECT_NEAR(s.ci95, 1.96 * 2.13809 / std::sqrt(8.0), 1e-4);
+}
+
+// --- ExperimentSpec expansion -------------------------------------------
+
+TEST(ExperimentSpec, ExpansionOrderAndLabels)
+{
+    auto spec = sim::ExperimentSpec("t")
+                    .config("a", core::SystemConfig::cdna(1))
+                    .config("b", core::SystemConfig::xenIntel(1))
+                    .directions(true, true)
+                    .seeds(2);
+    auto points = spec.expand();
+    ASSERT_EQ(points.size(), 8u); // 2 configs x 2 dirs x 2 seeds
+    // Configs outermost, then axes, then seeds innermost.
+    EXPECT_EQ(points[0].cell, "a/tx");
+    EXPECT_EQ(points[0].seed, 1u);
+    EXPECT_EQ(points[1].cell, "a/tx");
+    EXPECT_EQ(points[1].seed, 2u);
+    EXPECT_EQ(points[2].cell, "a/rx");
+    EXPECT_EQ(points[4].cell, "b/tx");
+    EXPECT_EQ(points[7].cell, "b/rx");
+    EXPECT_EQ(points[7].seed, 2u);
+}
+
+TEST(ExperimentSpec, GuestSuffixOnlyWithMultipleCounts)
+{
+    auto one = sim::ExperimentSpec("t")
+                   .config("c", [](std::uint32_t g) {
+                       return core::SystemConfig::cdna(g);
+                   });
+    EXPECT_EQ(one.expand()[0].cell, "c");
+
+    auto many = sim::ExperimentSpec("t")
+                    .config("c",
+                            [](std::uint32_t g) {
+                                return core::SystemConfig::cdna(g);
+                            })
+                    .guests({1, 4});
+    auto points = many.expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].cell, "c/g1");
+    EXPECT_EQ(points[1].cell, "c/g4");
+    EXPECT_EQ(points[1].config.numGuests, 4u);
+}
+
+TEST(ExperimentSpec, VaryAxisMutatesConfig)
+{
+    auto spec = sim::ExperimentSpec("t")
+                    .config("c", core::SystemConfig::cdna(1))
+                    .vary("nics", {{"n1",
+                                    [](core::SystemConfig &c) {
+                                        c.numNics = 1;
+                                    }},
+                                   {"n4", [](core::SystemConfig &c) {
+                                        c.numNics = 4;
+                                    }}});
+    auto points = spec.expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].cell, "c/n1");
+    EXPECT_EQ(points[0].config.numNics, 1u);
+    EXPECT_EQ(points[1].cell, "c/n4");
+    EXPECT_EQ(points[1].config.numNics, 4u);
+}
+
+// --- Sweep determinism contract -----------------------------------------
+
+/** A small but non-trivial grid that still runs in well under a second. */
+sim::ExperimentSpec
+smallSpec()
+{
+    return sim::ExperimentSpec("small")
+        .config("cdna", core::SystemConfig::cdna(2))
+        .config("xen", core::SystemConfig::xenIntel(1))
+        .directions(true, true)
+        .seeds(2)
+        .warmup(sim::milliseconds(2))
+        .measure(sim::milliseconds(10));
+}
+
+TEST(SweepDeterminism, SameJsonForOneAndEightJobs)
+{
+    sim::SweepOptions j1;
+    j1.jobs = 1;
+    sim::SweepOptions j8;
+    j8.jobs = 8;
+    auto a = sim::runSweep(smallSpec(), j1);
+    auto b = sim::runSweep(smallSpec(), j8);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        EXPECT_EQ(a.runs[i].point.cell, b.runs[i].point.cell);
+        EXPECT_EQ(a.runs[i].json, b.runs[i].json) << a.runs[i].point.cell;
+    }
+    EXPECT_EQ(sim::sweepToJson(a), sim::sweepToJson(b));
+}
+
+TEST(SweepDeterminism, CellMatchesStandaloneRun)
+{
+    auto spec = smallSpec();
+    sim::SweepOptions opt;
+    opt.jobs = 2;
+    auto result = sim::runSweep(spec, opt);
+
+    // Re-run the first cell's first seed exactly as a standalone
+    // program would: same config, seed, warmup, and measure window.
+    const auto &run = result.runs[result.cells[0].firstRun];
+    core::SystemConfig cfg = run.point.config;
+    core::System sys(cfg);
+    core::Report report = sys.run(run.point.warmup, run.point.measure);
+    EXPECT_EQ(core::reportToJson(report), run.json);
+}
+
+TEST(SweepDeterminism, ObservedRunStaysByteIdentical)
+{
+    sim::SweepOptions plain;
+    plain.jobs = 1;
+    auto baseline = sim::runSweep(smallSpec(), plain);
+
+    sim::SweepOptions observed;
+    observed.jobs = 2;
+    observed.observeCell = "cdna/tx";
+    observed.obs.statsJsonFile = "/dev/null";
+    auto traced = sim::runSweep(smallSpec(), observed);
+    ASSERT_EQ(baseline.runs.size(), traced.runs.size());
+    for (std::size_t i = 0; i < baseline.runs.size(); ++i)
+        EXPECT_EQ(baseline.runs[i].json, traced.runs[i].json);
+}
+
+TEST(SweepAggregate, CellsGroupSeedsInFirstAppearanceOrder)
+{
+    sim::SweepOptions opt;
+    opt.jobs = 4;
+    auto result = sim::runSweep(smallSpec(), opt);
+    ASSERT_EQ(result.cells.size(), 4u); // 2 configs x 2 directions
+    EXPECT_EQ(result.cells[0].cell, "cdna/tx");
+    EXPECT_EQ(result.cells[1].cell, "cdna/rx");
+    EXPECT_EQ(result.cells[2].cell, "xen/tx");
+    EXPECT_EQ(result.cells[3].cell, "xen/rx");
+    for (const auto &cs : result.cells) {
+        EXPECT_EQ(cs.runs, 2u); // the two seeds
+        ASSERT_FALSE(cs.metrics.empty());
+        // mbps must aggregate to the mean of the two per-seed reports.
+        double sum = 0;
+        std::size_t n = 0;
+        for (const auto &run : result.runs)
+            if (run.point.cell == cs.cell) {
+                sum += run.report.mbps;
+                ++n;
+            }
+        ASSERT_EQ(n, 2u);
+        EXPECT_NEAR(cs.metrics[0].second.mean, sum / 2.0, 1e-9);
+    }
+}
+
+TEST(SweepJson, DocumentShapeAndVersion)
+{
+    sim::SweepOptions opt;
+    opt.jobs = 1;
+    auto result = sim::runSweep(sim::ExperimentSpec("tiny")
+                                    .config("cdna",
+                                            core::SystemConfig::cdna(1))
+                                    .warmup(sim::milliseconds(1))
+                                    .measure(sim::milliseconds(5)),
+                                opt);
+    std::string json = sim::sweepToJson(result);
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"cdna-sweep\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"tiny\""), std::string::npos);
+    // The nested report is spliced verbatim, so the single-run document
+    // must appear as a substring of the sweep document (modulo indent).
+    ASSERT_EQ(result.runs.size(), 1u);
+    std::string report = result.runs[0].json;
+    std::string firstLine = report.substr(0, report.find('\n'));
+    EXPECT_NE(json.find(firstLine), std::string::npos);
+    // No wall-clock or thread-count leakage into the canonical output.
+    EXPECT_EQ(json.find("jobs"), std::string::npos);
+    EXPECT_EQ(json.find("wall"), std::string::npos);
+}
+
+TEST(SweepPresets, RegistryResolvesEveryPreset)
+{
+    for (const auto &[name, make] : sim::presets::all()) {
+        auto spec = sim::presets::byName(name);
+        ASSERT_TRUE(spec.has_value()) << name;
+        EXPECT_EQ(spec->name(), name);
+        EXPECT_FALSE(spec->expand().empty()) << name;
+    }
+    EXPECT_FALSE(sim::presets::byName("nope").has_value());
+}
+
+} // namespace
+} // namespace cdna
