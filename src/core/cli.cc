@@ -43,6 +43,7 @@ struct ParseState
     std::uint32_t guests = 1;
     std::uint32_t nics = 2;
     std::uint32_t connections = 2;
+    std::string transport = "open";
     std::uint32_t warmupMs = 100;
     double seconds = 0.5;
     std::uint32_t seed = 1;
@@ -137,6 +138,14 @@ const Spec kSpecs[] = {
          if (!parseU32(v, &st.connections) || st.connections == 0)
              return failWith(error,
                              "--connections needs a positive integer");
+         return true;
+     }},
+    {"--transport", "MODE",
+     "open | tcp: open-loop traffic (default) or\n"
+     "closed-loop Reno endpoints with a real ACK path",
+     "topology & workload",
+     [](ParseState &st, const std::string &v, std::string *) {
+         st.transport = v;
          return true;
      }},
 
@@ -352,6 +361,11 @@ finalize(ParseState st, std::string *error)
         cfg.withIommu(mem::Iommu::Mode::kPerContext);
     else
         return fail("--iommu must be none, device, or context");
+
+    if (st.transport == "tcp")
+        cfg.transport(kTcp);
+    else if (st.transport != "open")
+        return fail("--transport must be open or tcp");
 
     cfg.withConnections(st.connections).withSeed(st.seed);
     if (st.haveFaults)

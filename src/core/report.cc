@@ -103,6 +103,7 @@ reportToJson(const Report &r)
     add("latency_p50_us", r.latencyP50Us);
     add("latency_p99_us", r.latencyP99Us);
     add("fairness", r.fairness());
+    add("wire_mbps", r.wireMbps);
     addU("protection_faults", r.protectionFaults);
     addU("dma_violations", r.dmaViolations);
     addU("rx_drops_no_desc", r.rxDropsNoDesc);
@@ -116,6 +117,13 @@ reportToJson(const Report &r)
     addU("guest_kills", r.guestKills);
     addU("mailbox_timeouts", r.mailboxTimeouts);
     addU("ring_resyncs", r.ringResyncs);
+    addU("rx_drops_bad_csum", r.rxDropsBadCsum);
+    addU("tx_backlog_peak", r.txBacklogPeak);
+    addU("tx_backlog_now", r.txBacklogNow);
+    addU("tcp_retrans_segs", r.tcpRetransSegs);
+    addU("tcp_fast_retransmits", r.tcpFastRetransmits);
+    addU("tcp_rto_events", r.tcpRtoEvents);
+    addU("tcp_dup_acks", r.tcpDupAcks);
     out += "  \"per_guest_mbps\": [";
     for (std::size_t i = 0; i < r.perGuestMbps.size(); ++i) {
         std::snprintf(buf, sizeof(buf), "%s%.2f", i ? ", " : "",

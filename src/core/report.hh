@@ -27,8 +27,13 @@ namespace cdna::core {
  *   1  initial versioned schema: the PR-2 report keys plus
  *      "schema_version" itself (sweep aggregates wrap these per-run
  *      objects under "runs[].report").
+ *   2  transport subsystem: "wire_mbps" appended after "fairness";
+ *      "rx_drops_bad_csum", "tx_backlog_peak", "tx_backlog_now",
+ *      "tcp_retrans_segs", "tcp_fast_retransmits", "tcp_rto_events",
+ *      and "tcp_dup_acks" appended after "ring_resyncs".  All version-1
+ *      keys keep their order and formatting.
  */
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
 
 struct Report
 {
@@ -36,6 +41,14 @@ struct Report
 
     /** Aggregate goodput in Mb/s over the measurement window. */
     double mbps = 0.0;
+
+    /**
+     * Raw wire payload throughput in Mb/s (includes retransmissions and
+     * frames later discarded by the checksum check).  Equals goodput in
+     * open-loop runs; under TCP, goodput <= wire throughput, with the
+     * gap being retransmitted or corrupted bytes.
+     */
+    double wireMbps = 0.0;
 
     // Execution profile (percent of elapsed time).
     double hypPct = 0.0;
@@ -69,6 +82,19 @@ struct Report
     std::uint64_t guestKills = 0;
     std::uint64_t mailboxTimeouts = 0; //!< driver watchdog expiries
     std::uint64_t ringResyncs = 0;     //!< producer mailboxes re-rung
+
+    /** Frames discarded by receivers' checksum check (both transports). */
+    std::uint64_t rxDropsBadCsum = 0;
+
+    // Guest-stack TX backlog (packets queued behind a full device).
+    std::uint64_t txBacklogPeak = 0; //!< high-watermark across stacks
+    std::uint64_t txBacklogNow = 0;  //!< depth at the end of the window
+
+    // TCP transport recovery activity (zero in open-loop runs).
+    std::uint64_t tcpRetransSegs = 0;
+    std::uint64_t tcpFastRetransmits = 0;
+    std::uint64_t tcpRtoEvents = 0;
+    std::uint64_t tcpDupAcks = 0;
 
     /** Per-guest goodput (fairness analysis), Mb/s. */
     std::vector<double> perGuestMbps;
@@ -111,11 +137,13 @@ struct Report
  * counts; relied on by the sweep determinism tests, which compare
  * whole documents byte-for-byte):
  *
- *   schema_version, label, then the double-valued metrics in Report
- *   declaration order (mbps, the six profile percentages, the five
- *   rate counters, the three latency quantiles, fairness), then the
- *   integer counters in declaration order (protection/drop counters
- *   followed by the fault/recovery counters), then per_guest_mbps.
+ *   schema_version, label, then the double-valued metrics (mbps, the
+ *   six profile percentages, the five rate counters, the three latency
+ *   quantiles, fairness, wire_mbps), then the integer counters
+ *   (protection/drop counters, the fault/recovery counters, then the
+ *   checksum/backlog/TCP counters added in schema 2), then
+ *   per_guest_mbps.  New keys are only ever appended at the end of
+ *   their block so older goldens remain a line-subset of newer reports.
  *
  * Doubles are printed with "%.4f", integers as decimal, arrays in
  * index order; no locale-dependent formatting is used anywhere.

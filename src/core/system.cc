@@ -68,6 +68,8 @@ System::buildCommon()
             ctx_, "peer" + suffix, *links_.back(),
             net::EthLink::Side::kB));
         peers_.back()->setAckEvery(cfg_.costs.ackPerFrames);
+        if (cfg_.transportKind == TransportKind::kTcp)
+            peers_.back()->enableTcp(cfg_.tcpParams);
         if (kind == NicKind::kIntel) {
             auto params = cfg_.intelParams;
             params.coalesce = cfg_.costs.intelCoalesce;
@@ -185,6 +187,15 @@ System::registerGauges()
     metrics_.addGauge("sim.pending_events", [this] {
         return static_cast<double>(ctx_.events().pendingCount());
     });
+    // cwnd trajectories, one gauge per transport endpoint.
+    for (const auto &st : stacks_)
+        if (net::transport::TcpEndpoint *t = st->tcp())
+            metrics_.addGauge(t->name() + ".cwnd_bytes",
+                              [t] { return t->cwndBytes(); });
+    for (const auto &p : peers_)
+        if (net::transport::TcpEndpoint *t = p->tcp())
+            metrics_.addGauge(t->name() + ".cwnd_bytes",
+                              [t] { return t->cwndBytes(); });
 }
 
 void
@@ -236,6 +247,8 @@ System::buildNative()
             ctx_, "stack0." + std::to_string(i), native,
             *nativeDrivers_.back(), cfg_.costs));
         stacks_.back()->setDefaultDst(peers_[i]->mac());
+        if (cfg_.transportKind == TransportKind::kTcp)
+            stacks_.back()->enableTcp(cfg_.tcpParams);
         workload::TrafficApp::Params ap;
         ap.connections = cfg_.connectionsPerVif;
         ap.transmit = cfg_.transmitDir;
@@ -310,6 +323,8 @@ System::buildXen()
                 "stack" + std::to_string(g) + "." + std::to_string(i),
                 *guests_[g], vif, cfg_.costs));
             stacks_.back()->setDefaultDst(peers_[i]->mac());
+            if (cfg_.transportKind == TransportKind::kTcp)
+                stacks_.back()->enableTcp(cfg_.tcpParams);
             workload::TrafficApp::Params ap;
             ap.connections = cfg_.connectionsPerVif;
             ap.transmit = cfg_.transmitDir;
@@ -364,6 +379,8 @@ System::buildCdna()
                 "stack" + std::to_string(g) + "." + std::to_string(i),
                 guest, *drv, cfg_.costs));
             stacks_.back()->setDefaultDst(peers_[i]->mac());
+            if (cfg_.transportKind == TransportKind::kTcp)
+                stacks_.back()->enableTcp(cfg_.tcpParams);
             workload::TrafficApp::Params ap;
             ap.connections = cfg_.connectionsPerVif;
             ap.transmit = cfg_.transmitDir;
@@ -426,10 +443,34 @@ System::Snapshot
 System::snapshot() const
 {
     Snapshot s;
-    for (const auto &p : peers_)
-        s.peerRxPayload += p->payloadReceived();
-    for (const auto &st : stacks_)
+    for (const auto &p : peers_) {
+        s.peerRxPayload += p->payloadDelivered();
+        s.rxDropsBadCsum += p->rxDropsBadCsum();
+        if (auto *t = p->tcp()) {
+            s.tcpRetrans += t->retransSegs();
+            s.tcpFastRtx += t->fastRetransmits();
+            s.tcpRtos += t->rtoEvents();
+            s.tcpDupAcks += t->dupAcksRx();
+        }
+    }
+    for (const auto &st : stacks_) {
         s.stackRxBytes += st->rxBytes();
+        s.rxDropsBadCsum += st->rxDropsBadCsum();
+        s.txBacklogPeak = std::max(s.txBacklogPeak, st->txBacklogPeak());
+        s.txBacklogNow += st->txBacklogDepth();
+        if (auto *t = st->tcp()) {
+            s.tcpRetrans += t->retransSegs();
+            s.tcpFastRtx += t->fastRetransmits();
+            s.tcpRtos += t->rtoEvents();
+            s.tcpDupAcks += t->dupAcksRx();
+        }
+    }
+    // Raw payload carried by the links in the goodput direction
+    // (guests sit on side A, peers on side B).
+    for (const auto &l : links_)
+        s.wirePayload += l->payloadCarried(cfg_.transmitDir
+                                               ? net::EthLink::Side::kA
+                                               : net::EthLink::Side::kB);
 
     s.perGuestBytes.assign(guests_.size(), 0);
     for (std::size_t g = 0; g < guests_.size(); ++g) {
@@ -515,6 +556,8 @@ System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
         ? b.peerRxPayload - a.peerRxPayload
         : b.stackRxBytes - a.stackRxBytes;
     r.mbps = static_cast<double>(goodput_bytes) * 8.0 / secs / 1.0e6;
+    r.wireMbps = static_cast<double>(b.wirePayload - a.wirePayload) * 8.0 /
+                 secs / 1.0e6;
 
     const auto &prof = cpu_->profile();
     auto pct = [&](sim::Time t) {
@@ -559,6 +602,14 @@ System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
     r.guestKills = b.guestKills - a.guestKills;
     r.mailboxTimeouts = b.mailboxTimeouts - a.mailboxTimeouts;
     r.ringResyncs = b.ringResyncs - a.ringResyncs;
+    r.rxDropsBadCsum = b.rxDropsBadCsum - a.rxDropsBadCsum;
+    // The peak is a lifetime high-watermark, not a windowed delta.
+    r.txBacklogPeak = b.txBacklogPeak;
+    r.txBacklogNow = b.txBacklogNow;
+    r.tcpRetransSegs = b.tcpRetrans - a.tcpRetrans;
+    r.tcpFastRetransmits = b.tcpFastRtx - a.tcpFastRtx;
+    r.tcpRtoEvents = b.tcpRtos - a.tcpRtos;
+    r.tcpDupAcks = b.tcpDupAcks - a.tcpDupAcks;
 
     r.perGuestMbps.resize(guests_.size());
     for (std::size_t g = 0; g < guests_.size(); ++g) {
@@ -739,6 +790,8 @@ SystemConfig::effectiveLabel() const
         break;
     }
     base += transmitDir ? "/tx" : "/rx";
+    if (transportKind == TransportKind::kTcp)
+        base += "/tcp";
     if (mode == IoMode::kCdna && !dmaProtection)
         base += "/noprot";
     return base;

@@ -54,6 +54,11 @@ namespace cdna::core {
 /** I/O virtualization architecture under test. */
 enum class IoMode { kNative, kXen, kCdna };
 
+/** Transport model aliases, so configs read as `.transport(kTcp)`. */
+using net::transport::TransportKind;
+inline constexpr TransportKind kOpenLoop = TransportKind::kOpenLoop;
+inline constexpr TransportKind kTcp = TransportKind::kTcp;
+
 /** Physical NIC model. */
 enum class NicKind { kIntel, kRice };
 
@@ -93,6 +98,15 @@ struct SystemConfig
     std::string label;
     /** Fault plan; an empty plan injects nothing (see fault_plan.hh). */
     FaultPlan faults{};
+    /**
+     * Transport model: the default open loop keeps every pre-existing
+     * configuration bit-identical at the same seed; kTcp runs closed-
+     * loop Reno endpoints on the guests and the peers (see
+     * net/transport/tcp.hh).
+     */
+    TransportKind transportKind = TransportKind::kOpenLoop;
+    /** TCP tunables (used only when transportKind == kTcp). */
+    net::transport::TcpParams tcpParams{};
 
     // --- named constructors (the paper's configurations) -----------------
     /** Native Linux owning @p nics NICs directly (Table 1 baseline). */
@@ -183,6 +197,21 @@ struct SystemConfig
         return *this;
     }
 
+    /** Select the transport model, e.g. `.transport(kTcp)`. */
+    SystemConfig &
+    transport(TransportKind k)
+    {
+        transportKind = k;
+        return *this;
+    }
+
+    SystemConfig &
+    withTcpParams(const net::transport::TcpParams &p)
+    {
+        tcpParams = p;
+        return *this;
+    }
+
     /**
      * The report label: the explicit label if set, otherwise derived
      * from mode/direction/protection ("cdna/tx", "xen-intel/rx",
@@ -262,6 +291,14 @@ class System
     {
         std::uint64_t peerRxPayload = 0;
         std::uint64_t stackRxBytes = 0;
+        std::uint64_t wirePayload = 0; //!< raw link payload, goodput dir
+        std::uint64_t rxDropsBadCsum = 0;
+        std::uint64_t txBacklogPeak = 0;
+        std::uint64_t txBacklogNow = 0;
+        std::uint64_t tcpRetrans = 0;
+        std::uint64_t tcpFastRtx = 0;
+        std::uint64_t tcpRtos = 0;
+        std::uint64_t tcpDupAcks = 0;
         std::vector<std::uint64_t> perGuestBytes;
         std::uint64_t drvVirtIrqs = 0;
         std::uint64_t guestVirtIrqs = 0;

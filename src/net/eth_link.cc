@@ -74,18 +74,20 @@ EthLink::send(Side from, Packet pkt, sim::Time extra_gap,
         events().scheduleAt(end, std::move(serialized));
 
     // Fault injection: the frame still occupied the wire, but it may
-    // never reach the far side (drop, or corrupt = bad FCS discarded by
-    // the receiving MAC), or arrive twice (duplicate).
+    // never reach the far side (drop), arrive with its payload mangled
+    // (corrupt: the receiver's checksum check discards it, so it still
+    // consumes NIC and stack resources), or arrive twice (duplicate).
     auto fate = sim::FaultInjector::FrameFault::kNone;
     if (sim::FaultInjector *fi = ctx().faultInjector();
         fi && fi->framesArmed())
         fate = fi->frameFault();
-    if (fate == sim::FaultInjector::FrameFault::kDrop ||
-        fate == sim::FaultInjector::FrameFault::kCorrupt) {
-        (fate == sim::FaultInjector::FrameFault::kDrop ? faultDrops_
-                                                       : faultCorrupts_)
-            ->inc();
+    if (fate == sim::FaultInjector::FrameFault::kDrop) {
+        faultDrops_->inc();
         return end;
+    }
+    if (fate == sim::FaultInjector::FrameFault::kCorrupt) {
+        faultCorrupts_->inc();
+        pkt.intact = false;
     }
 
     // Packets leave host memory when they hit the wire.

@@ -100,6 +100,20 @@ struct Packet
      * faults can only ever lower measured throughput.
      */
     bool duplicated = false;
+    /**
+     * Frame integrity: cleared by wire corruption (EthLink fault
+     * injection).  NICs DMA the frame regardless (checksum offload
+     * verifies, software checks on delivery); receivers -- NetStack
+     * and TrafficPeer -- drop it and count rxDropBadCsum, which under
+     * the TCP transport forces a retransmission.
+     */
+    bool intact = true;
+
+    // --- transport (net/transport/tcp.hh); untouched in open-loop mode ---
+    std::uint64_t seq = 0;   //!< first payload byte's stream offset
+    std::uint64_t ackNo = 0; //!< cumulative ACK (valid when tcpAck)
+    bool tcpData = false;    //!< seq is valid (data segment)
+    bool tcpAck = false;     //!< ackNo is valid (pure ACK)
 
     /** Number of wire frames this packet occupies. */
     std::uint32_t

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/assert.hh"
+
 namespace cdna::net {
 
 TrafficPeer::TrafficPeer(sim::SimContext &ctx, std::string name,
@@ -13,7 +15,8 @@ TrafficPeer::TrafficPeer(sim::SimContext &ctx, std::string name,
       nRxFrames_(stats().addCounter("rx_frames")),
       nRxPayload_(stats().addCounter("rx_payload_bytes")),
       nTxFrames_(stats().addCounter("tx_frames")),
-      nRxDups_(stats().addCounter("rx_duplicates"))
+      nRxDups_(stats().addCounter("rx_duplicates")),
+      nRxBadCsum_(stats().addCounter("rx_drops_bad_csum"))
 {
     // Derive the peer's MAC from its name so it is stable per component
     // regardless of construction order; peers live in a reserved id range
@@ -26,12 +29,75 @@ TrafficPeer::TrafficPeer(sim::SimContext &ctx, std::string name,
 }
 
 void
+TrafficPeer::enableTcp(const transport::TcpParams &params)
+{
+    SIM_ASSERT(!tcp_, "enableTcp called twice");
+    tcp_ = std::make_unique<transport::TcpEndpoint>(
+        ctx(), name() + ".tcp", params);
+
+    // Data segments self-clock off the wire: refuse while the link is
+    // busy, and the wire-end serialized callback pumps the next one.
+    tcp_->setSegmentTx([this](const transport::TcpEndpoint::SegmentOut &so) {
+        if (link_.busy(side_))
+            return false;
+        Packet pkt;
+        pkt.src = mac_;
+        pkt.dst = so.dst;
+        pkt.payloadBytes = so.len;
+        pkt.id = nextPktId_++;
+        pkt.flowId = so.flowId;
+        pkt.created = now();
+        pkt.seq = so.seq;
+        pkt.tcpData = true;
+        nTxFrames_.inc();
+        link_.send(side_, std::move(pkt), 0, [this] { tcp_->pump(); });
+        return true;
+    });
+
+    // Pure ACKs are tiny; let them queue on the link like open-loop
+    // ACKs do rather than stalling the delayed-ACK clock.
+    tcp_->setAckTx([this](const transport::TcpEndpoint::AckOut &ao) {
+        Packet ack;
+        ack.src = mac_;
+        ack.dst = ao.dst;
+        ack.payloadBytes = 0;
+        ack.id = nextPktId_++;
+        ack.flowId = ao.flowId;
+        ack.created = now();
+        ack.tcpAck = true;
+        ack.ackNo = ao.ackNo;
+        link_.send(side_, std::move(ack));
+        return true;
+    });
+
+    tcp_->setDeliver([this](const Packet &pkt, std::uint64_t bytes) {
+        rxBySrc_[pkt.src] += bytes;
+        if (pkt.created > 0) {
+            double us = sim::toMicroseconds(now() - pkt.created);
+            latency_.record(us);
+            latencyHist_.record(static_cast<std::uint64_t>(us));
+        }
+    });
+}
+
+void
 TrafficPeer::startSource(std::vector<MacAddr> dsts, std::uint32_t payload)
 {
     dsts_ = std::move(dsts);
     payload_ = payload;
     rrIndex_ = 0;
-    if (!sourcing_ && !dsts_.empty()) {
+    if (dsts_.empty())
+        return;
+    if (tcp_) {
+        // Closed-loop source: one unlimited Reno flow per destination;
+        // guests' ACKs clock the data out.
+        sourcing_ = true;
+        for (std::size_t i = 0; i < dsts_.size(); ++i)
+            tcp_->openSender(0x1000 + i, dsts_[i], /*unlimited=*/true);
+        tcp_->pump();
+        return;
+    }
+    if (!sourcing_) {
         sourcing_ = true;
         sendNext();
     }
@@ -103,6 +169,25 @@ void
 TrafficPeer::receiveFrame(Packet pkt)
 {
     nRxFrames_.inc(pkt.wireFrames());
+    if (!pkt.intact) {
+        // Checksum check fails: the frame occupied the wire but never
+        // reaches the transport, so the sender must retransmit it.
+        nRxBadCsum_.inc();
+        return;
+    }
+    if (tcp_) {
+        if (pkt.duplicated)
+            // Counted, but still handed to the transport: the sequence
+            // check there discards it (emitting a duplicate ACK).
+            nRxDups_.inc();
+        if (pkt.tcpData) {
+            nRxPayload_.inc(pkt.payloadBytes); // raw wire throughput
+            tcp_->onPacket(pkt);
+        } else if (pkt.tcpAck) {
+            tcp_->onPacket(pkt);
+        }
+        return;
+    }
     if (pkt.duplicated) {
         // Injected duplicate: TCP discards it, so it contributes
         // nothing to goodput, latency, windows, or the ACK clock.

@@ -16,10 +16,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "net/eth_link.hh"
 #include "net/packet.hh"
+#include "net/transport/tcp.hh"
 #include "sim/sim_object.hh"
 
 namespace cdna::net {
@@ -57,6 +59,21 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
     void setAckEvery(std::uint32_t every) { ackEvery_ = every; }
 
     /**
+     * Run a full transport endpoint on the peer: received data segments
+     * are sequenced and cumulatively ACKed (the ACKs traverse the link,
+     * NIC, and guest RX path), and receive-experiment sources become
+     * closed-loop Reno flows instead of the open-loop line-rate source.
+     * Must be called before traffic flows.
+     */
+    void enableTcp(const transport::TcpParams &params);
+
+    /** The transport endpoint, or null in open-loop mode. */
+    transport::TcpEndpoint *tcp() { return tcp_.get(); }
+
+    /** Frames dropped by the modeled checksum check. */
+    std::uint64_t rxDropsBadCsum() const { return nRxBadCsum_.value(); }
+
+    /**
      * TCP-like source flow control: at most @p frames unacknowledged
      * frames per destination.  Receiver ACKs (which the guests send
      * for delivered data) open the window; a stalled destination is
@@ -70,6 +87,17 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
     /** Frames and payload bytes absorbed by the sink side. */
     std::uint64_t framesReceived() const { return nRxFrames_.value(); }
     std::uint64_t payloadReceived() const { return nRxPayload_.value(); }
+
+    /**
+     * Goodput basis: in-order bytes delivered past the transport under
+     * TCP (retransmitted duplicates excluded); identical to
+     * payloadReceived() in open-loop mode.
+     */
+    std::uint64_t
+    payloadDelivered() const
+    {
+        return tcp_ ? tcp_->deliveredBytes() : nRxPayload_.value();
+    }
 
     /** End-to-end latency of received data frames (stack entry to peer
      *  delivery), in microseconds. */
@@ -111,10 +139,13 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
     sim::SampleStats latency_;
     sim::Histogram latencyHist_;
 
+    std::unique_ptr<transport::TcpEndpoint> tcp_;
+
     sim::Counter &nRxFrames_;
     sim::Counter &nRxPayload_;
     sim::Counter &nTxFrames_;
     sim::Counter &nRxDups_;
+    sim::Counter &nRxBadCsum_;
 };
 
 } // namespace cdna::net

@@ -18,7 +18,9 @@ NetStack::NetStack(sim::SimContext &ctx, std::string name, vmm::Domain &dom,
       nRxBytes_(stats().addCounter("rx_bytes")),
       nRxPkts_(stats().addCounter("rx_packets")),
       nTxStalls_(stats().addCounter("tx_stalls")),
-      nRxDups_(stats().addCounter("rx_duplicates"))
+      nRxDups_(stats().addCounter("rx_duplicates")),
+      nRxBadCsum_(stats().addCounter("rx_drops_bad_csum")),
+      txBacklogDepthStat_(stats().addSamples("tx_backlog_depth"))
 {
     dev_.setRxHandler([this](net::Packet pkt) { onRxPacket(std::move(pkt)); });
     dev_.setTxCompleteHandler([this](std::uint64_t bytes) {
@@ -76,6 +78,10 @@ void
 NetStack::sendBurst(std::uint64_t bytes, std::uint64_t flow_id,
                     const std::vector<mem::PageNum> &pages)
 {
+    if (tcp_) {
+        sendBurstTcp(bytes, flow_id, pages);
+        return;
+    }
     auto pkts = std::make_shared<std::vector<net::Packet>>();
     buildPackets(bytes, flow_id, pages, pkts.get());
 
@@ -107,11 +113,44 @@ NetStack::pushToDevice()
         nTxStalls_.inc();
     if (any)
         dev_.flush();
+    noteBacklogDepth();
+}
+
+void
+NetStack::noteBacklogDepth()
+{
+    // Residual queue after a flush attempt: what the device's ring
+    // could not absorb.  The high-watermark is the satellite metric
+    // exported into the report.
+    std::uint64_t depth = txBacklog_.size();
+    txBacklogDepthStat_.record(static_cast<double>(depth));
+    txBacklogPeak_ = std::max(txBacklogPeak_, depth);
 }
 
 void
 NetStack::onRxPacket(net::Packet pkt)
 {
+    if (!pkt.intact) {
+        // Software checksum check fails: the frame consumed NIC and
+        // driver resources but never reaches the transport layer, so
+        // under TCP the sender must retransmit it.
+        nRxBadCsum_.inc();
+        return;
+    }
+    if (tcp_) {
+        if (pkt.duplicated)
+            // Counted, but still handed to the transport: the sequence
+            // check there discards it (and may emit a duplicate ACK),
+            // exactly like a real stack.
+            nRxDups_.inc();
+        if (pkt.tcpAck)
+            rxBatchAcks_ += 1;
+        else if (pkt.tcpData)
+            rxBatchPkts_ += 1;
+        scheduleRxCollect();
+        tcp_->onPacket(pkt);
+        return;
+    }
     if (pkt.duplicated) {
         // TCP sequence check discards injected duplicates before they
         // count toward goodput, latency, or the delayed-ACK clock.
@@ -129,12 +168,144 @@ NetStack::onRxPacket(net::Packet pkt)
         if (pkt.created > 0)
             rxBatchCreated_.push_back(pkt.created);
     }
+    scheduleRxCollect();
+}
+
+void
+NetStack::scheduleRxCollect()
+{
     if (rxCollectorPending_)
         return;
     rxCollectorPending_ = true;
     // Zero-cost collector: runs after the driver's delivery task on the
     // same vCPU, so the whole batch is visible when it executes.
     dom_.vcpu().post(cpu::Bucket::kOs, 0, [this] { collectRxBatch(); });
+}
+
+void
+NetStack::enableTcp(const net::transport::TcpParams &params)
+{
+    SIM_ASSERT(!tcp_, "enableTcp called twice");
+    tcp_ = std::make_unique<net::transport::TcpEndpoint>(
+        ctx(), name() + ".tcp", params);
+
+    tcp_->setSegmentTx(
+        [this](const net::transport::TcpEndpoint::SegmentOut &so) {
+            if (!dev_.canTransmit())
+                return false;
+            auto it = flowBufs_.find(so.flowId);
+            SIM_ASSERT(it != flowBufs_.end(), "segment for unknown flow");
+            dev_.transmit(makeTcpSegment(so, it->second));
+            dev_.flush();
+            if (so.rtx)
+                // The original transmission was charged at offer time;
+                // a retransmission costs another pass down the stack.
+                dom_.vcpu().post(cpu::Bucket::kOs, costs_.stackTxPerPacket,
+                                 [] {});
+            return true;
+        });
+
+    tcp_->setAckTx([this](const net::transport::TcpEndpoint::AckOut &ao) {
+        if (!dev_.canTransmit())
+            return false;
+        net::Packet ack;
+        ack.src = dev_.mac();
+        ack.dst = ao.dst;
+        ack.payloadBytes = 0;
+        ack.srcDomain = dom_.id();
+        ack.id = nextPktId_++;
+        ack.flowId = ao.flowId;
+        ack.created = now();
+        ack.tcpAck = true;
+        ack.ackNo = ao.ackNo;
+        dev_.transmit(std::move(ack));
+        dev_.flush();
+        dom_.vcpu().post(cpu::Bucket::kOs, costs_.stackAckTxCost, [] {});
+        return true;
+    });
+
+    tcp_->setDeliver([this](const net::Packet &pkt, std::uint64_t bytes) {
+        // In-order bytes join the RX batch; per-packet costs were
+        // already counted when the segment arrived.
+        rxBatchBytes_ += bytes;
+        if (pkt.created > 0)
+            rxBatchCreated_.push_back(pkt.created);
+        scheduleRxCollect();
+    });
+
+    tcp_->setBufFreed([this](std::uint64_t flow_id, std::uint64_t bytes) {
+        // Freed buffer space first completes any blocked socket write,
+        // then credits the application's window: under TCP, ACKs (not
+        // device completions) signal transmit progress.
+        auto it = pendingOffer_.find(flow_id);
+        if (it != pendingOffer_.end() && it->second > 0)
+            it->second -= tcp_->offer(flow_id, it->second);
+        if (txComplete_)
+            txComplete_(bytes);
+    });
+
+    dev_.setTxCompleteHandler([](std::uint64_t) {});
+    dev_.setTxSpaceHandler([this] { tcp_->pump(); });
+}
+
+void
+NetStack::sendBurstTcp(std::uint64_t bytes, std::uint64_t flow_id,
+                       const std::vector<mem::PageNum> &pages)
+{
+    SIM_ASSERT(!pages.empty(), "no buffer pages");
+    flowBufs_.try_emplace(flow_id, pages);
+    tcp_->openSender(flow_id, dst_);
+
+    // Segmentation cost up front for the whole burst (TSO is bypassed
+    // under TCP: every segment is an MSS so loss granularity is real).
+    std::uint32_t seg = tcp_->params().segmentBytes;
+    std::uint64_t nsegs = (bytes + seg - 1) / seg;
+    sim::Time cost =
+        static_cast<sim::Time>(nsegs) * costs_.stackTxPerPacket +
+        static_cast<sim::Time>(costs_.stackTxPerByteNs *
+                               static_cast<double>(bytes) * sim::kNanosecond);
+
+    CDNA_TRACE_INSTANT_ARG(ctx().tracer(), traceLane(), "tx_burst", now(),
+                           "bytes", bytes);
+    dom_.vcpu().post(cpu::Bucket::kOs, cost, [this, bytes, flow_id] {
+        nTxBytes_.inc(bytes);
+        std::uint64_t accepted = tcp_->offer(flow_id, bytes);
+        if (accepted < bytes)
+            // Socket buffer full: the write blocks until ACKs free
+            // space (resumed from the BufFreed callback).
+            pendingOffer_[flow_id] += bytes - accepted;
+    });
+}
+
+net::Packet
+NetStack::makeTcpSegment(const net::transport::TcpEndpoint::SegmentOut &so,
+                         const std::vector<mem::PageNum> &pages)
+{
+    const std::uint64_t buf_bytes = pages.size() * mem::kPageSize;
+    net::Packet pkt;
+    pkt.src = dev_.mac();
+    pkt.dst = so.dst;
+    pkt.payloadBytes = so.len;
+    pkt.srcDomain = dom_.id();
+    pkt.id = nextPktId_++;
+    pkt.flowId = so.flowId;
+    pkt.created = now();
+    pkt.seq = so.seq;
+    pkt.tcpData = true;
+
+    // The stream is a ring over the flow's (reused) buffer pages.
+    std::uint64_t off = so.seq % buf_bytes;
+    std::uint32_t remaining = so.len;
+    while (remaining > 0) {
+        std::uint64_t page_idx = off / mem::kPageSize;
+        std::uint64_t in_page = off % mem::kPageSize;
+        auto chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            remaining, mem::kPageSize - in_page));
+        pkt.hostSg.push_back({mem::addrOf(pages[page_idx]) + in_page, chunk});
+        off = (off + chunk) % buf_bytes;
+        remaining -= chunk;
+    }
+    return pkt;
 }
 
 void

@@ -15,9 +15,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "core/cost_model.hh"
+#include "net/transport/tcp.hh"
 #include "os/net_device.hh"
 #include "vmm/domain.hh"
 
@@ -31,6 +34,18 @@ class NetStack : public sim::SimObject
 
     /** Destination MAC for transmitted packets (the remote peer). */
     void setDefaultDst(net::MacAddr dst) { dst_ = dst; }
+
+    /**
+     * Switch the stack to the closed-loop TCP transport: sendBurst
+     * data enters per-flow Reno sender flows (segments carry sequence
+     * numbers, ACKs open the app window), and received segments are
+     * sequenced, duplicate-ACKed, and delivered in order.  Must be
+     * called before any traffic flows.
+     */
+    void enableTcp(const net::transport::TcpParams &params);
+
+    /** The transport endpoint, or null in open-loop mode. */
+    net::transport::TcpEndpoint *tcp() { return tcp_.get(); }
 
     /**
      * Transmit @p bytes of stream data drawn from the (reused)
@@ -58,6 +73,13 @@ class NetStack : public sim::SimObject
     std::uint64_t txBytes() const { return nTxBytes_.value(); }
     std::uint64_t rxBytes() const { return nRxBytes_.value(); }
     std::uint64_t rxPackets() const { return nRxPkts_.value(); }
+    /** Frames dropped by the software checksum check. */
+    std::uint64_t rxDropsBadCsum() const { return nRxBadCsum_.value(); }
+
+    /** Current TX backlog depth (packets queued behind a full device). */
+    std::uint64_t txBacklogDepth() const { return txBacklog_.size(); }
+    /** High-watermark of the TX backlog over the stack's lifetime. */
+    std::uint64_t txBacklogPeak() const { return txBacklogPeak_; }
 
     /** Wire-to-app latency of received data frames, in microseconds. */
     const sim::SampleStats &rxLatency() const { return rxLatency_; }
@@ -71,8 +93,15 @@ class NetStack : public sim::SimObject
                       const std::vector<mem::PageNum> &pages,
                       std::vector<net::Packet> *out);
     void pushToDevice();
+    void noteBacklogDepth();
     void onRxPacket(net::Packet pkt);
     void collectRxBatch();
+    void scheduleRxCollect();
+    void sendBurstTcp(std::uint64_t bytes, std::uint64_t flow_id,
+                      const std::vector<mem::PageNum> &pages);
+    net::Packet makeTcpSegment(
+        const net::transport::TcpEndpoint::SegmentOut &so,
+        const std::vector<mem::PageNum> &pages);
 
     vmm::Domain &dom_;
     NetDevice &dev_;
@@ -95,11 +124,20 @@ class NetStack : public sim::SimObject
     std::function<void(std::uint64_t)> txComplete_;
     std::function<void(std::uint64_t, std::uint32_t)> rxDeliver_;
 
+    // TCP transport mode (null = open loop).
+    std::unique_ptr<net::transport::TcpEndpoint> tcp_;
+    std::map<std::uint64_t, std::vector<mem::PageNum>> flowBufs_;
+    std::map<std::uint64_t, std::uint64_t> pendingOffer_;
+
+    std::uint64_t txBacklogPeak_ = 0;
+
     sim::Counter &nTxBytes_;
     sim::Counter &nRxBytes_;
     sim::Counter &nRxPkts_;
     sim::Counter &nTxStalls_;
     sim::Counter &nRxDups_;
+    sim::Counter &nRxBadCsum_;
+    sim::SampleStats &txBacklogDepthStat_;
 };
 
 } // namespace cdna::os

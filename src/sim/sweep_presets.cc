@@ -199,6 +199,28 @@ flipcopy()
         .guests({1, 8});
 }
 
+ExperimentSpec
+tcpLoss()
+{
+    using Cfg = core::SystemConfig;
+    std::vector<std::pair<std::string, ExperimentSpec::Mutator>> loss;
+    loss.emplace_back("drop0", [](Cfg &) {});
+    for (double rate : {0.0001, 0.001, 0.01}) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "drop%g", rate);
+        loss.emplace_back(label, [rate](Cfg &c) {
+            c.withFaults(core::FaultPlan{}.dropping(rate));
+        });
+    }
+    loss.emplace_back("corrupt0.001", [](Cfg &c) {
+        c.withFaults(core::FaultPlan{}.corrupting(0.001));
+    });
+    return ExperimentSpec("tcp-loss")
+        .config("xen", core::SystemConfig::xenIntel(1).transport(core::kTcp))
+        .config("cdna", core::SystemConfig::cdna(1).transport(core::kTcp))
+        .vary("loss", std::move(loss));
+}
+
 const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &
 all()
 {
@@ -216,6 +238,7 @@ all()
             {"contexts", contexts},
             {"iommu", iommu},
             {"flipcopy", flipcopy},
+            {"tcp-loss", tcpLoss},
         };
     return presets;
 }

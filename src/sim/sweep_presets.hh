@@ -46,6 +46,12 @@ ExperimentSpec contexts();
 ExperimentSpec iommu();
 /** Ablation E: Xen RX page-flip vs copy-mode netback. */
 ExperimentSpec flipcopy();
+/**
+ * Extension: closed-loop TCP goodput under wire loss.  Sweeps frame
+ * drop rate (plus one corruption point) x {xen, cdna}, both with the
+ * Reno transport, showing retransmission cost and loss recovery.
+ */
+ExperimentSpec tcpLoss();
 
 /** Every preset, keyed by CLI name, in documentation order. */
 const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &all();

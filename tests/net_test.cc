@@ -252,6 +252,25 @@ TEST(TrafficPeer, TsoBurstAckedPerWireFrame)
     EXPECT_EQ(sink.got.size(), 5u);
 }
 
+TEST(TrafficPeer, BadChecksumFramesCountedNotAcked)
+{
+    sim::SimContext ctx;
+    EthLink link(ctx, "eth");
+    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    peer.setAckEvery(1);
+    Sink sink;
+    link.attach(EthLink::Side::kA, &sink);
+    Packet p;
+    p.src = MacAddr::fromId(5);
+    p.payloadBytes = kMss;
+    p.intact = false; // failed FCS/checksum on the wire
+    link.send(EthLink::Side::kA, p);
+    ctx.events().run();
+    EXPECT_TRUE(sink.got.empty());
+    EXPECT_EQ(peer.rxDropsBadCsum(), 1u);
+    EXPECT_EQ(peer.payloadReceived(), 0u);
+}
+
 TEST(TrafficPeer, NeverAcksAnAck)
 {
     sim::SimContext ctx;

@@ -142,6 +142,92 @@ TEST_F(StackFixture, DeviceFullQueuesAndResumesOnSpace)
     EXPECT_EQ(dev.sent.size(), 30u);
 }
 
+TEST_F(StackFixture, DeviceFullPreservesFlushOrdering)
+{
+    // Frames requeued while the device was full must drain in their
+    // original order: every frame's first SG entry maps the buffer
+    // offset its position implies.
+    dev.tso = false;
+    dev.capacity = 10;
+    auto pages = buffer(11);
+    stack->sendBurst(30 * 1460, 1, pages);
+    ctx.events().run();
+    dev.capacity = 1000;
+    dev.deliverTxSpace();
+    ctx.events().run();
+    ASSERT_EQ(dev.sent.size(), 30u);
+    for (std::size_t i = 0; i < dev.sent.size(); ++i) {
+        std::uint64_t off = i * 1460ull;
+        mem::PhysAddr expect =
+            mem::addrOf(pages[off / mem::kPageSize]) + off % mem::kPageSize;
+        ASSERT_FALSE(dev.sent[i].hostSg.empty());
+        EXPECT_EQ(dev.sent[i].hostSg[0].addr, expect) << "frame " << i;
+    }
+}
+
+TEST_F(StackFixture, BacklogWatermarkTracksDeviceFull)
+{
+    dev.tso = false;
+    dev.capacity = 10;
+    stack->sendBurst(30 * 1460, 1, buffer(11));
+    ctx.events().run();
+    // 30 frames, 10 accepted: 20 sit in the backlog.
+    EXPECT_EQ(stack->txBacklogDepth(), 20u);
+    EXPECT_EQ(stack->txBacklogPeak(), 20u);
+
+    dev.capacity = 1000;
+    dev.deliverTxSpace();
+    ctx.events().run();
+    EXPECT_EQ(stack->txBacklogDepth(), 0u);
+    // The peak is a lifetime high-watermark, not a current depth.
+    EXPECT_EQ(stack->txBacklogPeak(), 20u);
+}
+
+TEST_F(StackFixture, BadChecksumFramesDroppedBeforeDelivery)
+{
+    std::uint32_t pkts = 0;
+    stack->setRxDeliverHandler(
+        [&](std::uint64_t, std::uint32_t p) { pkts += p; });
+    net::Packet bad;
+    bad.payloadBytes = 1460;
+    bad.src = net::MacAddr::fromId(7);
+    bad.intact = false;
+    dev.deliverRx(std::move(bad));
+    ctx.events().run();
+    EXPECT_EQ(pkts, 0u);
+    EXPECT_EQ(stack->rxDropsBadCsum(), 1u);
+    EXPECT_EQ(stack->rxBytes(), 0u);
+    // No ACK is generated for a frame that failed its checksum.
+    EXPECT_TRUE(dev.sent.empty());
+}
+
+TEST_F(StackFixture, TcpModeSegmentsRespectInitialWindow)
+{
+    dev.tso = false;
+    stack->enableTcp(net::transport::TcpParams{});
+    stack->sendBurst(30 * 1460, 1, buffer(11));
+    // Run to just before the first RTO (3 ms): with no ACKs, only the
+    // initial congestion window (IW10) leaves.
+    ctx.events().runUntil(sim::milliseconds(1));
+    ASSERT_EQ(dev.sent.size(), 10u);
+    for (std::size_t i = 0; i < dev.sent.size(); ++i) {
+        EXPECT_TRUE(dev.sent[i].tcpData);
+        EXPECT_EQ(dev.sent[i].seq, i * 1460ull);
+        EXPECT_EQ(dev.sent[i].payloadBytes, 1460u);
+    }
+
+    // An ACK for the first two segments opens the window again.
+    net::Packet ack;
+    ack.src = net::MacAddr::fromId(99);
+    ack.tcpAck = true;
+    ack.flowId = 1;
+    ack.ackNo = 2 * 1460;
+    dev.deliverRx(std::move(ack));
+    ctx.events().runUntil(sim::milliseconds(2));
+    EXPECT_GT(dev.sent.size(), 10u);
+    EXPECT_EQ(dev.sent[10].seq, 10 * 1460ull);
+}
+
 TEST_F(StackFixture, TxCompleteForwarded)
 {
     std::uint64_t completed = 0;

@@ -346,7 +346,9 @@ TEST(SweepJson, DocumentShapeAndVersion)
                                     .measure(sim::milliseconds(5)),
                                 opt);
     std::string json = sim::sweepToJson(result);
-    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    std::string version_key = "\"schema_version\": " +
+                              std::to_string(core::kReportSchemaVersion);
+    EXPECT_NE(json.find(version_key), std::string::npos);
     EXPECT_NE(json.find("\"kind\": \"cdna-sweep\""), std::string::npos);
     EXPECT_NE(json.find("\"name\": \"tiny\""), std::string::npos);
     // The nested report is spliced verbatim, so the single-run document
