@@ -39,8 +39,26 @@ CdnaGuestDriver::sgPages(const mem::SgList &sg) const
 }
 
 void
+CdnaGuestDriver::rebind(CdnaNic::ContextId cxt)
+{
+    SIM_ASSERT(detached_, "rebinding an attached driver");
+    cxt_ = cxt;
+}
+
+void
 CdnaGuestDriver::attach()
 {
+    // Re-attachable: a driver detached by a domain crash starts over
+    // with empty rings and counters (against a rebind()ed context).
+    detached_ = false;
+    txEnqueued_ = txDrained_ = 0;
+    rxEnqueued_ = 0;
+    txInflightBytes_.clear();
+    txFlushPending_ = false;
+    rxFlushPending_ = false;
+    txWasFull_ = false;
+    watchdogDelay_ = kWatchdogBase;
+
     txHandle_ = prot_.registerRing(nic_, cxt_, dom_.id(), /*is_tx=*/true);
     rxHandle_ = prot_.registerRing(nic_, cxt_, dom_.id(), /*is_tx=*/false);
 
@@ -159,6 +177,8 @@ CdnaGuestDriver::flush()
 
     dom_.vcpu().post(cpu::Bucket::kOs, cost, [this] {
         txFlushPending_ = false;
+        if (detached_)
+            return; // revoked while this task was queued; rings are gone
         std::vector<DmaProtection::Request> reqs;
         reqs.reserve(txBacklog_.size());
         while (!txBacklog_.empty()) {
@@ -263,6 +283,8 @@ CdnaGuestDriver::flushRxRefills()
 
     dom_.vcpu().post(cpu::Bucket::kOs, cost, [this] {
         rxFlushPending_ = false;
+        if (detached_)
+            return; // revoked while this task was queued; rings are gone
         std::vector<mem::PageNum> pages(rxRefillStage_.begin(),
                                         rxRefillStage_.end());
         rxRefillStage_.clear();

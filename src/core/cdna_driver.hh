@@ -60,6 +60,14 @@ class CdnaGuestDriver : public sim::SimObject, public os::NetDevice
 
     bool detached() const { return detached_; }
 
+    /**
+     * Point a detached driver at a fresh hardware context (driver
+     * recovery after its domain restarts: the old context was revoked
+     * with the crash, the restarted domain allocates a new one and
+     * attach()es again from scratch).
+     */
+    void rebind(CdnaNic::ContextId cxt);
+
     /** Handle the context's virtual interrupt (wired by the system). */
     void handleIrq();
 

@@ -44,7 +44,8 @@ CdnaNic::CdnaNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
       nMailboxEvents_(stats().addCounter("mailbox_events")),
       nBitVectors_(stats().addCounter("bit_vectors")),
       nIommuDrops_(stats().addCounter("iommu_drops")),
-      nFwResets_(stats().addCounter("fw_resets"))
+      nFwResets_(stats().addCounter("fw_resets")),
+      nMailboxThrottled_(stats().addCounter("mailbox_throttled"))
 {
     SIM_ASSERT(params.numContexts >= 1 &&
                    params.numContexts <= nic::kMaxContexts,
@@ -115,6 +116,70 @@ CdnaNic::stallFirmware(sim::Time duration, bool watchdog_reset)
 }
 
 void
+CdnaNic::rebootFirmware(sim::Time down_time, sim::Time reconcile_per_cxt)
+{
+    // The running image dies now: the epoch bump makes every in-flight
+    // continuation of the old image (descriptor fetches, packet moves,
+    // completion bumps) a no-op, and the processor is busy booting the
+    // new image for down_time.
+    fw_.reboot(down_time);
+
+    // Volatile SRAM state is gone.
+    hier_.clearAll();
+    txArb_.clear();
+    txDataBusy_ = false;
+    txWaitingBuffer_ = false;
+    txBuf_.reset();
+    rxBuf_.reset();
+    if (vecTimer_ != sim::kInvalidEvent) {
+        events().cancel(vecTimer_);
+        vecTimer_ = sim::kInvalidEvent;
+    }
+    pendingVector_ = 0;
+    pendingUpdates_ = 0;
+
+    std::uint32_t live = 0;
+    for (ContextId id = 0; id < contexts_.size(); ++id) {
+        Context &c = contexts_[id];
+        if (!c.allocated)
+            continue;
+        ++live;
+        c.txReady.clear();
+        c.rxReady.clear();
+        c.inTxArb = false;
+        c.txFetchBusy = false;
+        c.rxFetchBusy = false;
+        // Reconcile against the hypervisor-validated descriptor state.
+        // Descriptors the dead image had detached for transmission but
+        // whose completions were lost form a contiguous prefix above
+        // the consumed boundary (the arbiter drains in order); the new
+        // image reads back the DMA engine's completion records and
+        // retires them rather than re-transmitting payload it no
+        // longer has.
+        if (c.txRing) {
+            while (c.txConsumer != c.txFetched &&
+                   !c.txRing->hasPacket(c.txConsumer))
+                ++c.txConsumer;
+        }
+        // Roll the fetch horizon back to the consumed boundary and
+        // realign the expected sequence numbers with the hypervisor's
+        // stamping (descriptor i carries seqno i+1).  The producer
+        // doorbells were volatile: guests' watchdogs re-ring them.
+        c.txProducer = c.txFetched = c.txConsumer;
+        c.txNextSeqno = static_cast<std::uint64_t>(c.txConsumer) + 1;
+        c.rxProducer = c.rxFetched = c.rxConsumer;
+        c.rxNextSeqno = static_cast<std::uint64_t>(c.rxConsumer) + 1;
+        scheduleWriteback(id);
+    }
+
+    // The new image's first job walks the context table.
+    fw_.exec(reconcile_per_cxt * static_cast<sim::Time>(live), [this] {
+        if (sim::FaultInjector *fi = ctx().faultInjector())
+            fi->noteFirmwareReboot();
+    });
+}
+
+void
 CdnaNic::configureContextRings(ContextId id, std::uint32_t tx_entries,
                                mem::PhysAddr tx_base,
                                std::uint32_t rx_entries,
@@ -173,6 +238,36 @@ CdnaNic::pioWriteMailbox(ContextId id, std::uint32_t mbox,
     Context &c = cxt(id);
     SIM_ASSERT(c.allocated, "PIO to unallocated context");
     c.mailboxes.write(mbox, value);
+
+    // Storm guard: a context ringing faster than any legitimate driver
+    // ever would gets its doorbells coalesced into one deferred event
+    // at the window edge.  The mailbox value is in SRAM already, so
+    // nothing is lost -- the flood just stops costing firmware decode
+    // time per ring, and other contexts keep their fair share.
+    if (params_.doorbellBurst > 0) {
+        if (now() >= c.dbWindowEnd) {
+            c.dbWindowEnd = now() + params_.doorbellWindow;
+            c.dbUsed = 0;
+        }
+        if (c.dbUsed >= params_.doorbellBurst) {
+            nMailboxThrottled_.inc();
+            c.dbDeferred |= 1u << mbox;
+            if (!c.dbTimerArmed) {
+                c.dbTimerArmed = true;
+                events().scheduleAt(c.dbWindowEnd, [this, id] {
+                    flushDeferredDoorbells(id);
+                });
+            }
+            return;
+        }
+        ++c.dbUsed;
+    }
+    postDoorbell(id, mbox);
+}
+
+void
+CdnaNic::postDoorbell(ContextId id, std::uint32_t mbox)
+{
     hier_.post(id, mbox);
     nMailboxEvents_.inc();
     fw_.exec(params_.fwMailboxEvent, [this] {
@@ -180,6 +275,24 @@ CdnaNic::pioWriteMailbox(ContextId id, std::uint32_t mbox,
         if (hier_.popLowest(&cid, &mb))
             handleMailbox(cid, mb);
     });
+}
+
+void
+CdnaNic::flushDeferredDoorbells(ContextId id)
+{
+    Context &c = cxt(id);
+    c.dbTimerArmed = false;
+    if (!c.allocated)
+        return;
+    std::uint32_t pending = std::exchange(c.dbDeferred, 0);
+    c.dbWindowEnd = now() + params_.doorbellWindow;
+    c.dbUsed = 0;
+    for (std::uint32_t mbox = 0; pending != 0; ++mbox, pending >>= 1) {
+        if (pending & 1u) {
+            ++c.dbUsed;
+            postDoorbell(id, mbox);
+        }
+    }
 }
 
 void
@@ -225,13 +338,18 @@ CdnaNic::startTxFetch(ContextId id)
                       (n - till_wrap) * nic::kDescBytes});
 
     std::uint32_t first = c.txFetched;
-    dma_.read(sg, c.dom, id, [this, id, first, n](mem::DmaResult) {
+    std::uint64_t ep = fw_.epoch();
+    dma_.read(sg, c.dom, id, [this, id, first, n, ep](mem::DmaResult) {
+        if (ep != fw_.epoch())
+            return; // firmware rebooted mid-fetch; the new image refetches
         Context &cc = cxt(id);
         if (!cc.allocated)
             return; // revoked mid-fetch
         cc.txFetchBusy = false;
         cc.txFetched = first + n;
-        fw_.exec(n * params_.fwPerDescriptor, [this, id, first, n] {
+        fw_.exec(n * params_.fwPerDescriptor, [this, id, first, n, ep] {
+            if (ep != fw_.epoch())
+                return;
             validateFetched(id, true, first, n);
         });
         startTxFetch(id);
@@ -261,13 +379,18 @@ CdnaNic::startRxFetch(ContextId id)
                       (n - till_wrap) * nic::kDescBytes});
 
     std::uint32_t first = c.rxFetched;
-    dma_.read(sg, c.dom, id, [this, id, first, n](mem::DmaResult) {
+    std::uint64_t ep = fw_.epoch();
+    dma_.read(sg, c.dom, id, [this, id, first, n, ep](mem::DmaResult) {
+        if (ep != fw_.epoch())
+            return;
         Context &cc = cxt(id);
         if (!cc.allocated)
             return;
         cc.rxFetchBusy = false;
         cc.rxFetched = first + n;
-        fw_.exec(n * params_.fwPerDescriptor, [this, id, first, n] {
+        fw_.exec(n * params_.fwPerDescriptor, [this, id, first, n, ep] {
+            if (ep != fw_.epoch())
+                return;
             validateFetched(id, false, first, n);
         });
         startRxFetch(id);
@@ -389,11 +512,16 @@ CdnaNic::pumpTx()
         nGhostTx_.inc();
     }
 
+    std::uint64_t ep = fw_.epoch();
     dma_.read(desc.sg, c.dom, id,
-              [this, id, bytes,
+              [this, id, bytes, ep,
                pkt = std::move(pkt)](mem::DmaResult dr) mutable {
+        if (ep != fw_.epoch())
+            return; // firmware rebooted: the staged frame died with it
         fw_.exec(params_.fwPerPacket,
-                 [this, id, bytes, dr, pkt = std::move(pkt)]() mutable {
+                 [this, id, bytes, ep, dr, pkt = std::move(pkt)]() mutable {
+            if (ep != fw_.epoch())
+                return;
             txDataBusy_ = false;
             if (dr.blockedPages > 0) {
                 // The IOMMU refused the payload fetch: nothing valid to
@@ -413,7 +541,9 @@ CdnaNic::pumpTx()
             }
             sim::Time gap = params_.txInterFrameGap *
                             static_cast<sim::Time>(pkt.wireFrames());
-            link_.send(side_, std::move(pkt), gap, [this, id, bytes] {
+            link_.send(side_, std::move(pkt), gap, [this, id, bytes, ep] {
+                if (ep != fw_.epoch())
+                    return; // completion record reconciled at reboot
                 txBuf_.release(bytes);
                 Context &cc = cxt(id);
                 if (cc.allocated) {
@@ -463,14 +593,19 @@ CdnaNic::receiveFrame(net::Packet pkt)
         startRxFetch(id);
     const nic::DmaDescriptor desc = c.rxRing->at(pos);
 
+    std::uint64_t ep = fw_.epoch();
     fw_.exec(params_.fwPerPacket,
-             [this, id, pos, bytes, desc,
+             [this, id, pos, bytes, desc, ep,
               pkt = std::move(pkt)]() mutable {
+        if (ep != fw_.epoch())
+            return; // firmware rebooted: frame lost with the old image
         mem::SgList sg = sgPrefix(desc.sg, bytes + net::kTcpIpHeader);
         Context &cc = cxt(id);
         dma_.write(sg, cc.dom, id,
-                   [this, id, pos, bytes,
+                   [this, id, pos, bytes, ep,
                     pkt = std::move(pkt)](mem::DmaResult dr) mutable {
+            if (ep != fw_.epoch())
+                return;
             rxBuf_.release(bytes);
             Context &ccc = cxt(id);
             if (!ccc.allocated)

@@ -68,6 +68,16 @@ struct CdnaNicParams
     bool tso = false;
     /** Interrupt-ring slots in hypervisor memory. */
     std::uint32_t intrRingSlots = 64;
+    /**
+     * Doorbell storm guard: mailbox PIO writes beyond this many per
+     * context per doorbellWindow are coalesced into one deferred event
+     * at the window edge instead of each costing firmware decode time
+     * (0 disables the guard).  The limit is far above any legitimate
+     * driver's rate -- batching drivers ring once per burst -- so only
+     * a storming context is throttled, and only its own doorbells.
+     */
+    std::uint32_t doorbellBurst = 64;
+    sim::Time doorbellWindow = sim::microseconds(100);
 };
 
 class CdnaNic : public nic::NicBase
@@ -123,6 +133,31 @@ class CdnaNic : public nic::NicBase
 
     /** Watchdog firmware reboots performed (fault injection). */
     std::uint64_t firmwareResets() const { return nFwResets_.value(); }
+
+    /**
+     * Fault injection: full firmware reboot (--reboot-firmware).  The
+     * running image dies *now*: the event hierarchy, staged and
+     * arbitrated descriptors, and the on-NIC packet buffers are all
+     * volatile and are lost.  After @p down_time the new image boots
+     * and reconciles every allocated context against the
+     * hypervisor-validated ring state -- the fetch horizon rolls back
+     * to the consumed boundary and the expected sequence numbers are
+     * realigned (descriptor i carries seqno i+1) -- charging
+     * @p reconcile_per_cxt of firmware time per context.  Producer
+     * doorbells are volatile too, so guests' watchdogs must re-ring
+     * before traffic resumes; no other domain is involved.
+     */
+    void rebootFirmware(sim::Time down_time, sim::Time reconcile_per_cxt);
+
+    /** Full firmware reboots performed (fault injection). */
+    std::uint64_t firmwareReboots() const { return fw_.rebootCount(); }
+
+    /** Doorbells deferred by the per-context storm guard. */
+    std::uint64_t
+    mailboxThrottled() const
+    {
+        return nMailboxThrottled_.value();
+    }
 
     void setFaultHandler(FaultHandler fn) { faultHandler_ = std::move(fn); }
 
@@ -218,12 +253,20 @@ class CdnaNic : public nic::NicBase
         std::vector<RxDelivery> rxDeliveries;
         bool wbBusy = false;
         bool wbAgain = false;
+
+        // Doorbell storm guard (token window per context).
+        sim::Time dbWindowEnd = 0;
+        std::uint32_t dbUsed = 0;
+        std::uint32_t dbDeferred = 0; //!< bitmask of throttled mboxes
+        bool dbTimerArmed = false;
     };
 
     Context &cxt(ContextId id);
     const Context &cxt(ContextId id) const;
 
     void handleMailbox(ContextId id, std::uint32_t mbox);
+    void postDoorbell(ContextId id, std::uint32_t mbox);
+    void flushDeferredDoorbells(ContextId id);
     void startTxFetch(ContextId id);
     void startRxFetch(ContextId id);
     void validateFetched(ContextId id, bool is_tx, std::uint32_t first,
@@ -264,6 +307,7 @@ class CdnaNic : public nic::NicBase
     sim::Counter &nBitVectors_;
     sim::Counter &nIommuDrops_;
     sim::Counter &nFwResets_;
+    sim::Counter &nMailboxThrottled_;
 };
 
 } // namespace cdna::core

@@ -231,6 +231,10 @@ const Spec kSpecs[] = {
              plan->firmwareStalls.push_back(fs);
          for (const auto &gk : st.faults.guestKills)
              plan->guestKills.push_back(gk);
+         for (const auto &dk : st.faults.driverDomainKills)
+             plan->driverDomainKills.push_back(dk);
+         for (const auto &fr : st.faults.firmwareReboots)
+             plan->firmwareReboots.push_back(fr);
          st.faults = std::move(*plan);
          st.haveFaults = true;
          return true;
@@ -300,6 +304,34 @@ const Spec kSpecs[] = {
              return failWith(error, "--kill-guest needs G@MS, got \"" + v +
                                     "\"");
          st.faults.guestKills.push_back(*gk);
+         st.haveFaults = true;
+         return true;
+     }},
+    {"--kill-driver-domain", "MS",
+     "crash the driver domain at MS ms, revoking its\n"
+     "grant mappings; it reboots after the configured\n"
+     "cost and frontends reconnect (repeatable)",
+     "fault injection",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         auto dk = parseDriverKillSpec(v);
+         if (!dk)
+             return failWith(error, "--kill-driver-domain needs MS, got \"" +
+                                    v + "\"");
+         st.faults.driverDomainKills.push_back(*dk);
+         st.haveFaults = true;
+         return true;
+     }},
+    {"--reboot-firmware", "NIC@MS",
+     "reboot NIC's firmware at MS ms; volatile context\n"
+     "state is lost and reconciled against the\n"
+     "hypervisor-validated view (repeatable)",
+     "fault injection",
+     [](ParseState &st, const std::string &v, std::string *error) {
+         auto fr = parseRebootSpec(v);
+         if (!fr)
+             return failWith(error, "--reboot-firmware needs NIC@MS, got \"" +
+                                    v + "\"");
+         st.faults.firmwareReboots.push_back(*fr);
          st.haveFaults = true;
          return true;
      }},

@@ -118,6 +118,36 @@ struct CostModel
     /** Stamp the sequence number and copy the descriptor into the ring. */
     Time protEnqueuePerDesc = sim::nanoseconds(90);
 
+    // ---- failure-domain recovery (driver-domain crash, fw reboot) -------
+    /**
+     * Wall time from a driver-domain crash until the restarted domain
+     * is ready to accept frontend reconnections (kernel boot + netback
+     * init, compressed to simulation scale).
+     */
+    Time driverDomainReboot = sim::milliseconds(10.0);
+    /**
+     * Bound on how long the NIC DMA engine may keep referencing pages
+     * that were granted to the crashed domain; revoked grant pages stay
+     * quarantined (pinned, DMA window open) this long before they may
+     * be reused.  The TX engine is quiesced at kill time, so this only
+     * has to cover DMA transactions already in flight at that instant;
+     * it stays well below the driver-domain reboot cost so pages are
+     * reusable before the restarted backend allocates.
+     */
+    Time dmaQuarantineDrain = sim::microseconds(500.0);
+    /** Frontend watchdog period for detecting a dead backend. */
+    Time feWatchdogPeriod = sim::milliseconds(1.0);
+    /** First reconnect retry delay; doubles per failed attempt. */
+    Time feReconnectBackoffBase = sim::milliseconds(1.0);
+    /** Reconnect backoff ceiling. */
+    Time feReconnectBackoffMax = sim::milliseconds(8.0);
+    /** Guest CPU cost of renegotiating rings/grants on reconnect. */
+    Time feReconnectCost = sim::microseconds(15);
+    /** NIC firmware reboot downtime (--reboot-firmware). */
+    Time firmwareReboot = sim::milliseconds(2.0);
+    /** Firmware cost to reconcile one context after a reboot. */
+    Time fwRebootReconcilePerContext = sim::microseconds(2.0);
+
     // ---- background OS load ---------------------------------------------
     /** Periodic timer tick cost per domain. */
     Time timerTickCost = sim::microseconds(4.0);

@@ -82,6 +82,14 @@ DmaProtection::doEnqueue(RingState &rs, std::vector<Request> &reqs,
                          bool validate)
 {
     Result res;
+    if (!rs.nic->contextAllocated(rs.cxt)) {
+        // The context was revoked while this enqueue was queued behind
+        // the hypercall (or vcpu) delay: its rings no longer exist, so
+        // the whole batch faults without touching NIC state.
+        res.fault = vmm::Fault::kBadContext;
+        res.producer = rs.producer;
+        return res;
+    }
     nic::DescRing &ring = rs.isTx ? rs.nic->txRing(rs.cxt)
                                   : rs.nic->rxRing(rs.cxt);
     auto &memory = hv_.mem();

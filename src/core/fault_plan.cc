@@ -10,7 +10,8 @@ bool
 FaultPlan::empty() const
 {
     return !rates().framesArmed() && !rates().dmaArmed() &&
-           firmwareStalls.empty() && guestKills.empty();
+           firmwareStalls.empty() && guestKills.empty() &&
+           driverDomainKills.empty() && firmwareReboots.empty();
 }
 
 sim::FaultRates
@@ -87,6 +88,28 @@ parseKillSpec(const std::string &spec)
     return gk;
 }
 
+std::optional<FaultPlan::DriverDomainKill>
+parseDriverKillSpec(const std::string &spec)
+{
+    FaultPlan::DriverDomainKill dk;
+    if (!parseDouble(spec, &dk.atMs) || dk.atMs < 0)
+        return std::nullopt;
+    return dk;
+}
+
+std::optional<FaultPlan::FirmwareReboot>
+parseRebootSpec(const std::string &spec)
+{
+    std::size_t at = spec.find('@');
+    if (at == std::string::npos)
+        return std::nullopt;
+    FaultPlan::FirmwareReboot fr;
+    if (!parseU32(spec.substr(0, at), &fr.nic) ||
+        !parseDouble(spec.substr(at + 1), &fr.atMs) || fr.atMs < 0)
+        return std::nullopt;
+    return fr;
+}
+
 std::optional<FaultPlan>
 FaultPlan::parse(const std::string &text, std::string *error)
 {
@@ -143,6 +166,16 @@ FaultPlan::parse(const std::string &text, std::string *error)
             if (!gk)
                 return fail(line_no, line);
             plan.guestKills.push_back(*gk);
+        } else if (key == "kill-driver-domain" && args.size() == 1) {
+            auto dk = parseDriverKillSpec(args[0]);
+            if (!dk)
+                return fail(line_no, line);
+            plan.driverDomainKills.push_back(*dk);
+        } else if (key == "reboot-firmware" && args.size() == 1) {
+            auto fr = parseRebootSpec(args[0]);
+            if (!fr)
+                return fail(line_no, line);
+            plan.firmwareReboots.push_back(*fr);
         } else {
             return fail(line_no, line);
         }

@@ -19,6 +19,10 @@
  *   firmware-stall 0@20:5     # NIC 0 stalls at t=20 ms for 5 ms
  *   firmware-stall 1@30:2 no-reset   # ... without the watchdog reboot
  *   kill-guest 1@40           # guest 1 dies at t=40 ms
+ *   kill-driver-domain 60     # dom0 crashes at t=60 ms (reboot cost
+ *                             # from CostModel::driverDomainReboot)
+ *   reboot-firmware 0@60      # NIC 0 firmware reboots at t=60 ms,
+ *                             # losing volatile context state
  */
 
 #ifndef CDNA_CORE_FAULT_PLAN_HH
@@ -57,6 +61,33 @@ struct FaultPlan
         double atMs = 0.0;
     };
 
+    /**
+     * A driver-domain (dom0) crash at @p atMs.  Under Xen this tears
+     * down every netback, force-revokes dom0's grant mappings (pages
+     * quarantined until the DMA engine drains) and restarts the domain
+     * after CostModel::driverDomainReboot; frontends reconnect with
+     * exponential backoff.  Under CDNA the data path does not involve
+     * the driver domain, so guests keep running.
+     */
+    struct DriverDomainKill
+    {
+        double atMs = 0.0;
+    };
+
+    /**
+     * A full firmware reboot on one NIC at @p atMs: unlike a stall,
+     * the firmware loses all volatile per-context state (staged
+     * descriptors, producer doorbells, the event hierarchy) and must
+     * reconcile mailboxes/sequence numbers against the
+     * hypervisor-validated consumer state before serving guests again.
+     * Downtime is CostModel::firmwareReboot.
+     */
+    struct FirmwareReboot
+    {
+        std::uint32_t nic = 0;
+        double atMs = 0.0;
+    };
+
     double dropRate = 0.0;
     double corruptRate = 0.0;
     double dupRate = 0.0;
@@ -64,6 +95,8 @@ struct FaultPlan
     double dmaDelayUs = 0.0;
     std::vector<FirmwareStall> firmwareStalls;
     std::vector<GuestKill> guestKills;
+    std::vector<DriverDomainKill> driverDomainKills;
+    std::vector<FirmwareReboot> firmwareReboots;
 
     /** True when the plan can never inject anything. */
     bool empty() const;
@@ -116,6 +149,20 @@ struct FaultPlan
         return *this;
     }
 
+    FaultPlan &
+    killingDriverDomain(double at_ms)
+    {
+        driverDomainKills.push_back({at_ms});
+        return *this;
+    }
+
+    FaultPlan &
+    rebootingFirmware(std::uint32_t nic, double at_ms)
+    {
+        firmwareReboots.push_back({nic, at_ms});
+        return *this;
+    }
+
     /**
      * Parse the text plan format described in the file comment.
      * @param error receives a message naming the offending line on failure
@@ -134,6 +181,14 @@ parseStallSpec(const std::string &spec);
 
 /** Parse "G@MS" (e.g. "1@40") as used by --kill-guest. */
 std::optional<FaultPlan::GuestKill> parseKillSpec(const std::string &spec);
+
+/** Parse "MS" (e.g. "60") as used by --kill-driver-domain. */
+std::optional<FaultPlan::DriverDomainKill>
+parseDriverKillSpec(const std::string &spec);
+
+/** Parse "NIC@MS" (e.g. "0@60") as used by --reboot-firmware. */
+std::optional<FaultPlan::FirmwareReboot>
+parseRebootSpec(const std::string &spec);
 
 } // namespace cdna::core
 

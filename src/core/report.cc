@@ -30,13 +30,16 @@ Report::anyFaultActivity() const
 {
     return faultFramesDropped || faultFramesCorrupted ||
            faultFramesDuplicated || faultDmaDelays || firmwareStalls ||
-           guestKills || mailboxTimeouts || ringResyncs;
+           guestKills || mailboxTimeouts || ringResyncs ||
+           driverDomainKills || firmwareReboots || feReconnects ||
+           grantsRevoked || pagesQuarantined || mailboxThrottled ||
+           outagePacketsLost;
 }
 
 std::string
 Report::faultSummary() const
 {
-    char buf[256];
+    char buf[512];
     std::snprintf(
         buf, sizeof(buf),
         "  drops: nodesc=%llu nobuf=%llu filter=%llu | faults: "
@@ -53,7 +56,22 @@ Report::faultSummary() const
         static_cast<unsigned long long>(guestKills),
         static_cast<unsigned long long>(mailboxTimeouts),
         static_cast<unsigned long long>(ringResyncs));
-    return buf;
+    std::string out = buf;
+    if (driverDomainKills || firmwareReboots || feReconnects ||
+        grantsRevoked || outagePacketsLost) {
+        std::snprintf(
+            buf, sizeof(buf),
+            " | outage: domkill=%llu fwreboot=%llu reconnect=%llu "
+            "revoked=%llu quarantined=%llu lost=%llu",
+            static_cast<unsigned long long>(driverDomainKills),
+            static_cast<unsigned long long>(firmwareReboots),
+            static_cast<unsigned long long>(feReconnects),
+            static_cast<unsigned long long>(grantsRevoked),
+            static_cast<unsigned long long>(pagesQuarantined),
+            static_cast<unsigned long long>(outagePacketsLost));
+        out += buf;
+    }
+    return out;
 }
 
 double
@@ -124,13 +142,31 @@ reportToJson(const Report &r)
     addU("tcp_fast_retransmits", r.tcpFastRetransmits);
     addU("tcp_rto_events", r.tcpRtoEvents);
     addU("tcp_dup_acks", r.tcpDupAcks);
-    out += "  \"per_guest_mbps\": [";
-    for (std::size_t i = 0; i < r.perGuestMbps.size(); ++i) {
-        std::snprintf(buf, sizeof(buf), "%s%.2f", i ? ", " : "",
-                      r.perGuestMbps[i]);
-        out += buf;
-    }
-    out += "]\n}\n";
+    addU("driver_domain_kills", r.driverDomainKills);
+    addU("firmware_reboots", r.firmwareReboots);
+    addU("fe_reconnects", r.feReconnects);
+    addU("grants_revoked", r.grantsRevoked);
+    addU("pages_quarantined", r.pagesQuarantined);
+    addU("quarantine_released", r.quarantineReleased);
+    addU("mailbox_throttled", r.mailboxThrottled);
+    addU("outage_packets_lost", r.outagePacketsLost);
+    auto addArr = [&](const char *key, const std::vector<double> &v,
+                      const char *fmt, bool last = false) {
+        out += "  \"";
+        out += key;
+        out += "\": [";
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i)
+                out += ", ";
+            std::snprintf(buf, sizeof(buf), fmt, v[i]);
+            out += buf;
+        }
+        out += last ? "]\n" : "],\n";
+    };
+    addArr("per_guest_mbps", r.perGuestMbps, "%.2f");
+    addArr("per_guest_downtime_us", r.perGuestDowntimeUs, "%.1f");
+    addArr("per_guest_ttfp_us", r.perGuestTtfpUs, "%.1f", /*last=*/true);
+    out += "}\n";
     return out;
 }
 

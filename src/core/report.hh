@@ -32,8 +32,15 @@ namespace cdna::core {
  *      "tcp_retrans_segs", "tcp_fast_retransmits", "tcp_rto_events",
  *      and "tcp_dup_acks" appended after "ring_resyncs".  All version-1
  *      keys keep their order and formatting.
+ *   3  failure-domain recovery: "driver_domain_kills",
+ *      "firmware_reboots", "fe_reconnects", "grants_revoked",
+ *      "pages_quarantined", "quarantine_released", "mailbox_throttled",
+ *      and "outage_packets_lost" appended after "tcp_dup_acks";
+ *      "per_guest_downtime_us" and "per_guest_ttfp_us" arrays appended
+ *      after "per_guest_mbps".  All version-2 keys keep their order and
+ *      formatting.
  */
-inline constexpr int kReportSchemaVersion = 2;
+inline constexpr int kReportSchemaVersion = 3;
 
 struct Report
 {
@@ -96,8 +103,24 @@ struct Report
     std::uint64_t tcpRtoEvents = 0;
     std::uint64_t tcpDupAcks = 0;
 
+    // Failure-domain recovery (schema 3; all zero without an
+    // outage-class fault plan).
+    std::uint64_t driverDomainKills = 0;
+    std::uint64_t firmwareReboots = 0;
+    std::uint64_t feReconnects = 0;     //!< Xen frontend reconnections
+    std::uint64_t grantsRevoked = 0;    //!< mappings revoked at crash
+    std::uint64_t pagesQuarantined = 0; //!< in-flight-DMA pages held
+    std::uint64_t quarantineReleased = 0;
+    std::uint64_t mailboxThrottled = 0; //!< doorbells rate-limited
+    std::uint64_t outagePacketsLost = 0;
+
     /** Per-guest goodput (fairness analysis), Mb/s. */
     std::vector<double> perGuestMbps;
+
+    // Per-guest availability (schema 3): accumulated downtime, and the
+    // recovery-to-first-packet lag, both in microseconds.
+    std::vector<double> perGuestDowntimeUs;
+    std::vector<double> perGuestTtfpUs;
 
     /**
      * End-to-end data-frame latency in microseconds (stack entry to
@@ -141,8 +164,10 @@ struct Report
  *   six profile percentages, the five rate counters, the three latency
  *   quantiles, fairness, wire_mbps), then the integer counters
  *   (protection/drop counters, the fault/recovery counters, then the
- *   checksum/backlog/TCP counters added in schema 2), then
- *   per_guest_mbps.  New keys are only ever appended at the end of
+ *   checksum/backlog/TCP counters added in schema 2, then the outage
+ *   counters added in schema 3), then per_guest_mbps followed by the
+ *   schema-3 per_guest_downtime_us and per_guest_ttfp_us arrays.  New
+ *   keys are only ever appended at the end of
  *   their block so older goldens remain a line-subset of newer reports.
  *
  * Doubles are printed with "%.4f", integers as decimal, arrays in

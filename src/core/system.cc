@@ -33,8 +33,10 @@ System::System(SystemConfig cfg) : cfg_(std::move(cfg)), ctx_(cfg_.seed)
     }
     startTimers();
     registerGauges();
-    if (faults_)
+    if (faults_) {
+        setupAvailability();
         scheduleFaultEvents();
+    }
 }
 
 System::~System() = default;
@@ -396,13 +398,21 @@ System::startTimers()
 {
     sim::Time period = sim::kSecond / cfg_.costs.timerHz;
     sim::Time cost = cfg_.costs.timerTickCost;
+    for (const auto &dom : hv_->domains())
+        domainTimerStopped_.resize(
+            std::max<std::size_t>(domainTimerStopped_.size(),
+                                  dom->id() + 1),
+            0);
     for (const auto &dom : hv_->domains()) {
         vmm::Domain *d = dom.get();
         // The System owns the tick callback; the lambda captures a raw
-        // pointer to reschedule itself without a shared_ptr cycle.
+        // pointer to reschedule itself without a shared_ptr cycle.  A
+        // killed domain's tick stops rescheduling (killGuest).
         timerTicks_.push_back(std::make_unique<std::function<void()>>());
         std::function<void()> *tick = timerTicks_.back().get();
         *tick = [this, d, period, cost, tick] {
+            if (domainTimerStopped_[d->id()])
+                return;
             d->vcpu().post(cpu::Bucket::kOs, cost);
             ctx_.events().schedule(period, *tick);
         };
@@ -526,6 +536,20 @@ System::snapshot() const
         s.guestKills = faults_->guestKills();
         s.mailboxTimeouts = faults_->mailboxTimeouts();
         s.ringResyncs = faults_->ringResyncs();
+        s.domKills = faults_->driverDomainKills();
+        s.fwReboots = faults_->firmwareReboots();
+        s.feReconnects = faults_->frontendReconnects();
+    }
+    const auto &grants = hv_->grants();
+    s.grantsRevoked = grants.revokedGrants();
+    s.pagesQuarantined = grants.quarantineAdmissions();
+    s.quarantineReleases = grants.quarantineReleases();
+    for (const auto &n : cdnaNics_)
+        s.mailboxThrottled += n->mailboxThrottled();
+    for (const auto &d : ddns_) {
+        s.outagePacketsLost += d->outageRxDrops();
+        for (const auto &vif : d->vifs())
+            s.outagePacketsLost += vif->txLostCrash();
     }
     return s;
 }
@@ -610,12 +634,31 @@ System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
     r.tcpFastRetransmits = b.tcpFastRtx - a.tcpFastRtx;
     r.tcpRtoEvents = b.tcpRtos - a.tcpRtos;
     r.tcpDupAcks = b.tcpDupAcks - a.tcpDupAcks;
+    r.driverDomainKills = b.domKills - a.domKills;
+    r.firmwareReboots = b.fwReboots - a.fwReboots;
+    r.feReconnects = b.feReconnects - a.feReconnects;
+    r.grantsRevoked = b.grantsRevoked - a.grantsRevoked;
+    r.pagesQuarantined = b.pagesQuarantined - a.pagesQuarantined;
+    r.quarantineReleased = b.quarantineReleases - a.quarantineReleases;
+    r.mailboxThrottled = b.mailboxThrottled - a.mailboxThrottled;
+    r.outagePacketsLost = b.outagePacketsLost - a.outagePacketsLost;
 
     r.perGuestMbps.resize(guests_.size());
     for (std::size_t g = 0; g < guests_.size(); ++g) {
         r.perGuestMbps[g] =
             static_cast<double>(b.perGuestBytes[g] - a.perGuestBytes[g]) *
             8.0 / secs / 1.0e6;
+    }
+
+    // Availability (absolute, not windowed: an outage is a property of
+    // the whole run).  Zero-filled without an outage fault plan.
+    r.perGuestDowntimeUs.assign(guests_.size(), 0.0);
+    r.perGuestTtfpUs.assign(guests_.size(), 0.0);
+    if (avail_) {
+        for (std::uint32_t g = 0; g < avail_->guests(); ++g) {
+            r.perGuestDowntimeUs[g] = avail_->downtimeUs(g);
+            r.perGuestTtfpUs[g] = avail_->ttfpUs(g);
+        }
     }
 
     // End-to-end latency: peers measure transmitted data, guest stacks
@@ -679,6 +722,170 @@ System::scheduleFaultEvents()
     for (const auto &gk : cfg_.faults.guestKills)
         ctx_.events().schedule(sim::milliseconds(gk.atMs),
                                [this, g = gk.guest] { killGuest(g); });
+    for (const auto &dk : cfg_.faults.driverDomainKills)
+        ctx_.events().schedule(sim::milliseconds(dk.atMs),
+                               [this] { killDriverDomain(); });
+    for (const auto &fr : cfg_.faults.firmwareReboots)
+        ctx_.events().schedule(sim::milliseconds(fr.atMs),
+                               [this, nic = fr.nic]
+                               { rebootNicFirmware(nic); });
+}
+
+void
+System::setupAvailability()
+{
+    // The tracker (and the Xen frontend reconnection watchdogs) exist
+    // only when the plan schedules an outage-class fault, so every
+    // other configuration keeps its exact event sequence.
+    if (cfg_.faults.driverDomainKills.empty() &&
+        cfg_.faults.firmwareReboots.empty())
+        return;
+    auto guests = static_cast<std::uint32_t>(guests_.size());
+    avail_ = std::make_unique<AvailabilityTracker>(ctx_, guests);
+
+    // Per-guest progress: any stack of guest g (on any NIC) moving
+    // data end-to-end counts, which is what makes a CDNA guest with a
+    // surviving path score zero downtime.
+    std::size_t per_nic = cfg_.mode == IoMode::kNative ? 1 : guests;
+    for (std::size_t idx = 0; idx < stacks_.size(); ++idx) {
+        auto g = static_cast<std::uint32_t>(idx % per_nic);
+        stacks_[idx]->setProgressHook(
+            [this, g] { avail_->noteProgress(g); });
+    }
+
+    if (cfg_.mode == IoMode::kXen &&
+        !cfg_.faults.driverDomainKills.empty()) {
+        for (auto &ddn : ddns_) {
+            const auto &vifs = ddn->vifs();
+            for (std::size_t g = 0; g < vifs.size(); ++g) {
+                os::XenVif *vif = vifs[g].get();
+                vif->enableReconnect();
+                vif->setReconnectedHook(
+                    [this, g = static_cast<std::uint32_t>(g)]
+                    { avail_->noteRecovery(g); });
+            }
+        }
+    }
+}
+
+bool
+System::killDriverDomain()
+{
+    if (!driverDom_ || driverDomainDown_ || cfg_.mode == IoMode::kNative)
+        return false;
+    driverDomainDown_ = true;
+    if (faults_)
+        faults_->noteDriverDomainKill();
+    if (avail_)
+        for (std::uint32_t g = 0; g < avail_->guests(); ++g)
+            avail_->noteOutageStart(g);
+
+    if (cfg_.mode == IoMode::kXen) {
+        // The backends die with the domain; frontends detect it via
+        // their watchdogs and reconnect after the restart below.
+        for (auto &ddn : ddns_)
+            ddn->crash();
+        // dom0's qdisc (packets bridged but not yet posted) lived in
+        // the dead domain's memory, and the hypervisor quiesces the
+        // Intel TX engine -- a crashed domain's device must stop
+        // referencing pages it had grant-mapped.  RX keeps landing in
+        // device-owned buffers; the dead bridge discards it.
+        for (auto &nd : nativeDrivers_)
+            nd->dropQdisc();
+        for (auto &inic : intelNics_)
+            inic->quiesceTx();
+        // dom0's physical CDNA driver (the Xen/RiceNIC rows) dies too:
+        // its context is revoked and a fresh one is negotiated at
+        // restart.  The Intel native driver itself is modeled as
+        // surviving (its ring state lives in the NIC, not in dom0
+        // memory), so no ring renegotiation happens at restart.
+        for (std::size_t i = 0; i < drvDomCdnaDrivers_.size(); ++i) {
+            CdnaGuestDriver *drv = drvDomCdnaDrivers_[i].get();
+            CdnaNic::ContextId cxt = drv->context();
+            drv->detach();
+            cxtChannels_[i][cxt] = nullptr;
+            cdnaNics_[i]->revokeContext(cxt);
+            if (iommu_)
+                iommu_->unbindContext(static_cast<std::uint32_t>(i), cxt);
+        }
+    }
+    // CDNA mode: guests drive their own contexts, so the kill has no
+    // datapath effect at all -- exactly the paper's failure-domain
+    // argument.
+
+    // Revoke every grant mapping the dead domain held.  Pages with DMA
+    // possibly in flight sit in quarantine until the drain delay
+    // passes; only then do they return to the allocator.
+    hv_->grants().revokeMappingsOf(driverDom_->id());
+    ctx_.events().schedule(cfg_.costs.dmaQuarantineDrain,
+                           [this] { hv_->grants().drainQuarantine(); });
+
+    ctx_.events().schedule(cfg_.costs.driverDomainReboot,
+                           [this] { restartDriverDomain(); });
+    return true;
+}
+
+void
+System::restartDriverDomain()
+{
+    driverDomainDown_ = false;
+    if (cfg_.mode == IoMode::kXen) {
+        for (std::size_t i = 0; i < drvDomCdnaDrivers_.size(); ++i) {
+            // Fresh context for the rebooted domain, then the driver
+            // re-attaches from scratch (mirrors buildXen).
+            CdnaNic &nic = *cdnaNics_[i];
+            CdnaGuestDriver *drv = drvDomCdnaDrivers_[i].get();
+            auto cxt = nic.allocContext(driverDom_->id(), drv->mac());
+            SIM_ASSERT(cxt.has_value(),
+                       "no context for restarted driver domain");
+            mem::PageNum txp = mem_->allocOne(driverDom_->id());
+            mem::PageNum rxp = mem_->allocOne(driverDom_->id());
+            mem::PageNum stp = mem_->allocOne(driverDom_->id());
+            nic.configureContextRings(*cxt, 256, mem::addrOf(txp), 256,
+                                      mem::addrOf(rxp));
+            nic.setStatusPage(*cxt, mem::addrOf(stp));
+            cxtChannels_[i][*cxt] = &hv_->createChannel(
+                *driverDom_, cfg_.costs.irqEntry,
+                [drv] { drv->handleIrq(); });
+            drv->rebind(*cxt);
+            drv->attach();
+            if (iommu_)
+                iommu_->bindContext(static_cast<std::uint32_t>(i), *cxt,
+                                    driverDom_->id());
+            nic.setPromiscuousContext(*cxt);
+        }
+        for (auto &ddn : ddns_)
+            ddn->restart();
+    }
+    if (avail_ && cfg_.mode == IoMode::kCdna) {
+        // No reconnection protocol to wait for: the control plane is
+        // simply back.  (Xen guests note recovery at vif reconnect.)
+        for (std::uint32_t g = 0; g < avail_->guests(); ++g)
+            avail_->noteRecovery(g);
+    }
+    if (faults_)
+        faults_->noteDriverDomainRestart();
+}
+
+bool
+System::rebootNicFirmware(std::uint32_t nic)
+{
+    if (nic >= cdnaNics_.size())
+        return false; // no CDNA NIC with that index in this mode
+    if (avail_)
+        for (std::uint32_t g = 0; g < avail_->guests(); ++g)
+            avail_->noteOutageStart(g);
+    cdnaNics_[nic]->rebootFirmware(cfg_.costs.firmwareReboot,
+                                   cfg_.costs.fwRebootReconcilePerContext);
+    if (avail_) {
+        // Recovery point: the firmware is back up (context
+        // reconciliation adds microseconds on top).
+        ctx_.events().schedule(cfg_.costs.firmwareReboot, [this] {
+            for (std::uint32_t g = 0; g < avail_->guests(); ++g)
+                avail_->noteRecovery(g);
+        });
+    }
+    return true;
 }
 
 bool
@@ -687,9 +894,24 @@ System::killGuest(std::uint32_t guest)
     bool any = false;
     for (std::uint32_t i = 0; i < cfg_.numNics; ++i)
         any = revokeGuestContext(guest, i) || any;
-    if (any && faults_)
+    if (!any)
+        return false;
+    // Silence the dead guest's software: stop its workload, cancel
+    // every pending transport timer (an armed TCP RTO or delayed ACK
+    // would otherwise fire into the dead domain), and stop its timer
+    // tick from rescheduling.
+    for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
+        app(guest, i).stop();
+        stack(guest, i).shutdown();
+    }
+    if (guest < guests_.size()) {
+        auto id = static_cast<std::size_t>(guests_[guest]->id());
+        if (id < domainTimerStopped_.size())
+            domainTimerStopped_[id] = 1;
+    }
+    if (faults_)
         faults_->noteGuestKill();
-    return any;
+    return true;
 }
 
 bool

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/availability.hh"
 #include "core/cdna_driver.hh"
 #include "core/cdna_nic.hh"
 #include "core/cost_model.hh"
@@ -274,11 +275,39 @@ class System
 
     /**
      * Simulate a guest crash: revoke its context on every NIC (fault
-     * plans schedule this via FaultPlan::killingGuest).  CDNA mode
-     * only.
+     * plans schedule this via FaultPlan::killingGuest), then silence
+     * the dead guest's software -- its apps stop, its stacks cancel
+     * every pending transport timer (RTO, delayed ACK), and its timer
+     * tick stops -- so no scheduled event can fire into the dead
+     * domain.  CDNA mode only.
      * @retval true at least one context was revoked
      */
     bool killGuest(std::uint32_t guest);
+
+    /**
+     * Crash the driver domain (FaultPlan::killingDriverDomain).  Under
+     * Xen the backends die -- every guest loses connectivity until the
+     * domain reboots (costs.driverDomainReboot) and the frontends
+     * reconnect; grant mappings held by the dead domain are revoked,
+     * with in-flight DMA targets quarantined until the drain delay
+     * passes.  Under CDNA the kill is control-plane only: guest
+     * datapaths never touch dom0, so traffic continues unaffected.
+     * @retval true the fault applied (false in native mode / already down)
+     */
+    bool killDriverDomain();
+    bool driverDomainDown() const { return driverDomainDown_; }
+
+    /**
+     * Reboot NIC @p nic's firmware (FaultPlan::rebootingFirmware): all
+     * volatile firmware state is lost and per-context descriptor
+     * positions are reconciled against hypervisor-validated ring
+     * state; guest watchdogs re-ring lost doorbells without any other
+     * domain's involvement.  CDNA NICs only.
+     */
+    bool rebootNicFirmware(std::uint32_t nic);
+
+    /** Availability tracker, or null without an outage fault plan. */
+    AvailabilityTracker *availability() { return avail_.get(); }
 
     /** Fault injector, or null when the fault plan is empty. */
     sim::FaultInjector *faultInjector() { return faults_.get(); }
@@ -318,10 +347,20 @@ class System
         std::uint64_t guestKills = 0;
         std::uint64_t mailboxTimeouts = 0;
         std::uint64_t ringResyncs = 0;
+        std::uint64_t domKills = 0;
+        std::uint64_t fwReboots = 0;
+        std::uint64_t feReconnects = 0;
+        std::uint64_t grantsRevoked = 0;
+        std::uint64_t pagesQuarantined = 0;
+        std::uint64_t quarantineReleases = 0;
+        std::uint64_t mailboxThrottled = 0;
+        std::uint64_t outagePacketsLost = 0;
     };
 
     void buildCommon();
     void scheduleFaultEvents();
+    void setupAvailability();
+    void restartDriverDomain();
     void registerGauges();
     void buildNative();
     void buildXen();
@@ -368,6 +407,12 @@ class System
 
     // Self-rescheduling per-domain timer callbacks (see startTimers()).
     std::vector<std::unique_ptr<std::function<void()>>> timerTicks_;
+    // Indexed by domain id; a stopped (killed) domain's tick no longer
+    // posts CPU work or reschedules itself.
+    std::vector<char> domainTimerStopped_;
+
+    std::unique_ptr<AvailabilityTracker> avail_;
+    bool driverDomainDown_ = false;
 
     bool started_ = false;
 };

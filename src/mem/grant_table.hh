@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "mem/phys_memory.hh"
 #include "sim/sim_object.hh"
@@ -57,8 +58,44 @@ class GrantTable : public sim::SimObject
      */
     bool transferPage(DomainId from, DomainId to, PageNum page);
 
+    /** Outcome of a bulk revocation. */
+    struct RevokeStats
+    {
+        std::uint64_t revoked = 0;     //!< grant entries invalidated
+        std::uint64_t quarantined = 0; //!< mapped pages quarantined
+    };
+
+    /**
+     * Forcibly invalidate every grant issued *to* @p mapper (the
+     * mapper crashed).  Entries stay in the table flagged revoked, so
+     * a frontend replaying a pre-crash reference after the backend
+     * restarts is rejected (use-after-revoke) while the granter can
+     * still endGrant() to reclaim.  Pages that were mapped when the
+     * crash hit may still be referenced by in-flight DMA, so their
+     * pins are *not* dropped: they enter quarantine and stay
+     * unreusable until drainQuarantine() runs after the DMA engine
+     * drains.
+     */
+    RevokeStats revokeMappingsOf(DomainId mapper);
+
+    /** Release quarantined pages (the DMA engine has drained). */
+    std::uint64_t drainQuarantine();
+
     std::uint64_t activeGrants() const { return entries_.size(); }
     std::uint64_t flipCount() const { return nFlips_.value(); }
+    std::uint64_t quarantinedPages() const { return quarantine_.size(); }
+    std::uint64_t revokedGrants() const { return nRevoked_.value(); }
+    std::uint64_t
+    quarantineAdmissions() const
+    {
+        return nQuarantined_.value();
+    }
+    std::uint64_t
+    quarantineReleases() const
+    {
+        return nQuarReleased_.value();
+    }
+    std::uint64_t useAfterRevoke() const { return nUseAfterRevoke_.value(); }
 
   private:
     struct Entry
@@ -67,16 +104,23 @@ class GrantTable : public sim::SimObject
         DomainId to;
         PageNum page;
         bool mapped = false;
+        bool revoked = false;
     };
 
     PhysMemory &mem_;
     GrantRef nextRef_ = 1;
     std::unordered_map<GrantRef, Entry> entries_;
+    /** Pages still pinned on behalf of a crashed mapper's DMA. */
+    std::vector<PageNum> quarantine_;
 
     sim::Counter &nGrants_;
     sim::Counter &nMaps_;
     sim::Counter &nFlips_;
     sim::Counter &nDenied_;
+    sim::Counter &nRevoked_;
+    sim::Counter &nQuarantined_;
+    sim::Counter &nQuarReleased_;
+    sim::Counter &nUseAfterRevoke_;
 };
 
 } // namespace cdna::mem

@@ -316,6 +316,16 @@ TcpReceiverFlow::scheduleDelayedAck()
     });
 }
 
+void
+TcpReceiverFlow::cancelTimers()
+{
+    if (delAckTimer_ != sim::kInvalidEvent) {
+        ctx_.events().cancel(delAckTimer_);
+        delAckTimer_ = sim::kInvalidEvent;
+    }
+    pendingSegs_ = 0;
+}
+
 // ---------------------------------------------------------------------------
 // TcpEndpoint
 // ---------------------------------------------------------------------------
@@ -363,8 +373,34 @@ TcpEndpoint::offer(std::uint64_t flow_id, std::uint64_t bytes)
 }
 
 void
+TcpEndpoint::shutdown()
+{
+    if (shutdown_)
+        return;
+    shutdown_ = true;
+    for (auto &[id, s] : senders_)
+        s.flow->cancelTimers();
+    for (auto &[key, rf] : receivers_)
+        rf->cancelTimers();
+    pendingAcks_.clear();
+}
+
+std::uint64_t
+TcpEndpoint::armedTimers() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[id, s] : senders_)
+        n += s.flow->rtoArmed() ? 1 : 0;
+    for (const auto &[key, rf] : receivers_)
+        n += rf->delAckArmed() ? 1 : 0;
+    return n;
+}
+
+void
 TcpEndpoint::onPacket(const Packet &pkt)
 {
+    if (shutdown_)
+        return;
     if (pkt.tcpAck) {
         nAcksRx_.inc();
         auto it = senders_.find(pkt.flowId);
@@ -399,7 +435,7 @@ TcpEndpoint::onPacket(const Packet &pkt)
 void
 TcpEndpoint::pump()
 {
-    if (pumping_)
+    if (pumping_ || shutdown_)
         return;
     pumping_ = true;
     while (!pendingAcks_.empty() && ackTx_ && ackTx_(pendingAcks_.front()))

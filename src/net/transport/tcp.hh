@@ -134,6 +134,14 @@ class TcpSenderFlow
         onEvent_ = std::move(fn);
     }
 
+    /**
+     * Domain teardown: cancel the RTO timer so no event fires into a
+     * dead owner.  The flow object stays around (counters remain
+     * readable) but must not be pumped afterwards.
+     */
+    void cancelTimers() { cancelRto(); }
+    bool rtoArmed() const { return rtoTimer_ != sim::kInvalidEvent; }
+
   private:
     void armRto();
     void restartRto();
@@ -196,6 +204,10 @@ class TcpReceiverFlow
     std::uint64_t acksSent = 0;
     std::uint64_t oooSegs = 0; //!< segments buffered past a hole
     std::uint64_t oldSegs = 0; //!< fully duplicate segments discarded
+
+    /** Domain teardown: cancel the pending delayed-ACK timer, if any. */
+    void cancelTimers();
+    bool delAckArmed() const { return delAckTimer_ != sim::kInvalidEvent; }
 
   private:
     void ackNow();
@@ -268,6 +280,18 @@ class TcpEndpoint : public sim::SimObject
     /** Emit whatever the windows and the owner's backpressure allow. */
     void pump();
 
+    /**
+     * Kill the endpoint with its domain: cancel every flow's pending
+     * timer (RTO, delayed ACK) and drop queued ACKs, then ignore all
+     * further packets and pump attempts.  Without this, a timer armed
+     * before the domain died would fire its callback into freed driver
+     * state (the --kill-guest x --transport tcp hazard).
+     */
+    void shutdown();
+    bool isShutdown() const { return shutdown_; }
+    /** Pending per-flow timers (RTO + delayed ACK); 0 after shutdown. */
+    std::uint64_t armedTimers() const;
+
     const TcpParams &params() const { return p_; }
 
     // --- aggregates (sums over flows; monotonic) --------------------------
@@ -309,6 +333,7 @@ class TcpEndpoint : public sim::SimObject
     std::deque<AckOut> pendingAcks_;
     bool pumping_ = false;
     bool notifying_ = false;
+    bool shutdown_ = false;
 
     sim::Counter &nDelivered_;
     sim::Counter &nAcksRx_;

@@ -10,7 +10,8 @@ namespace cdna::nic {
 FirmwareProc::FirmwareProc(sim::SimContext &ctx, std::string name)
     : sim::SimObject(ctx, std::move(name)),
       nJobs_(stats().addCounter("jobs")),
-      nStalls_(stats().addCounter("stalls"))
+      nStalls_(stats().addCounter("stalls")),
+      nReboots_(stats().addCounter("reboots"))
 {
 }
 
@@ -42,6 +43,20 @@ FirmwareProc::stall(sim::Time duration)
     busyAccum_ += duration;
     CDNA_TRACE_SPAN(ctx().tracer(), traceLane(), "fw_stall", start,
                     duration);
+}
+
+void
+FirmwareProc::reboot(sim::Time down_time)
+{
+    SIM_ASSERT(down_time >= 0, "negative firmware reboot time");
+    ++epoch_;
+    nReboots_.inc();
+    // The queued backlog dies with the old image; the new image owns
+    // the processor from now until boot completes.
+    busyUntil_ = now() + down_time;
+    busyAccum_ += down_time;
+    CDNA_TRACE_SPAN(ctx().tracer(), traceLane(), "fw_reboot", now(),
+                    down_time);
 }
 
 double

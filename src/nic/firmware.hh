@@ -42,7 +42,20 @@ class FirmwareProc : public sim::SimObject
      */
     void stall(sim::Time duration);
 
+    /**
+     * Power-cycle the processor: unlike stall(), the running firmware
+     * image dies.  The epoch advances so continuations of jobs that
+     * were in flight can detect they belong to the dead image and must
+     * not touch post-reboot state; the processor is then busy for
+     * @p down_time while the new image boots.
+     */
+    void reboot(sim::Time down_time);
+
+    /** Firmware image generation; bumped by reboot(). */
+    std::uint64_t epoch() const { return epoch_; }
+
     std::uint64_t stallCount() const { return nStalls_.value(); }
+    std::uint64_t rebootCount() const { return nReboots_.value(); }
 
     /** Fraction of elapsed time the processor has been busy. */
     double utilization(sim::Time elapsed) const;
@@ -55,8 +68,10 @@ class FirmwareProc : public sim::SimObject
   private:
     sim::Time busyUntil_ = 0;
     sim::Time busyAccum_ = 0;
+    std::uint64_t epoch_ = 0;
     sim::Counter &nJobs_;
     sim::Counter &nStalls_;
+    sim::Counter &nReboots_;
 };
 
 } // namespace cdna::nic

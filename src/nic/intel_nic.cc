@@ -19,7 +19,8 @@ IntelNic::IntelNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
       nTxPayload_(stats().addCounter("tx_payload_bytes")),
       nRxPackets_(stats().addCounter("rx_packets")),
       nRxPayload_(stats().addCounter("rx_payload_bytes")),
-      nTxGhost_(stats().addCounter("tx_ghost_descriptors"))
+      nTxGhost_(stats().addCounter("tx_ghost_descriptors")),
+      nTxResetDrops_(stats().addCounter("tx_reset_drops"))
 {
     setCoalesce(params.coalesce);
 }
@@ -86,7 +87,10 @@ IntelNic::startTxFetch()
         sg.push_back({txRing_->slotAddr(txFetched_ + till_wrap),
                       (n - till_wrap) * kDescBytes});
 
-    dma_.read(sg, dmaDomain_, mem::kWholeDevice, [this, n](mem::DmaResult) {
+    dma_.read(sg, dmaDomain_, mem::kWholeDevice,
+              [this, n, ep = txEpoch_](mem::DmaResult) {
+        if (ep != txEpoch_)
+            return; // TX engine was quiesced while the fetch was in flight
         for (std::uint32_t i = 0; i < n; ++i)
             txPending_.push_back(txFetched_ + i);
         txFetched_ += n;
@@ -130,13 +134,18 @@ IntelNic::pumpTx()
     txPending_.pop_front();
 
     dma_.read(desc.sg, dmaDomain_, mem::kWholeDevice,
-              [this, pkt = std::move(pkt), bytes](mem::DmaResult) mutable {
+              [this, pkt = std::move(pkt), bytes,
+               ep = txEpoch_](mem::DmaResult) mutable {
+        if (ep != txEpoch_)
+            return; // quiesced mid-read: the frame never reaches the wire
         txDataBusy_ = false;
         nTxPackets_.inc();
         nTxPayload_.inc(pkt.payloadBytes);
         sim::Time gap = params_.txInterFrameGap *
                         static_cast<sim::Time>(pkt.wireFrames());
-        link_.send(side_, std::move(pkt), gap, [this, bytes] {
+        link_.send(side_, std::move(pkt), gap, [this, bytes, ep] {
+            if (ep != txEpoch_)
+                return; // quiesced while on the wire; state already reset
             txBuf_.release(bytes);
             ++txConsumer_;
             scheduleConsumerWriteback();
@@ -227,6 +236,34 @@ std::vector<IntelNic::RxDelivery>
 IntelNic::drainRx()
 {
     return std::exchange(rxReady_, {});
+}
+
+std::uint64_t
+IntelNic::quiesceTx()
+{
+    ++txEpoch_;
+    std::uint64_t dropped = 0;
+    if (txRing_) {
+        for (std::uint32_t pos : txPending_)
+            if (txRing_->detachPacket(pos).has_value())
+                ++dropped;
+    }
+    // Descriptors advertised but never fetched die with the engine too.
+    dropped += txProducer_ - txFetched_;
+    txPending_.clear();
+    txBuf_.reset();
+    txFetchBusy_ = false;
+    txDataBusy_ = false;
+    txFetched_ = txProducer_;
+    if (txConsumer_ != txProducer_) {
+        // Publish the skip so the driver's completion accounting
+        // (in-flight byte queue) drains instead of wedging.
+        txConsumer_ = txProducer_;
+        scheduleConsumerWriteback();
+        notePendingEvent();
+    }
+    nTxResetDrops_.inc(dropped);
+    return dropped;
 }
 
 void

@@ -87,6 +87,18 @@ class IntelNic : public NicBase
     /** Driver pulls delivered frames (called from its IRQ handler). */
     std::vector<RxDelivery> drainRx();
 
+    /**
+     * Quiesce the TX DMA engine (hypervisor killing the owning
+     * domain).  Every outstanding TX descriptor is consumed without
+     * touching host memory -- the engine must stop referencing pages
+     * the dead domain had mapped -- and in-flight TX continuations are
+     * abandoned.  The consumer index skips to the producer so the
+     * (surviving or restarted) driver's accounting stays consistent.
+     * RX is left running: it lands in device-owned buffer pages and the
+     * dead bridge discards it.  Returns the number of packets dropped.
+     */
+    std::uint64_t quiesceTx();
+
     // --- stats -----------------------------------------------------------
     std::uint64_t txPackets() const { return nTxPackets_.value(); }
     std::uint64_t txPayloadBytes() const { return nTxPayload_.value(); }
@@ -122,6 +134,8 @@ class IntelNic : public NicBase
     bool txFetchBusy_ = false;
     bool txDataBusy_ = false;
     std::deque<std::uint32_t> txPending_;
+    /** Bumped by quiesceTx(); stale TX continuations early-return. */
+    std::uint64_t txEpoch_ = 0;
 
     // RX state
     std::uint32_t rxProducer_ = 0;
@@ -139,6 +153,7 @@ class IntelNic : public NicBase
     sim::Counter &nRxPackets_;
     sim::Counter &nRxPayload_;
     sim::Counter &nTxGhost_;
+    sim::Counter &nTxResetDrops_;
 };
 
 } // namespace cdna::nic

@@ -50,6 +50,12 @@ class PacketBufferPool
         used_ -= bytes;
     }
 
+    /**
+     * Firmware reboot: the buffer SRAM content (and with it every
+     * outstanding reservation of the dead image) is gone.
+     */
+    void reset() { used_ = 0; }
+
     std::uint64_t highWater() const { return highWater_; }
 
   private:

@@ -124,6 +124,15 @@ NativeDriver::handleIrq()
     });
 }
 
+std::uint64_t
+NativeDriver::dropQdisc()
+{
+    std::uint64_t n = qdisc_.size();
+    qdisc_.clear();
+    txWasFull_ = false;
+    return n;
+}
+
 bool
 NativeDriver::canTransmit() const
 {

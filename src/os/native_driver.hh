@@ -41,6 +41,13 @@ class NativeDriver : public sim::SimObject, public NetDevice
     /** Allocate rings/buffers and bring the device up. */
     void attach();
 
+    /**
+     * Discard every packet queued but not yet posted to the NIC (the
+     * owning domain just crashed; the queue lived in its memory).
+     * Returns the number of packets dropped.
+     */
+    std::uint64_t dropQdisc();
+
     // --- NetDevice ------------------------------------------------------
     bool canTransmit() const override;
     void transmit(net::Packet pkt) override;

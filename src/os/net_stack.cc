@@ -24,10 +24,29 @@ NetStack::NetStack(sim::SimContext &ctx, std::string name, vmm::Domain &dom,
 {
     dev_.setRxHandler([this](net::Packet pkt) { onRxPacket(std::move(pkt)); });
     dev_.setTxCompleteHandler([this](std::uint64_t bytes) {
+        if (progress_)
+            progress_();
         if (txComplete_)
             txComplete_(bytes);
     });
     dev_.setTxSpaceHandler([this] { pushToDevice(); });
+}
+
+void
+NetStack::shutdown()
+{
+    if (dead_)
+        return;
+    dead_ = true;
+    if (tcp_)
+        tcp_->shutdown();
+    txBacklog_.clear();
+    pendingOffer_.clear();
+    rxBatchBytes_ = 0;
+    rxBatchPkts_ = 0;
+    rxBatchAcks_ = 0;
+    rxBatchCreated_.clear();
+    ackDebt_ = 0;
 }
 
 void
@@ -78,6 +97,8 @@ void
 NetStack::sendBurst(std::uint64_t bytes, std::uint64_t flow_id,
                     const std::vector<mem::PageNum> &pages)
 {
+    if (dead_)
+        return;
     if (tcp_) {
         sendBurstTcp(bytes, flow_id, pages);
         return;
@@ -130,6 +151,8 @@ NetStack::noteBacklogDepth()
 void
 NetStack::onRxPacket(net::Packet pkt)
 {
+    if (dead_)
+        return;
     if (!pkt.intact) {
         // Software checksum check fails: the frame consumed NIC and
         // driver resources but never reaches the transport layer, so
@@ -240,6 +263,8 @@ NetStack::enableTcp(const net::transport::TcpParams &params)
         auto it = pendingOffer_.find(flow_id);
         if (it != pendingOffer_.end() && it->second > 0)
             it->second -= tcp_->offer(flow_id, it->second);
+        if (progress_)
+            progress_();
         if (txComplete_)
             txComplete_(bytes);
     });
@@ -312,6 +337,8 @@ void
 NetStack::collectRxBatch()
 {
     rxCollectorPending_ = false;
+    if (dead_)
+        return;
     std::uint64_t bytes = std::exchange(rxBatchBytes_, 0);
     std::uint32_t pkts = std::exchange(rxBatchPkts_, 0);
     std::uint32_t acks = std::exchange(rxBatchAcks_, 0);
@@ -374,6 +401,8 @@ NetStack::collectRxBatch()
                 rxLatency_.record(us);
                 rxLatencyHist_.record(static_cast<std::uint64_t>(us));
             }
+            if (progress_)
+                progress_();
             if (rxDeliver_)
                 rxDeliver_(bytes, pkts);
         });

@@ -70,6 +70,25 @@ class NetStack : public sim::SimObject
         rxDeliver_ = std::move(fn);
     }
 
+    /**
+     * Fires on every end-to-end progress signal: transmit completion
+     * (ACK-clocked under TCP) or receive delivery.  The availability
+     * layer uses it to timestamp the first packet after an outage.
+     */
+    void setProgressHook(std::function<void()> fn)
+    {
+        progress_ = std::move(fn);
+    }
+
+    /**
+     * Kill the stack with its domain: cancel transport timers, drop
+     * the TX backlog and blocked writes, and ignore all later send and
+     * receive activity.  Closes the --kill-guest x --transport tcp
+     * hazard where an armed RTO fires into a dead domain.
+     */
+    void shutdown();
+    bool isShutdown() const { return dead_; }
+
     std::uint64_t txBytes() const { return nTxBytes_.value(); }
     std::uint64_t rxBytes() const { return nRxBytes_.value(); }
     std::uint64_t rxPackets() const { return nRxPkts_.value(); }
@@ -123,6 +142,8 @@ class NetStack : public sim::SimObject
 
     std::function<void(std::uint64_t)> txComplete_;
     std::function<void(std::uint64_t, std::uint32_t)> rxDeliver_;
+    std::function<void()> progress_;
+    bool dead_ = false;
 
     // TCP transport mode (null = open loop).
     std::unique_ptr<net::transport::TcpEndpoint> tcp_;

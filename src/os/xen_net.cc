@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/assert.hh"
+#include "sim/fault_injector.hh"
 
 namespace cdna::os {
 
@@ -17,7 +18,10 @@ XenVif::XenVif(sim::SimContext &ctx, std::string name, DriverDomainNet &ddn,
       mac_(mac),
       nTxPkts_(stats().addCounter("tx_packets")),
       nRxPkts_(stats().addCounter("rx_packets")),
-      nRxDropNoBuf_(stats().addCounter("rx_drop_no_buffer"))
+      nRxDropNoBuf_(stats().addCounter("rx_drop_no_buffer")),
+      nReconnects_(stats().addCounter("fe_reconnects")),
+      nOutageDrops_(stats().addCounter("rx_outage_drops")),
+      nLostTx_(stats().addCounter("tx_lost_crash"))
 {
     auto &hv = ddn_.hv();
     feChannel_ = &hv.createChannel(guest_, ddn_.costs().irqEntry,
@@ -97,8 +101,112 @@ XenVif::flush()
 }
 
 void
+XenVif::enableReconnect()
+{
+    armFeWatchdog();
+}
+
+void
+XenVif::armFeWatchdog()
+{
+    if (feWatchdogArmed_)
+        return;
+    feWatchdogArmed_ = true;
+    events().schedule(ddn_.costs().feWatchdogPeriod,
+                      [this] { feWatchdogFire(); });
+}
+
+void
+XenVif::feWatchdogFire()
+{
+    feWatchdogArmed_ = false;
+    if (feState_ == FeState::kConnected && !ddn_.backendUp()) {
+        // The backend stopped answering its event channel: enter the
+        // reconnect protocol.  The watchdog keeps running so a later
+        // crash is detected too.
+        feState_ = FeState::kWaitingReconnect;
+        reconnectBackoff_ = ddn_.costs().feReconnectBackoffBase;
+        CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "backend_dead",
+                           now());
+        scheduleReconnectAttempt();
+    }
+    armFeWatchdog();
+}
+
+void
+XenVif::scheduleReconnectAttempt()
+{
+    events().schedule(reconnectBackoff_, [this] { attemptReconnect(); });
+}
+
+void
+XenVif::attemptReconnect()
+{
+    if (!ddn_.backendUp()) {
+        reconnectBackoff_ = std::min(reconnectBackoff_ * 2,
+                                     ddn_.costs().feReconnectBackoffMax);
+        scheduleReconnectAttempt();
+        return;
+    }
+    // Backend answered: renegotiate rings/grants on the guest's vCPU.
+    guest_.vcpu().post(cpu::Bucket::kOs, ddn_.costs().feReconnectCost,
+                       [this] { completeReconnect(); });
+}
+
+void
+XenVif::completeReconnect()
+{
+    auto &grants = ddn_.hv().grants();
+    // Reclaim grants orphaned inside the crashed backend.  Their
+    // mappings were revoked with the dead domain, so endGrant only
+    // retires the (unmapped) entries.
+    for (auto ref : orphanGrants_)
+        grants.endGrant(ref, guest_.id());
+    orphanGrants_.clear();
+
+    // TX requests that were queued but never mapped survive in the
+    // shared ring; everything the backend had in flight is lost.  The
+    // loss is surfaced as a completion so the open-loop app window
+    // reopens (the packets are already counted in tx_lost_crash); the
+    // TCP transport ignores device completions and retransmits via RTO.
+    if (orphanTxBytes_ > 0)
+        deliverTxComplete(std::exchange(orphanTxBytes_, 0));
+    txOutstanding_ = static_cast<std::uint32_t>(txReq_.size() +
+                                                txResp_.size());
+
+    // Renegotiate the RX ring: recycle the posted pages and repost.
+    while (!rxReq_.empty()) {
+        guestFreePages_.push_back(rxReq_.front());
+        rxReq_.pop_front();
+    }
+    postRxBuffers();
+
+    feState_ = FeState::kConnected;
+    nReconnects_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "fe_reconnect", now());
+    if (sim::FaultInjector *fi = ctx().faultInjector())
+        fi->noteFrontendReconnect();
+    if (onReconnected_)
+        onReconnected_();
+
+    // Resume: hand the retained ring backlog to the new backend and
+    // wake the stack (ring space is fully available again).
+    if (!txReq_.empty())
+        ddn_.hv().notifyChannel(*beChannel_);
+    txWasFull_ = false;
+    deliverTxSpace();
+}
+
+void
 XenVif::backendIrq()
 {
+    // The backend services the ring only while the domain is alive AND
+    // this frontend is formally connected: after a crash, a restarted
+    // backend must not touch a ring whose reconnection handshake (which
+    // resets txOutstanding_ from the ring contents) has not completed,
+    // or in-flight batches would escape the reset and underflow it.
+    if (!ddn_.backendUp() || feState_ != FeState::kConnected)
+        return; // requests wait in the ring
     auto n = static_cast<std::uint32_t>(txReq_.size());
     if (n == 0)
         return;
@@ -113,6 +221,8 @@ XenVif::backendIrq()
                                sim::kNanosecond);
 
     ddn_.driverDomain().vcpu().post(cpu::Bucket::kOs, cost, [this] {
+        if (!ddn_.backendUp() || feState_ != FeState::kConnected)
+            return; // crashed (or not yet reconnected) between wake/service
         // Count pages for the grant-map hypercall batch.
         std::uint64_t pages = 0;
         for (const auto &r : txReq_)
@@ -121,14 +231,40 @@ XenVif::backendIrq()
         hv.hypercall(static_cast<sim::Time>(pages) *
                          hv.params().grantMapPerPage,
                      [this] {
+            if (!ddn_.backendUp() || feState_ != FeState::kConnected)
+                return;
             auto &grants = ddn_.hv().grants();
+            bool dropped_any = false;
             while (!txReq_.empty()) {
                 TxRequest req = std::move(txReq_.front());
                 txReq_.pop_front();
-                for (auto ref : req.grants)
-                    grants.mapGrant(ref, ddn_.driverDomain().id(), nullptr);
+                // A request whose grants will not map (e.g. a ref the
+                // hypervisor revoked at a backend crash) must not reach
+                // the wire: the backend has no legal window into the
+                // page.  Unwind any partial mappings and drop it.
+                bool mapped_all = true;
+                std::size_t ok = 0;
+                for (auto ref : req.grants) {
+                    if (!grants.mapGrant(ref, ddn_.driverDomain().id(),
+                                         nullptr)) {
+                        mapped_all = false;
+                        break;
+                    }
+                    ++ok;
+                }
+                if (!mapped_all) {
+                    for (std::size_t i = 0; i < ok; ++i)
+                        grants.unmapGrant(req.grants[i],
+                                          ddn_.driverDomain().id());
+                    txResp_.push_back(XenVif::TxResponse{
+                        req.pkt.payloadBytes, std::move(req.grants)});
+                    dropped_any = true;
+                    continue;
+                }
                 ddn_.bridgeTx(*this, std::move(req));
             }
+            if (dropped_any)
+                ddn_.hv().notifyChannel(*feChannel_);
             ddn_.phys().flush();
         });
     });
@@ -190,7 +326,8 @@ DriverDomainNet::DriverDomainNet(sim::SimContext &ctx, std::string name,
       phys_(phys),
       costs_(costs),
       nNoVif_(stats().addCounter("bridge_no_vif")),
-      nBridgePkts_(stats().addCounter("bridge_packets"))
+      nBridgePkts_(stats().addCounter("bridge_packets")),
+      nOutageDrops_(stats().addCounter("outage_rx_drops"))
 {
     phys_.setAutoRefill(false);
     phys_.setRxHandler([this](net::Packet pkt) { onPhysRx(std::move(pkt)); });
@@ -205,6 +342,56 @@ DriverDomainNet::createVif(vmm::Domain &guest, net::MacAddr mac)
         ctx(), name() + ".vif-" + guest.name(), *this, guest, mac));
     macTable_[mac.hash()] = vifs_.back().get();
     return *vifs_.back();
+}
+
+void
+DriverDomainNet::crash()
+{
+    if (!backendUp_)
+        return;
+    backendUp_ = false;
+
+    // Everything the backend had in flight is orphaned: record the
+    // grants (and the lost bytes) on each frontend so it can reclaim
+    // them when it reconnects.  The hypervisor revokes the dead
+    // domain's grant mappings separately.
+    auto orphan = [](XenVif *vif, XenVif::TxMeta &meta) {
+        vif->orphanTxBytes_ += meta.bytes;
+        vif->nLostTx_.inc();
+        for (auto ref : meta.grants)
+            vif->orphanGrants_.push_back(ref);
+    };
+    for (auto &[vif, meta] : txMeta_)
+        orphan(vif, meta);
+    txMeta_.clear();
+    for (auto &[vif, meta] : txCompStage_)
+        orphan(vif, meta);
+    txCompStage_.clear();
+
+    // Staged RX died in driver-domain memory.  Recycle the NIC buffer
+    // pages -- the adapter itself survived the crash -- so reception
+    // can resume the moment the domain is back.
+    for (XenVif *vif : rxTouched_) {
+        for (auto &pkt : vif->rxStage_) {
+            vif->nOutageDrops_.inc();
+            nOutageDrops_.inc();
+            if (!pkt.hostSg.empty())
+                phys_.refillRx(mem::pageOf(pkt.hostSg[0].addr));
+        }
+        vif->rxStage_.clear();
+    }
+    rxTouched_.clear();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "backend_crash", now());
+}
+
+void
+DriverDomainNet::restart()
+{
+    if (backendUp_)
+        return;
+    backendUp_ = true;
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "backend_restart",
+                       now());
 }
 
 void
@@ -227,6 +414,8 @@ void
 DriverDomainNet::onPhysTxComplete(std::uint64_t bytes)
 {
     (void)bytes;
+    if (!backendUp_)
+        return; // the metadata died with the domain; already orphaned
     SIM_ASSERT(!txMeta_.empty(), "tx completion without metadata");
     txCompStage_.push_back(std::move(txMeta_.front()));
     txMeta_.pop_front();
@@ -251,14 +440,36 @@ DriverDomainNet::collectTxComplete()
     auto batch = std::exchange(txCompStage_, {});
     auto n = static_cast<std::uint32_t>(batch.size());
 
+    // A crash between stage and service orphans the batch exactly as
+    // if it were still staged (the lambdas own it by then).
+    auto orphanBatch =
+        [this](std::vector<std::pair<XenVif *, XenVif::TxMeta>> &batch) {
+            for (auto &[vif, meta] : batch) {
+                vif->orphanTxBytes_ += meta.bytes;
+                vif->nLostTx_.inc();
+                for (auto ref : meta.grants)
+                    vif->orphanGrants_.push_back(ref);
+            }
+        };
+
     drvDom_.vcpu().post(cpu::Bucket::kOs, n * costs_.beTxCompletion,
-                        [this, batch = std::move(batch)]() mutable {
+                        [this, orphanBatch,
+                         batch = std::move(batch)]() mutable {
+        if (!backendUp_) {
+            orphanBatch(batch);
+            return;
+        }
         std::uint64_t pages = 0;
         for (const auto &[vif, meta] : batch)
             pages += meta.grants.size();
         auto &hvp = hv().params();
         hv().hypercall(static_cast<sim::Time>(pages) * hvp.grantUnmapPerPage,
-                       [this, batch = std::move(batch)]() mutable {
+                       [this, orphanBatch,
+                        batch = std::move(batch)]() mutable {
+            if (!backendUp_) {
+                orphanBatch(batch);
+                return;
+            }
             auto &grants = hv().grants();
             std::vector<XenVif *> touched;
             for (auto &[vif, meta] : batch) {
@@ -279,6 +490,16 @@ DriverDomainNet::collectTxComplete()
 void
 DriverDomainNet::onPhysRx(net::Packet pkt)
 {
+    if (!backendUp_) {
+        // No bridge to demux: the packet is lost in the outage.
+        nOutageDrops_.inc();
+        auto victim = macTable_.find(pkt.dst.hash());
+        if (victim != macTable_.end())
+            victim->second->nOutageDrops_.inc();
+        if (!pkt.hostSg.empty())
+            phys_.refillRx(mem::pageOf(pkt.hostSg[0].addr));
+        return;
+    }
     auto it = macTable_.find(pkt.dst.hash());
     if (it == macTable_.end()) {
         nNoVif_.inc();
@@ -287,8 +508,17 @@ DriverDomainNet::onPhysRx(net::Packet pkt)
             phys_.refillRx(mem::pageOf(pkt.hostSg[0].addr));
         return;
     }
-    nBridgePkts_.inc();
     XenVif *vif = it->second;
+    if (vif->feState_ != XenVif::FeState::kConnected) {
+        // The frontend has not completed its reconnection handshake:
+        // there is no negotiated RX ring to deliver into yet.
+        nOutageDrops_.inc();
+        vif->nOutageDrops_.inc();
+        if (!pkt.hostSg.empty())
+            phys_.refillRx(mem::pageOf(pkt.hostSg[0].addr));
+        return;
+    }
+    nBridgePkts_.inc();
     if (vif->rxStage_.empty())
         rxTouched_.push_back(vif);
     vif->rxStage_.push_back(std::move(pkt));
@@ -339,10 +569,33 @@ DriverDomainNet::collectRx()
               (params.grantMapPerPage + params.grantUnmapPerPage)
         : static_cast<sim::Time>(n) * params.pageFlipPerPage;
 
+    // A crash while the batch waits drops it: the packets sat in
+    // driver-domain memory the moment the domain died.
+    auto dropStaged = [this](const std::vector<XenVif *> &touched) {
+        for (XenVif *vif : touched) {
+            for (auto &pkt : vif->rxStage_) {
+                vif->nOutageDrops_.inc();
+                nOutageDrops_.inc();
+                if (!pkt.hostSg.empty())
+                    phys_.refillRx(mem::pageOf(pkt.hostSg[0].addr));
+            }
+            vif->rxStage_.clear();
+        }
+    };
+
     drvDom_.vcpu().post(cpu::Bucket::kOs, cost,
-                        [this, touched = std::move(touched), hv_cost] {
+                        [this, touched = std::move(touched), hv_cost,
+                         dropStaged] {
+        if (!backendUp_) {
+            dropStaged(touched);
+            return;
+        }
         hv().hypercall(hv_cost,
-                       [this, touched] {
+                       [this, touched, dropStaged] {
+            if (!backendUp_) {
+                dropStaged(touched);
+                return;
+            }
             auto &memory = hv().mem();
             auto &grants = hv().grants();
             for (XenVif *vif : touched) {

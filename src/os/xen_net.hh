@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +65,34 @@ class XenVif : public sim::SimObject, public NetDevice
 
     std::uint64_t rxDropNoBuffer() const { return nRxDropNoBuf_.value(); }
 
+    /**
+     * Arm the dead-backend watchdog (frontend reconnection protocol).
+     * Only called when a fault plan schedules a driver-domain crash,
+     * so fault-free runs execute the exact pre-fault event sequence.
+     *
+     * The watchdog polls the backend every feWatchdogPeriod (modeling
+     * the event-channel/Xenstore timeout a real netfront uses).  On a
+     * dead backend the frontend enters kWaitingReconnect and retries
+     * with exponential backoff until the restarted backend answers,
+     * then renegotiates: reclaims grants orphaned by the crash,
+     * resets the TX ring accounting, reposts its RX buffers, and
+     * resumes transmission (TCP retransmits the lost window; the
+     * open-loop app window is reopened by a counted-loss completion).
+     */
+    void enableReconnect();
+
+    /** Fires when a reconnection completes (availability tracking). */
+    void setReconnectedHook(std::function<void()> fn)
+    {
+        onReconnected_ = std::move(fn);
+    }
+
+    std::uint64_t reconnects() const { return nReconnects_.value(); }
+    /** RX packets dropped because the backend was down. */
+    std::uint64_t outageRxDrops() const { return nOutageDrops_.value(); }
+    /** TX packets orphaned inside the crashed driver domain. */
+    std::uint64_t txLostCrash() const { return nLostTx_.value(); }
+
   private:
     friend class DriverDomainNet;
 
@@ -93,6 +122,11 @@ class XenVif : public sim::SimObject, public NetDevice
     void backendIrq();
     /** Post guest pages for reception. */
     void postRxBuffers();
+    void armFeWatchdog();
+    void feWatchdogFire();
+    void scheduleReconnectAttempt();
+    void attemptReconnect();
+    void completeReconnect();
     DriverDomainNet &ddn_;
     vmm::Domain &guest_;
     net::MacAddr mac_;
@@ -117,9 +151,25 @@ class XenVif : public sim::SimObject, public NetDevice
     vmm::EventChannel *feChannel_ = nullptr; //!< notifies the guest
     vmm::EventChannel *beChannel_ = nullptr; //!< notifies the driver dom
 
+    // Frontend reconnection state machine (see enableReconnect()).
+    enum class FeState
+    {
+        kConnected,
+        kWaitingReconnect,
+    };
+    FeState feState_ = FeState::kConnected;
+    bool feWatchdogArmed_ = false;
+    sim::Time reconnectBackoff_ = 0;
+    std::vector<mem::GrantRef> orphanGrants_; //!< left by a backend crash
+    std::uint64_t orphanTxBytes_ = 0;
+    std::function<void()> onReconnected_;
+
     sim::Counter &nTxPkts_;
     sim::Counter &nRxPkts_;
     sim::Counter &nRxDropNoBuf_;
+    sim::Counter &nReconnects_;
+    sim::Counter &nOutageDrops_;
+    sim::Counter &nLostTx_;
 };
 
 /**
@@ -157,6 +207,29 @@ class DriverDomainNet : public sim::SimObject
 
     std::uint64_t bridgeRxDropNoVif() const { return nNoVif_.value(); }
 
+    /**
+     * The driver domain crashed (fault injection): the backend stops
+     * answering, every in-flight TX is orphaned (grants recorded for
+     * the frontends to reclaim at reconnect), staged RX is dropped
+     * with its NIC buffer pages recycled, and until restart() every
+     * packet the physical driver delivers is dropped and counted.
+     * Grant mappings held by the dead domain are revoked separately by
+     * the hypervisor (System::killDriverDomain).
+     */
+    void crash();
+    /** The rebooted driver domain is back; frontends reconnect. */
+    void restart();
+    bool backendUp() const { return backendUp_; }
+
+    /** All vifs on this bridge (recovery wiring, availability). */
+    const std::vector<std::unique_ptr<XenVif>> &vifs() const
+    {
+        return vifs_;
+    }
+
+    /** Total RX packets dropped while the backend was down. */
+    std::uint64_t outageRxDrops() const { return nOutageDrops_.value(); }
+
   private:
     friend class XenVif;
 
@@ -187,9 +260,11 @@ class DriverDomainNet : public sim::SimObject
     /** Completions staged until the batch-collect task runs. */
     std::vector<std::pair<XenVif *, XenVif::TxMeta>> txCompStage_;
     bool txCompCollectPending_ = false;
+    bool backendUp_ = true;
 
     sim::Counter &nNoVif_;
     sim::Counter &nBridgePkts_;
+    sim::Counter &nOutageDrops_;
 };
 
 } // namespace cdna::os

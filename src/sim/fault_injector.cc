@@ -19,7 +19,11 @@ FaultInjector::FaultInjector(SimContext &ctx, std::string name,
       nFwReset_(stats().addCounter("firmware_resets")),
       nGuestKill_(stats().addCounter("guest_kills")),
       nMboxTimeout_(stats().addCounter("mailbox_timeouts")),
-      nRingResync_(stats().addCounter("ring_resyncs"))
+      nRingResync_(stats().addCounter("ring_resyncs")),
+      nDomKill_(stats().addCounter("driver_domain_kills")),
+      nDomRestart_(stats().addCounter("driver_domain_restarts")),
+      nFwReboot_(stats().addCounter("firmware_reboots")),
+      nFeReconnect_(stats().addCounter("frontend_reconnects"))
 {
 }
 
@@ -99,6 +103,38 @@ FaultInjector::noteRingResync()
 {
     nRingResync_.inc();
     CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "ring_resync", now());
+}
+
+void
+FaultInjector::noteDriverDomainKill()
+{
+    nDomKill_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "driver_domain_kill",
+                       now());
+}
+
+void
+FaultInjector::noteDriverDomainRestart()
+{
+    nDomRestart_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(),
+                       "driver_domain_restart", now());
+}
+
+void
+FaultInjector::noteFirmwareReboot()
+{
+    nFwReboot_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "firmware_reboot",
+                       now());
+}
+
+void
+FaultInjector::noteFrontendReconnect()
+{
+    nFeReconnect_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "frontend_reconnect",
+                       now());
 }
 
 } // namespace cdna::sim

@@ -78,6 +78,10 @@ class FaultInjector : public SimObject
     void noteGuestKill();
     void noteMailboxTimeout();
     void noteRingResync();
+    void noteDriverDomainKill();
+    void noteDriverDomainRestart();
+    void noteFirmwareReboot();
+    void noteFrontendReconnect();
 
     std::uint64_t framesDropped() const { return nDrop_.value(); }
     std::uint64_t framesCorrupted() const { return nCorrupt_.value(); }
@@ -88,6 +92,18 @@ class FaultInjector : public SimObject
     std::uint64_t guestKills() const { return nGuestKill_.value(); }
     std::uint64_t mailboxTimeouts() const { return nMboxTimeout_.value(); }
     std::uint64_t ringResyncs() const { return nRingResync_.value(); }
+    std::uint64_t driverDomainKills() const { return nDomKill_.value(); }
+    std::uint64_t
+    driverDomainRestarts() const
+    {
+        return nDomRestart_.value();
+    }
+    std::uint64_t firmwareReboots() const { return nFwReboot_.value(); }
+    std::uint64_t
+    frontendReconnects() const
+    {
+        return nFeReconnect_.value();
+    }
 
   private:
     FaultRates rates_;
@@ -102,6 +118,10 @@ class FaultInjector : public SimObject
     sim::Counter &nGuestKill_;
     sim::Counter &nMboxTimeout_;
     sim::Counter &nRingResync_;
+    sim::Counter &nDomKill_;
+    sim::Counter &nDomRestart_;
+    sim::Counter &nFwReboot_;
+    sim::Counter &nFeReconnect_;
 };
 
 } // namespace cdna::sim

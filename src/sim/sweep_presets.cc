@@ -221,6 +221,29 @@ tcpLoss()
         .vary("loss", std::move(loss));
 }
 
+ExperimentSpec
+availability()
+{
+    using Cfg = core::SystemConfig;
+    return ExperimentSpec("availability")
+        .config("xen", core::SystemConfig::xenIntel(2).transport(core::kTcp))
+        // The firmware-reboot column needs a firmware NIC behind dom0:
+        // Xen/RiceNIC funnels every guest through the driver domain's
+        // single context, so one firmware reboot stalls them all.
+        .config("xen-rice",
+                core::SystemConfig::xenRice(2).transport(core::kTcp))
+        .config("cdna", core::SystemConfig::cdna(2).transport(core::kTcp))
+        .vary("fault",
+              {{"healthy", [](Cfg &) {}},
+               {"domkill",
+                [](Cfg &c) {
+                    c.withFaults(core::FaultPlan{}.killingDriverDomain(150));
+                }},
+               {"fwreboot", [](Cfg &c) {
+                    c.withFaults(core::FaultPlan{}.rebootingFirmware(0, 150));
+                }}});
+}
+
 const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &
 all()
 {
@@ -239,6 +262,7 @@ all()
             {"iommu", iommu},
             {"flipcopy", flipcopy},
             {"tcp-loss", tcpLoss},
+            {"availability", availability},
         };
     return presets;
 }

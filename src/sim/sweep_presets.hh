@@ -52,6 +52,15 @@ ExperimentSpec flipcopy();
  * Reno transport, showing retransmission cost and loss recovery.
  */
 ExperimentSpec tcpLoss();
+/**
+ * Extension: failure-domain availability.  Xen vs CDNA, two guests on
+ * TCP transport, crossed with {fault-free, driver-domain crash at
+ * 150 ms, NIC-0 firmware reboot at 150 ms}.  The per-guest downtime
+ * and time-to-first-packet columns show the paper's failure-isolation
+ * argument: a dom0 crash stalls every Xen guest, while CDNA guests
+ * ride out both faults with zero downtime.
+ */
+ExperimentSpec availability();
 
 /** Every preset, keyed by CLI name, in documentation order. */
 const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &all();

@@ -55,7 +55,7 @@ TrafficApp::start()
 void
 TrafficApp::pump()
 {
-    if (!started_ || !params_.transmit || pumpActive_)
+    if (!started_ || stopped_ || !params_.transmit || pumpActive_)
         return;
     if (inFlight_ + params_.chunkBytes > params_.windowBytes)
         return;

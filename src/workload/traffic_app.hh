@@ -44,6 +44,9 @@ class TrafficApp : public sim::SimObject
     /** Begin generating (transmit mode) -- receive mode needs no start. */
     void start();
 
+    /** Stop with the owning domain: no further writes are issued. */
+    void stop() { stopped_ = true; }
+
     std::uint64_t bytesSent() const { return nSent_.value(); }
     std::uint64_t bytesReceived() const { return nReceived_.value(); }
     std::uint64_t packetsReceived() const { return nRxPkts_.value(); }
@@ -66,6 +69,7 @@ class TrafficApp : public sim::SimObject
     std::uint64_t inFlight_ = 0;
     bool pumpActive_ = false;
     bool started_ = false;
+    bool stopped_ = false;
 
     sim::Counter &nSent_;
     sim::Counter &nReceived_;

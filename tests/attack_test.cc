@@ -244,6 +244,44 @@ TEST_F(AttackFixture, RevokedContextStopsOperating)
     EXPECT_TRUE(nic.contextAllocated(victim_drv->context()));
 }
 
+TEST_F(AttackFixture, DoorbellFloodIsThrottledAndContained)
+{
+    // A malicious guest hammers its mailbox with PIO writes, trying to
+    // burn firmware time decoding doorbells and starve the victim.
+    // The per-context storm guard coalesces everything beyond the
+    // burst allowance into one deferred event per window, so only the
+    // attacker's own doorbells are delayed.
+    System base(baseConfig(true));
+    Report rb = base.run(sim::milliseconds(50), sim::milliseconds(100));
+    ASSERT_EQ(rb.perGuestMbps.size(), 2u);
+
+    System sys(baseConfig(true));
+    sys.ctx().events().schedule(sim::milliseconds(60), [&sys] {
+        CdnaNic &nic = *sys.cdnaNic(0);
+        auto cxt = nic.allocContext(sys.guestDomain(0)->id(),
+                                    net::MacAddr::fromId(779));
+        ASSERT_TRUE(cxt.has_value());
+        nic.configureContextRings(
+            *cxt, 8,
+            mem::addrOf(sys.mem().allocOne(sys.guestDomain(0)->id())), 8,
+            mem::addrOf(sys.mem().allocOne(sys.guestDomain(0)->id())));
+        // Producer stays at 0: each write is a no-op doorbell whose
+        // only effect is the firmware decode cost the guard bounds.
+        for (int i = 0; i < 2000; ++i)
+            nic.pioWriteMailbox(*cxt, nic::kMboxTxProducer, 0);
+    });
+    Report rk = sys.run(sim::milliseconds(50), sim::milliseconds(100));
+
+    // The guard engaged (2000 writes in one window >> the allowance)...
+    EXPECT_GT(sys.cdnaNic(0)->mailboxThrottled(), 1000u);
+    EXPECT_GT(rk.mailboxThrottled, 1000u);
+    // ...the storming context never faulted anyone else, and the
+    // victim's throughput is preserved.
+    EXPECT_EQ(rk.dmaViolations, 0u);
+    ASSERT_EQ(rk.perGuestMbps.size(), 2u);
+    EXPECT_GE(rk.perGuestMbps[1], 0.9 * rb.perGuestMbps[1]);
+}
+
 INSTANTIATE_TEST_SUITE_P(Protection, AttackFixture, ::testing::Bool());
 
 TEST_P(AttackFixture, NormalTrafficNeverViolatesRegardlessOfProtection)

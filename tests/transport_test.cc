@@ -533,5 +533,18 @@ TEST(TcpGolden, HeadlineConfigsUnchangedWithTransportOff)
             EXPECT_NE(json.find(line), std::string::npos)
                 << c.file << ": missing line: " << line;
         }
+        // Schema 3 appended the failure-domain counters and the
+        // availability arrays; a fault-free headline run must report
+        // every counter as zero (the recovery machinery is inert
+        // without a fault plan).
+        for (const char *key :
+             {"\"schema_version\": 3", "\"driver_domain_kills\": 0",
+              "\"firmware_reboots\": 0", "\"fe_reconnects\": 0",
+              "\"grants_revoked\": 0", "\"pages_quarantined\": 0",
+              "\"quarantine_released\": 0", "\"mailbox_throttled\": 0",
+              "\"outage_packets_lost\": 0", "\"per_guest_downtime_us\"",
+              "\"per_guest_ttfp_us\""})
+            EXPECT_NE(json.find(key), std::string::npos)
+                << c.file << ": missing schema-3 key: " << key;
     }
 }
