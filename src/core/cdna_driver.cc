@@ -63,6 +63,11 @@ CdnaGuestDriver::attach()
     rxHandle_ = prot_.registerRing(nic_, cxt_, dom_.id(), /*is_tx=*/false);
 
     std::uint32_t entries = nic_.rxRing(cxt_).size();
+    // The rxSlotPage_ map is indexed pos % entries with free-running
+    // uint32 positions; like DescRing, that is only wrap-consistent
+    // for power-of-two sizes.
+    SIM_ASSERT((entries & (entries - 1)) == 0,
+               "CDNA RX ring size must be a power of two");
     rxSlotPage_.assign(entries, 0);
     auto pages = dom_.hypervisor().mem().alloc(dom_.id(), entries);
     SIM_ASSERT(!pages.empty(), "out of memory for CDNA RX buffers");

@@ -36,7 +36,7 @@ CdnaNic::CdnaNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
       fw_(ctx, this->name() + ".fw"),
       txBuf_(params.txBufferBytes),
       rxBuf_(params.rxBufferBytes),
-      contexts_(params.numContexts),
+      contexts_(std::max(params.numContexts, params.virtualContexts)),
       nTxPackets_(stats().addCounter("tx_packets")),
       nRxPackets_(stats().addCounter("rx_packets")),
       nGhostTx_(stats().addCounter("ghost_tx")),
@@ -45,12 +45,53 @@ CdnaNic::CdnaNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
       nBitVectors_(stats().addCounter("bit_vectors")),
       nIommuDrops_(stats().addCounter("iommu_drops")),
       nFwResets_(stats().addCounter("fw_resets")),
-      nMailboxThrottled_(stats().addCounter("mailbox_throttled"))
+      nMailboxThrottled_(stats().addCounter("mailbox_throttled")),
+      nCxtTraps_(stats().addCounter("cxt_page_traps")),
+      nCxtEvictions_(stats().addCounter("cxt_evictions")),
+      nCxtPageIns_(stats().addCounter("cxt_page_ins"))
 {
     SIM_ASSERT(params.numContexts >= 1 &&
                    params.numContexts <= nic::kMaxContexts,
                "context count out of range");
+    slotOwner_.assign(params_.numContexts, kNoSlotOwner);
     setCoalesce(params.coalesce);
+}
+
+int
+CdnaNic::findFreeSlot() const
+{
+    for (std::uint32_t s = 0; s < slotOwner_.size(); ++s)
+        if (slotOwner_[s] == kNoSlotOwner)
+            return static_cast<int>(s);
+    return -1;
+}
+
+void
+CdnaNic::claimSlot(ContextId id, std::uint32_t slot)
+{
+    Context &c = cxt(id);
+    SIM_ASSERT(slot < slotOwner_.size() &&
+                   slotOwner_[slot] == kNoSlotOwner,
+               "claiming an occupied slot");
+    slotOwner_[slot] = id;
+    c.slot = slot;
+    c.resident = true;
+    ++residentNow_;
+    residentPeak_ = std::max(residentPeak_, residentNow_);
+}
+
+void
+CdnaNic::releaseSlot(ContextId id)
+{
+    Context &c = cxt(id);
+    if (!c.resident)
+        return;
+    SIM_ASSERT(c.slot < slotOwner_.size() && slotOwner_[c.slot] == id,
+               "slot/owner mismatch");
+    slotOwner_[c.slot] = kNoSlotOwner;
+    c.resident = false;
+    SIM_ASSERT(residentNow_ > 0, "resident count underflow");
+    --residentNow_;
 }
 
 CdnaNic::Context &
@@ -73,10 +114,20 @@ CdnaNic::allocContext(mem::DomainId dom, net::MacAddr mac)
     for (ContextId i = 0; i < contexts_.size(); ++i) {
         if (!contexts_[i].allocated) {
             contexts_[i] = Context{};
-            contexts_[i].allocated = true;
-            contexts_[i].dom = dom;
-            contexts_[i].mac = mac;
+            Context &c = contexts_[i];
+            c.allocated = true;
+            c.dom = dom;
+            c.mac = mac;
             macMap_[mac.hash()] = i;
+            // Claim a physical slot if one is free; otherwise the
+            // context starts paged out (oversubscription) and the pager
+            // restores it on its first doorbell.
+            int slot = findFreeSlot();
+            if (slot >= 0)
+                claimSlot(i, static_cast<std::uint32_t>(slot));
+            else
+                c.resident = false;
+            touchActivity(c);
             return i;
         }
     }
@@ -89,12 +140,21 @@ CdnaNic::revokeContext(ContextId id)
     Context &c = cxt(id);
     SIM_ASSERT(c.allocated, "revoking unallocated context");
     macMap_.erase(c.mac.hash());
-    hier_.clearContext(id);
+    if (c.resident) {
+        hier_.clearContext(c.slot);
+        pendingVector_ &= ~(1u << c.slot);
+        releaseSlot(id);
+    }
     auto it = std::find(txArb_.begin(), txArb_.end(), id);
     if (it != txArb_.end())
         txArb_.erase(it);
-    pendingVector_ &= ~(1u << id);
+    // A page-out waiting on this context's in-flight ops can never
+    // complete now; unblock the pager after the state is gone.
+    auto done = std::move(c.pageOutDone);
     c = Context{};
+    c.resident = false; // no slot until reallocated
+    if (done)
+        done();
 }
 
 void
@@ -143,6 +203,16 @@ CdnaNic::rebootFirmware(sim::Time down_time, sim::Time reconcile_per_cxt)
         Context &c = contexts_[id];
         if (!c.allocated)
             continue;
+        c.inflight = 0; // in-flight ops of the dead image never complete
+        if (c.pagingOut) {
+            // The quiesce target died with the image; the saved state is
+            // consistent (completions were reconciled as they landed),
+            // so the eviction completes now and the pager proceeds.
+            settlePageOut(id);
+            continue;
+        }
+        if (!c.resident)
+            continue; // paged out: state lives in host memory, untouched
         ++live;
         c.txReady.clear();
         c.rxReady.clear();
@@ -158,17 +228,23 @@ CdnaNic::rebootFirmware(sim::Time down_time, sim::Time reconcile_per_cxt)
         // longer has.
         if (c.txRing) {
             while (c.txConsumer != c.txFetched &&
-                   !c.txRing->hasPacket(c.txConsumer))
+                   !c.txRing->hasPacket(c.txConsumer)) {
                 ++c.txConsumer;
+                ++c.txDone64;
+            }
         }
         // Roll the fetch horizon back to the consumed boundary and
         // realign the expected sequence numbers with the hypervisor's
-        // stamping (descriptor i carries seqno i+1).  The producer
-        // doorbells were volatile: guests' watchdogs re-ring them.
+        // stamping (descriptor i carries seqno i+1).  The counts are
+        // free-running 32-bit indices while the hypervisor stamps from
+        // a 64-bit stream, so realignment must use the 64-bit
+        // completion shadows -- truncating through the 32-bit consumer
+        // desynchronizes the seqno check after 2^32 descriptors.  The
+        // producer doorbells were volatile: guests' watchdogs re-ring.
         c.txProducer = c.txFetched = c.txConsumer;
-        c.txNextSeqno = static_cast<std::uint64_t>(c.txConsumer) + 1;
+        c.txNextSeqno = c.txDone64 + 1;
         c.rxProducer = c.rxFetched = c.rxConsumer;
-        c.rxNextSeqno = static_cast<std::uint64_t>(c.rxConsumer) + 1;
+        c.rxNextSeqno = c.rxDone64 + 1;
         scheduleWriteback(id);
     }
 
@@ -231,6 +307,170 @@ CdnaNic::allocatedContexts() const
     return n;
 }
 
+std::optional<CdnaNic::ContextId>
+CdnaNic::contextAtSlot(std::uint32_t slot) const
+{
+    if (slot >= slotOwner_.size() || slotOwner_[slot] == kNoSlotOwner)
+        return std::nullopt;
+    return slotOwner_[slot];
+}
+
+bool
+CdnaNic::contextResident(ContextId id) const
+{
+    const Context &c = cxt(id);
+    return c.allocated && c.resident;
+}
+
+std::uint32_t
+CdnaNic::freeSlots() const
+{
+    std::uint32_t n = 0;
+    for (std::uint32_t owner : slotOwner_)
+        if (owner == kNoSlotOwner)
+            ++n;
+    return n;
+}
+
+sim::Time
+CdnaNic::contextLastActive(ContextId id) const
+{
+    return cxt(id).lastActive;
+}
+
+std::uint64_t
+CdnaNic::contextTrafficScore(ContextId id) const
+{
+    return cxt(id).trafficScore;
+}
+
+void
+CdnaNic::noteInflightDone(ContextId id)
+{
+    Context &c = cxt(id);
+    if (c.inflight > 0)
+        --c.inflight;
+    if (c.pagingOut && c.inflight == 0)
+        settlePageOut(id);
+}
+
+void
+CdnaNic::settlePageOut(ContextId id)
+{
+    Context &c = cxt(id);
+    if (!c.pagingOut)
+        return;
+    c.pagingOut = false;
+    c.inflight = 0;
+    // Completions that landed during the drain may have set this slot's
+    // bit; the pager delivers the guest's notification instead.
+    pendingVector_ &= ~(1u << c.slot);
+    hier_.clearContext(c.slot);
+    releaseSlot(id);
+    auto done = std::move(c.pageOutDone);
+    c.pageOutDone = nullptr;
+    if (done)
+        done();
+}
+
+void
+CdnaNic::pageOutContext(ContextId id, std::function<void()> done)
+{
+    Context &c = cxt(id);
+    SIM_ASSERT(c.allocated, "paging out unallocated context");
+    SIM_ASSERT(c.resident && !c.pagingOut,
+               "paging out non-resident context");
+    nCxtEvictions_.inc();
+    c.pagingOut = true;
+    ++c.cxtEpoch; // cancels the slot's in-flight fetch chains
+    // Quiesce: stop feeding new work from this context.  Staged and
+    // arbitrated descriptors are dropped -- the fetch horizon rolls
+    // back to the consumed boundary at page-in, so nothing is lost --
+    // while in-flight datapath operations drain to their completion
+    // records before the slot is surrendered.
+    c.txReady.clear();
+    c.rxReady.clear();
+    c.txFetchBusy = false;
+    c.rxFetchBusy = false;
+    auto it = std::find(txArb_.begin(), txArb_.end(), id);
+    if (it != txArb_.end())
+        txArb_.erase(it);
+    c.inTxArb = false;
+    hier_.clearContext(c.slot);
+    c.pageOutDone = std::move(done);
+    if (c.inflight == 0)
+        settlePageOut(id);
+}
+
+void
+CdnaNic::pageInContext(ContextId id)
+{
+    Context &c = cxt(id);
+    SIM_ASSERT(c.allocated, "paging in unallocated context");
+    SIM_ASSERT(!c.resident && !c.pagingOut, "context already resident");
+    int slot = findFreeSlot();
+    SIM_ASSERT(slot >= 0, "page-in with no free slot");
+    claimSlot(id, static_cast<std::uint32_t>(slot));
+    nCxtPageIns_.inc();
+    // Reconcile the restored slot against the hypervisor-validated ring
+    // state, exactly as firmware-reboot reconciliation does: retire
+    // completion records, roll the fetch horizon back to the consumed
+    // boundary, and realign the expected sequence numbers from the
+    // 64-bit completion counts (descriptor i carries seqno i+1).
+    if (c.txRing) {
+        while (c.txConsumer != c.txFetched &&
+               !c.txRing->hasPacket(c.txConsumer)) {
+            ++c.txConsumer;
+            ++c.txDone64;
+        }
+    }
+    c.txProducer = c.txFetched = c.txConsumer;
+    c.txNextSeqno = c.txDone64 + 1;
+    c.rxProducer = c.rxFetched = c.rxConsumer;
+    c.rxNextSeqno = c.rxDone64 + 1;
+    c.txFetchBusy = false;
+    c.rxFetchBusy = false;
+    c.inTxArb = false;
+    c.trafficScore = 0;
+    touchActivity(c);
+    scheduleWriteback(id);
+}
+
+void
+CdnaNic::replayDoorbells(ContextId id)
+{
+    Context &c = cxt(id);
+    SIM_ASSERT(c.allocated && c.resident,
+               "doorbell replay on non-resident context");
+    // The producer mailbox words were saved and restored with the
+    // context image; re-post them so the firmware picks up work rung
+    // while the context was paged out.  Mailbox values are producer
+    // counts, so replaying an already-serviced doorbell is harmless.
+    postDoorbell(id, nic::kMboxTxProducer);
+    postDoorbell(id, nic::kMboxRxProducer);
+}
+
+void
+CdnaNic::seedContextCounters(ContextId id, std::uint32_t tx_base,
+                             std::uint64_t tx_done64,
+                             std::uint32_t rx_base,
+                             std::uint64_t rx_done64)
+{
+    Context &c = cxt(id);
+    SIM_ASSERT(c.allocated, "seeding unallocated context");
+    SIM_ASSERT(static_cast<std::uint32_t>(tx_done64) == tx_base &&
+                   static_cast<std::uint32_t>(rx_done64) == rx_base,
+               "done64 low bits must match the 32-bit base");
+    c.txProducer = c.txFetched = c.txConsumer = c.txConsumerHost =
+        tx_base;
+    c.txDone64 = tx_done64;
+    c.txNextSeqno = tx_done64 + 1;
+    c.rxProducer = c.rxFetched = c.rxUsed = c.rxConsumer =
+        c.rxConsumerHost = rx_base;
+    c.rxDone64 = rx_done64;
+    c.rxNextSeqno = rx_done64 + 1;
+}
+
 void
 CdnaNic::pioWriteMailbox(ContextId id, std::uint32_t mbox,
                          std::uint32_t value)
@@ -238,6 +478,18 @@ CdnaNic::pioWriteMailbox(ContextId id, std::uint32_t mbox,
     Context &c = cxt(id);
     SIM_ASSERT(c.allocated, "PIO to unallocated context");
     c.mailboxes.write(mbox, value);
+    touchActivity(c);
+
+    if (!c.resident || c.pagingOut) {
+        // Doorbell to a paged-out context: the value is already in the
+        // saved mailbox image, so nothing is lost.  The access traps to
+        // the hypervisor's context pager, which restores the context
+        // into a physical slot and replays the producer doorbells.
+        nCxtTraps_.inc();
+        if (pageFaultHandler_)
+            pageFaultHandler_(id);
+        return;
+    }
 
     // Storm guard: a context ringing faster than any legitimate driver
     // ever would gets its doorbells coalesced into one deferred event
@@ -268,12 +520,17 @@ CdnaNic::pioWriteMailbox(ContextId id, std::uint32_t mbox,
 void
 CdnaNic::postDoorbell(ContextId id, std::uint32_t mbox)
 {
-    hier_.post(id, mbox);
+    // The event hierarchy is indexed by physical slot (it is the
+    // snooping core's scratchpad); firmware resolves the slot back to
+    // the owning virtual context when it decodes the event.
+    hier_.post(cxt(id).slot, mbox);
     nMailboxEvents_.inc();
     fw_.exec(params_.fwMailboxEvent, [this] {
-        std::uint32_t cid, mb;
-        if (hier_.popLowest(&cid, &mb))
-            handleMailbox(cid, mb);
+        std::uint32_t slot, mb;
+        if (!hier_.popLowest(&slot, &mb))
+            return;
+        if (auto owner = contextAtSlot(slot))
+            handleMailbox(*owner, mb);
     });
 }
 
@@ -284,6 +541,8 @@ CdnaNic::flushDeferredDoorbells(ContextId id)
     c.dbTimerArmed = false;
     if (!c.allocated)
         return;
+    if (!c.resident || c.pagingOut)
+        return; // paged out meanwhile: doorbells replayed at page-in
     std::uint32_t pending = std::exchange(c.dbDeferred, 0);
     c.dbWindowEnd = now() + params_.doorbellWindow;
     c.dbUsed = 0;
@@ -299,7 +558,7 @@ void
 CdnaNic::handleMailbox(ContextId id, std::uint32_t mbox)
 {
     Context &c = cxt(id);
-    if (!c.allocated || c.faulted)
+    if (!c.allocated || c.faulted || !c.resident || c.pagingOut)
         return;
     switch (mbox) {
       case nic::kMboxTxProducer:
@@ -319,7 +578,8 @@ void
 CdnaNic::startTxFetch(ContextId id)
 {
     Context &c = cxt(id);
-    if (c.txFetchBusy || c.faulted || !c.txRing)
+    if (c.txFetchBusy || c.faulted || !c.txRing || !c.resident ||
+        c.pagingOut)
         return;
     std::uint32_t avail = c.txProducer - c.txFetched;
     if (avail == 0)
@@ -339,16 +599,19 @@ CdnaNic::startTxFetch(ContextId id)
 
     std::uint32_t first = c.txFetched;
     std::uint64_t ep = fw_.epoch();
-    dma_.read(sg, c.dom, id, [this, id, first, n, ep](mem::DmaResult) {
+    std::uint64_t cep = c.cxtEpoch;
+    dma_.read(sg, c.dom, id, [this, id, first, n, ep,
+                              cep](mem::DmaResult) {
         if (ep != fw_.epoch())
             return; // firmware rebooted mid-fetch; the new image refetches
         Context &cc = cxt(id);
-        if (!cc.allocated)
-            return; // revoked mid-fetch
+        if (!cc.allocated || cc.cxtEpoch != cep)
+            return; // revoked or paged out mid-fetch
         cc.txFetchBusy = false;
         cc.txFetched = first + n;
-        fw_.exec(n * params_.fwPerDescriptor, [this, id, first, n, ep] {
-            if (ep != fw_.epoch())
+        fw_.exec(n * params_.fwPerDescriptor, [this, id, first, n, ep,
+                                               cep] {
+            if (ep != fw_.epoch() || cxt(id).cxtEpoch != cep)
                 return;
             validateFetched(id, true, first, n);
         });
@@ -360,7 +623,8 @@ void
 CdnaNic::startRxFetch(ContextId id)
 {
     Context &c = cxt(id);
-    if (c.rxFetchBusy || c.faulted || !c.rxRing)
+    if (c.rxFetchBusy || c.faulted || !c.rxRing || !c.resident ||
+        c.pagingOut)
         return;
     std::uint32_t avail = c.rxProducer - c.rxFetched;
     if (avail == 0)
@@ -380,16 +644,19 @@ CdnaNic::startRxFetch(ContextId id)
 
     std::uint32_t first = c.rxFetched;
     std::uint64_t ep = fw_.epoch();
-    dma_.read(sg, c.dom, id, [this, id, first, n, ep](mem::DmaResult) {
+    std::uint64_t cep = c.cxtEpoch;
+    dma_.read(sg, c.dom, id, [this, id, first, n, ep,
+                              cep](mem::DmaResult) {
         if (ep != fw_.epoch())
             return;
         Context &cc = cxt(id);
-        if (!cc.allocated)
+        if (!cc.allocated || cc.cxtEpoch != cep)
             return;
         cc.rxFetchBusy = false;
         cc.rxFetched = first + n;
-        fw_.exec(n * params_.fwPerDescriptor, [this, id, first, n, ep] {
-            if (ep != fw_.epoch())
+        fw_.exec(n * params_.fwPerDescriptor, [this, id, first, n, ep,
+                                               cep] {
+            if (ep != fw_.epoch() || cxt(id).cxtEpoch != cep)
                 return;
             validateFetched(id, false, first, n);
         });
@@ -415,7 +682,7 @@ CdnaNic::validateFetched(ContextId id, bool is_tx, std::uint32_t first,
                          std::uint32_t count)
 {
     Context &c = cxt(id);
-    if (!c.allocated || c.faulted)
+    if (!c.allocated || c.faulted || !c.resident || c.pagingOut)
         return;
     nic::DescRing &ring = is_tx ? *c.txRing : *c.rxRing;
     std::uint64_t *next = is_tx ? &c.txNextSeqno : &c.rxNextSeqno;
@@ -451,7 +718,8 @@ void
 CdnaNic::enqueueTxArb(ContextId id)
 {
     Context &c = cxt(id);
-    if (c.inTxArb || c.txReady.empty() || c.faulted)
+    if (c.inTxArb || c.txReady.empty() || c.faulted || !c.resident ||
+        c.pagingOut)
         return;
     c.inTxArb = true;
     txArb_.push_back(id);
@@ -486,6 +754,9 @@ CdnaNic::pumpTx()
     c.txReady.pop_front();
     txArb_.pop_front();
     txDataBusy_ = true;
+    ++c.inflight; // page-out quiesce waits for this op to settle
+    ++c.trafficScore;
+    touchActivity(c);
 
     // Fair interleave: rotate the context to the arbiter tail while this
     // packet streams in, so other contexts transmit between its packets.
@@ -531,9 +802,11 @@ CdnaNic::pumpTx()
                 Context &cc = cxt(id);
                 if (cc.allocated) {
                     ++cc.txConsumer;
+                    ++cc.txDone64;
                     scheduleWriteback(id);
                     noteContextUpdate(id);
                 }
+                noteInflightDone(id);
                 if (std::exchange(txWaitingBuffer_, false))
                     pumpTx();
                 pumpTx();
@@ -548,9 +821,11 @@ CdnaNic::pumpTx()
                 Context &cc = cxt(id);
                 if (cc.allocated) {
                     ++cc.txConsumer;
+                    ++cc.txDone64;
                     scheduleWriteback(id);
                     noteContextUpdate(id);
                 }
+                noteInflightDone(id);
                 if (std::exchange(txWaitingBuffer_, false))
                     pumpTx();
             });
@@ -577,6 +852,12 @@ CdnaNic::receiveFrame(net::Packet pkt)
         nRxDropFilter_.inc();
         return;
     }
+    if (!c.resident || c.pagingOut) {
+        // Paged-out context: its slot's MAC filter is not programmed,
+        // so the frame is dropped at the wire like any unmatched MAC.
+        nRxDropFilter_.inc();
+        return;
+    }
     if (c.rxReady.empty()) {
         nRxDropNoDesc_.inc();
         startRxFetch(id);
@@ -589,6 +870,9 @@ CdnaNic::receiveFrame(net::Packet pkt)
     }
     std::uint32_t pos = c.rxReady.front();
     c.rxReady.pop_front();
+    ++c.inflight;
+    ++c.trafficScore;
+    touchActivity(c);
     if (c.rxReady.size() < params_.fetchBatch / 2)
         startRxFetch(id);
     const nic::DmaDescriptor desc = c.rxRing->at(pos);
@@ -608,22 +892,28 @@ CdnaNic::receiveFrame(net::Packet pkt)
                 return;
             rxBuf_.release(bytes);
             Context &ccc = cxt(id);
-            if (!ccc.allocated)
+            if (!ccc.allocated) {
+                noteInflightDone(id);
                 return;
+            }
             if (dr.blockedPages > 0) {
                 // IOMMU refused the buffer write: the frame is lost,
                 // but the descriptor is consumed.
                 nIommuDrops_.inc();
                 ++ccc.rxConsumer;
+                ++ccc.rxDone64;
                 scheduleWriteback(id);
                 noteContextUpdate(id);
+                noteInflightDone(id);
                 return;
             }
             nRxPackets_.inc();
             ccc.rxDeliveries.push_back(RxDelivery{pos, std::move(pkt)});
             ++ccc.rxConsumer;
+            ++ccc.rxDone64;
             scheduleWriteback(id);
             noteContextUpdate(id);
+            noteInflightDone(id);
         });
     });
 }
@@ -693,7 +983,10 @@ CdnaNic::scheduleWriteback(ContextId id)
 void
 CdnaNic::noteContextUpdate(ContextId id)
 {
-    pendingVector_ |= (1u << id);
+    Context &c = cxt(id);
+    if (!c.resident || c.pagingOut)
+        return; // the pager notifies the guest once eviction completes
+    pendingVector_ |= (1u << c.slot);
     ++pendingUpdates_;
     if (pendingUpdates_ >= coalesce().eventThreshold) {
         if (vecTimer_ != sim::kInvalidEvent) {

@@ -69,6 +69,15 @@ struct CdnaNicParams
     /** Interrupt-ring slots in hypervisor memory. */
     std::uint32_t intrRingSlots = 64;
     /**
+     * Virtual contexts the hypervisor may allocate on top of the
+     * numContexts physical SRAM slots (0 disables oversubscription and
+     * keeps the NIC bit-identical to the fixed-slot device).  When more
+     * virtual contexts are allocated than physical slots exist, the
+     * surplus are held paged out in hypervisor memory; a doorbell to a
+     * paged-out context traps to the hypervisor's context pager.
+     */
+    std::uint32_t virtualContexts = 0;
+    /**
      * Doorbell storm guard: mailbox PIO writes beyond this many per
      * context per doorbellWindow are coalesced into one deferred event
      * at the window edge instead of each costing firmware decode time
@@ -95,6 +104,9 @@ class CdnaNic : public nic::NicBase
     /** Fault callback: (context, owning domain, fault kind). */
     using FaultHandler =
         std::function<void(ContextId, mem::DomainId, vmm::Fault)>;
+
+    /** Page-fault callback: doorbell rang on a paged-out context. */
+    using PageFaultHandler = std::function<void(ContextId)>;
 
     CdnaNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
             mem::PhysMemory &mem, mem::DeviceId dev, net::EthLink &link,
@@ -160,6 +172,67 @@ class CdnaNic : public nic::NicBase
     }
 
     void setFaultHandler(FaultHandler fn) { faultHandler_ = std::move(fn); }
+
+    // ---- virtual-context residency (oversubscription) --------------------
+    /** Doorbells to paged-out contexts invoke @p fn (the context pager). */
+    void
+    setPageFaultHandler(PageFaultHandler fn)
+    {
+        pageFaultHandler_ = std::move(fn);
+    }
+
+    /**
+     * Quiesce @p cxt and evict it from its physical slot.  New work
+     * from the context stops immediately (its event hierarchy slot,
+     * arbiter entry and staged descriptors are dropped); in-flight
+     * datapath operations drain to their completion records first.
+     * @p done fires once the slot is free -- the caller (the pager)
+     * then charges the save-DMA cost before reusing the slot.
+     */
+    void pageOutContext(ContextId cxt, std::function<void()> done);
+
+    /**
+     * Restore @p cxt into a free physical slot and reconcile its ring
+     * state against the hypervisor-validated view, exactly as
+     * firmware-reboot reconciliation does: the fetch horizon rolls back
+     * to the consumed boundary and the expected sequence numbers are
+     * realigned from the 64-bit completion counts.
+     */
+    void pageInContext(ContextId cxt);
+
+    /**
+     * Re-ring the producer doorbells of a freshly restored context from
+     * its saved mailbox words, so the firmware re-fetches work posted
+     * while the context was paged out.
+     */
+    void replayDoorbells(ContextId cxt);
+
+    /** Context currently occupying physical @p slot (if any). */
+    std::optional<ContextId> contextAtSlot(std::uint32_t slot) const;
+
+    bool contextResident(ContextId cxt) const;
+    std::uint32_t freeSlots() const;
+    sim::Time contextLastActive(ContextId cxt) const;
+    std::uint64_t contextTrafficScore(ContextId cxt) const;
+
+    /** Doorbell traps taken on paged-out contexts. */
+    std::uint64_t pageTraps() const { return nCxtTraps_.value(); }
+    /** Contexts evicted from their physical slot. */
+    std::uint64_t pageEvictions() const { return nCxtEvictions_.value(); }
+    /** Contexts restored into a physical slot. */
+    std::uint64_t pageIns() const { return nCxtPageIns_.value(); }
+    /** High-water mark of simultaneously resident contexts. */
+    std::uint32_t residentPeak() const { return residentPeak_; }
+
+    /**
+     * Test hook: start a context's free-running ring indices at an
+     * arbitrary base (uint32 wraparound regression tests).  @p tx_done64
+     * / @p rx_done64 are the 64-bit completion counts; their low 32 bits
+     * must equal the corresponding base.
+     */
+    void seedContextCounters(ContextId cxt, std::uint32_t tx_base,
+                             std::uint64_t tx_done64, std::uint32_t rx_base,
+                             std::uint64_t rx_done64);
 
     /**
      * Deliver frames that match no context's MAC to @p cxt (the driver
@@ -230,6 +303,21 @@ class CdnaNic : public nic::NicBase
         std::optional<nic::DescRing> rxRing;
         mem::PhysAddr statusAddr = 0;
 
+        // Virtual-context residency.  With oversubscription disabled
+        // every context is permanently resident with slot == id, and
+        // none of this state ever changes.
+        bool resident = true;
+        bool pagingOut = false;
+        std::uint32_t slot = 0;
+        std::uint64_t cxtEpoch = 0;  //!< bumped at page-out: cancels
+                                     //!< the old slot's fetch chains
+        std::uint32_t inflight = 0;  //!< datapath ops claimed, not done
+        std::uint64_t txDone64 = 0;  //!< 64-bit shadow of txConsumer
+        std::uint64_t rxDone64 = 0;  //!< 64-bit shadow of rxConsumer
+        sim::Time lastActive = 0;
+        std::uint64_t trafficScore = 0; //!< packets since last page-in
+        std::function<void()> pageOutDone;
+
         // TX (free-running indices)
         std::uint32_t txProducer = 0;
         std::uint32_t txFetched = 0;
@@ -264,6 +352,13 @@ class CdnaNic : public nic::NicBase
     Context &cxt(ContextId id);
     const Context &cxt(ContextId id) const;
 
+    int findFreeSlot() const;
+    void claimSlot(ContextId id, std::uint32_t slot);
+    void releaseSlot(ContextId id);
+    void noteInflightDone(ContextId id);
+    void settlePageOut(ContextId id);
+    void touchActivity(Context &c) { c.lastActive = now(); }
+
     void handleMailbox(ContextId id, std::uint32_t mbox);
     void postDoorbell(ContextId id, std::uint32_t mbox);
     void flushDeferredDoorbells(ContextId id);
@@ -287,7 +382,14 @@ class CdnaNic : public nic::NicBase
     std::vector<Context> contexts_;
     std::unordered_map<std::uint64_t, ContextId> macMap_;
     FaultHandler faultHandler_;
+    PageFaultHandler pageFaultHandler_;
     std::optional<ContextId> promiscuousCxt_;
+
+    /** Owning context per physical slot (kNoSlotOwner = free). */
+    static constexpr std::uint32_t kNoSlotOwner = 0xFFFFFFFFu;
+    std::vector<std::uint32_t> slotOwner_;
+    std::uint32_t residentNow_ = 0;
+    std::uint32_t residentPeak_ = 0;
 
     std::deque<ContextId> txArb_;
     bool txDataBusy_ = false;
@@ -308,6 +410,9 @@ class CdnaNic : public nic::NicBase
     sim::Counter &nIommuDrops_;
     sim::Counter &nFwResets_;
     sim::Counter &nMailboxThrottled_;
+    sim::Counter &nCxtTraps_;
+    sim::Counter &nCxtEvictions_;
+    sim::Counter &nCxtPageIns_;
 };
 
 } // namespace cdna::core

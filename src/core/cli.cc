@@ -40,6 +40,8 @@ struct ParseState
     std::string iommu = "none";
     std::string direction = "tx";
     bool protection = true;
+    bool oversub = false;
+    std::string evictPolicy = "lru";
     std::uint32_t guests = 1;
     std::uint32_t nics = 2;
     std::uint32_t connections = 2;
@@ -109,6 +111,22 @@ const Spec kSpecs[] = {
      "I/O architecture",
      [](ParseState &st, const std::string &v, std::string *) {
          st.iommu = v;
+         return true;
+     }},
+    {"--oversub", nullptr,
+     "page guest contexts in/out of the NIC's hardware slots, lifting "
+     "the per-NIC context limit (cdna mode only)",
+     "I/O architecture",
+     [](ParseState &st, const std::string &, std::string *) {
+         st.oversub = true;
+         return true;
+     }},
+    {"--evict-policy", "P",
+     "lru | traffic — context eviction policy with --oversub "
+     "(default lru)",
+     "I/O architecture",
+     [](ParseState &st, const std::string &v, std::string *) {
+         st.evictPolicy = v;
          return true;
      }},
 
@@ -380,9 +398,19 @@ finalize(ParseState st, std::string *error)
         cfg = SystemConfig::cdna(st.guests)
                   .withNics(st.nics)
                   .withProtection(st.protection);
+        if (st.oversub)
+            cfg.oversubscribed();
+        if (st.evictPolicy == "lru")
+            cfg.withEvictionPolicy(EvictPolicy::kLru);
+        else if (st.evictPolicy == "traffic")
+            cfg.withEvictionPolicy(EvictPolicy::kTrafficWeighted);
+        else
+            return fail("--evict-policy must be lru or traffic");
     } else {
         return fail("--mode must be native, xen, or cdna");
     }
+    if (st.oversub && st.mode != "cdna")
+        return fail("--oversub requires --mode cdna");
     cfg.transmit(transmit);
 
     if (st.iommu == "none")

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hypervisor-managed virtual-context pager for the CDNA NIC.
+ *
+ * The NIC has a fixed number of physical SRAM context slots (32 on the
+ * paper's RiceNIC); the pager multiplexes an arbitrary number of
+ * virtual contexts over them.  A doorbell to a paged-out context traps
+ * to the hypervisor (CdnaNic::setPageFaultHandler); the pager then
+ *
+ *   1. charges the trap cost in hypervisor context,
+ *   2. picks an eviction victim via a pluggable policy when no slot is
+ *      free (LRU or traffic-weighted),
+ *   3. quiesces the victim with the NIC's epoch-guarded quiesce (new
+ *      work stops, in-flight datapath ops drain to their completions),
+ *   4. charges the quiesce epoch + save-DMA cost, notifies the evicted
+ *      guest so its driver collects the final completions,
+ *   5. charges the restore-DMA cost, restores the faulting context
+ *      (firmware-reboot-style reconciliation inside pageInContext) and
+ *      replays its producer doorbells from the saved mailbox words.
+ *
+ * Switches are serialized -- one context switch at a time per NIC --
+ * and trap requests for a context already queued or in flight are
+ * coalesced, so a storming paged-out guest cannot queue unbounded
+ * work.
+ */
+
+#ifndef CDNA_CORE_CONTEXT_PAGER_HH
+#define CDNA_CORE_CONTEXT_PAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "core/cdna_nic.hh"
+#include "core/cost_model.hh"
+#include "vmm/hypervisor.hh"
+
+namespace cdna::core {
+
+/** Victim-selection policy for context eviction. */
+enum class EvictPolicy
+{
+    kLru,             //!< least recently active context
+    kTrafficWeighted, //!< fewest packets moved since its page-in
+};
+
+const char *evictPolicyName(EvictPolicy p);
+
+class ContextPager : public sim::SimObject
+{
+  public:
+    ContextPager(sim::SimContext &ctx, std::string name,
+                 vmm::Hypervisor &hv, CdnaNic &nic, const CostModel &costs,
+                 EvictPolicy policy);
+
+    /** Doorbell trap on paged-out @p cxt (wire to the NIC's handler). */
+    void onTrap(CdnaNic::ContextId cxt);
+
+    /**
+     * Invoked after a victim's eviction completes (its in-flight ops
+     * drained and its image saved); System uses it to deliver a virtual
+     * interrupt so the evicted guest's driver collects the final
+     * completion records.
+     */
+    void
+    setEvictedHook(std::function<void(CdnaNic::ContextId)> fn)
+    {
+        evictedHook_ = std::move(fn);
+    }
+
+    /**
+     * Victim the policy would evict now (exposed for tests): the
+     * lowest-scoring resident, allocated, non-quiescing context; ties
+     * break towards the lowest context id for determinism.
+     */
+    std::optional<CdnaNic::ContextId> pickVictim() const;
+
+    EvictPolicy policy() const { return policy_; }
+    std::uint64_t switchesQueuedPeak() const { return queuePeak_; }
+
+  private:
+    void pump();
+    void beginSwitch(CdnaNic::ContextId target);
+    void restore(CdnaNic::ContextId target);
+
+    vmm::Hypervisor &hv_;
+    CdnaNic &nic_;
+    const CostModel &costs_;
+    EvictPolicy policy_;
+    std::function<void(CdnaNic::ContextId)> evictedHook_;
+
+    std::deque<CdnaNic::ContextId> pending_;
+    std::optional<CdnaNic::ContextId> current_;
+    std::uint64_t queuePeak_ = 0;
+};
+
+} // namespace cdna::core
+
+#endif // CDNA_CORE_CONTEXT_PAGER_HH

@@ -148,6 +148,16 @@ struct CostModel
     /** Firmware cost to reconcile one context after a reboot. */
     Time fwRebootReconcilePerContext = sim::microseconds(2.0);
 
+    // ---- virtual-context oversubscription -------------------------------
+    /** Hypervisor entry/decode for a doorbell to a paged-out context. */
+    Time cxtPageTrap = sim::microseconds(1.2);
+    /** Quiesce epoch for the eviction victim (drain in-flight ops). */
+    Time cxtQuiesce = sim::microseconds(3.0);
+    /** DMA the victim's 4 KB SRAM context image out to host memory. */
+    Time cxtSaveDma = sim::microseconds(4.0);
+    /** DMA the saved image back into the freed physical slot. */
+    Time cxtRestoreDma = sim::microseconds(4.0);
+
     // ---- background OS load ---------------------------------------------
     /** Periodic timer tick cost per domain. */
     Time timerTickCost = sim::microseconds(4.0);

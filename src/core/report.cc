@@ -150,6 +150,10 @@ reportToJson(const Report &r)
     addU("quarantine_released", r.quarantineReleased);
     addU("mailbox_throttled", r.mailboxThrottled);
     addU("outage_packets_lost", r.outagePacketsLost);
+    addU("cxt_page_traps", r.cxtPageTraps);
+    addU("cxt_evictions", r.cxtEvictions);
+    addU("cxt_page_ins", r.cxtPageIns);
+    addU("cxt_resident_peak", r.cxtResidentPeak);
     auto addArr = [&](const char *key, const std::vector<double> &v,
                       const char *fmt, bool last = false) {
         out += "  \"";

@@ -39,8 +39,14 @@ namespace cdna::core {
  *      "per_guest_downtime_us" and "per_guest_ttfp_us" arrays appended
  *      after "per_guest_mbps".  All version-2 keys keep their order and
  *      formatting.
+ *   4  virtual-context oversubscription: "cxt_page_traps",
+ *      "cxt_evictions", "cxt_page_ins", and "cxt_resident_peak"
+ *      appended after "outage_packets_lost" (all zero -- except the
+ *      resident peak, which counts allocated contexts -- unless
+ *      oversubscription is enabled and contexts exceed slots).  All
+ *      version-3 keys keep their order and formatting.
  */
-inline constexpr int kReportSchemaVersion = 3;
+inline constexpr int kReportSchemaVersion = 4;
 
 struct Report
 {
@@ -114,6 +120,12 @@ struct Report
     std::uint64_t mailboxThrottled = 0; //!< doorbells rate-limited
     std::uint64_t outagePacketsLost = 0;
 
+    // Virtual-context oversubscription (schema 4).
+    std::uint64_t cxtPageTraps = 0;    //!< doorbells to paged-out contexts
+    std::uint64_t cxtEvictions = 0;    //!< contexts evicted from a slot
+    std::uint64_t cxtPageIns = 0;      //!< contexts restored into a slot
+    std::uint64_t cxtResidentPeak = 0; //!< max simultaneously resident
+
     /** Per-guest goodput (fairness analysis), Mb/s. */
     std::vector<double> perGuestMbps;
 
@@ -165,7 +177,8 @@ struct Report
  *   quantiles, fairness, wire_mbps), then the integer counters
  *   (protection/drop counters, the fault/recovery counters, then the
  *   checksum/backlog/TCP counters added in schema 2, then the outage
- *   counters added in schema 3), then per_guest_mbps followed by the
+ *   counters added in schema 3 and the context-paging counters added
+ *   in schema 4), then per_guest_mbps followed by the
  *   schema-3 per_guest_downtime_us and per_guest_ttfp_us arrays.  New
  *   keys are only ever appended at the end of
  *   their block so older goldens remain a line-subset of newer reports.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "sim/assert.hh"
@@ -85,12 +86,21 @@ System::buildCommon()
             params.coalesce = cfg_.transmitDir ? cfg_.costs.cdnaCoalesce
                                                : cfg_.costs.cdnaCoalesceRx;
             params.seqnoCheck = cfg_.dmaProtection;
+            if (cfg_.mode == IoMode::kCdna && cfg_.ctxOversub) {
+                // One virtual context per guest, paged over the
+                // physical slots on demand.
+                params.virtualContexts =
+                    std::max(params.numContexts, cfg_.numGuests);
+            }
             cdnaNics_.push_back(std::make_unique<CdnaNic>(
                 ctx_, "cdna" + suffix, *buses_.back(), *mem_, i,
                 *links_.back(), net::EthLink::Side::kA, params));
             if (iommu_)
                 cdnaNics_.back()->dma().setIommu(iommu_.get());
-            cxtChannels_.emplace_back(nic::kMaxContexts, nullptr);
+            cxtChannels_.emplace_back(
+                std::max<std::size_t>(nic::kMaxContexts,
+                                      params.virtualContexts),
+                nullptr);
         }
     }
 }
@@ -217,7 +227,14 @@ System::wireCdnaIsr(std::uint32_t i)
                     auto b = static_cast<std::uint32_t>(
                         __builtin_ctz(vec));
                     vec &= vec - 1;
-                    vmm::EventChannel *ch = cxtChannels_[i][b];
+                    // Interrupt vectors carry physical-slot bits;
+                    // resolve to the owning (virtual) context.  A slot
+                    // whose owner was evicted after the DMA is stale:
+                    // its guest is notified by the pager instead.
+                    auto owner = cdnaNics_[i]->contextAtSlot(b);
+                    if (!owner)
+                        continue;
+                    vmm::EventChannel *ch = cxtChannels_[i][*owner];
                     if (ch)
                         hv_->deliverVirtIrq(*ch);
                 }
@@ -351,11 +368,38 @@ System::buildCdna()
     for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
         wireCdnaIsr(i);
         CdnaNic &nic = *cdnaNics_[i];
+        if (cfg_.ctxOversub) {
+            pagers_.push_back(std::make_unique<ContextPager>(
+                ctx_, "pager" + std::to_string(i), *hv_, nic, cfg_.costs,
+                cfg_.ctxEvictPolicy));
+            ContextPager *pager = pagers_.back().get();
+            nic.setPageFaultHandler(
+                [pager](CdnaNic::ContextId c) { pager->onTrap(c); });
+            pager->setEvictedHook([this, i](CdnaNic::ContextId c) {
+                // Wake the evicted guest's driver so it collects the
+                // completion records that landed during the quiesce.
+                vmm::EventChannel *ch = cxtChannels_[i][c];
+                if (ch)
+                    hv_->deliverVirtIrq(*ch);
+            });
+        }
         for (std::uint32_t g = 0; g < cfg_.numGuests; ++g) {
             vmm::Domain &guest = *guests_[g];
             auto mac = guestMac(g, i);
             auto cxt = nic.allocContext(guest.id(), mac);
-            SIM_ASSERT(cxt.has_value(), "out of NIC contexts");
+            if (!cxt.has_value()) {
+                // Clear diagnostic instead of an assert: the 33rd CDNA
+                // guest is a configuration error unless the virtual
+                // context layer is enabled.
+                throw std::runtime_error(
+                    "CDNA NIC '" + nic.name() + "': out of hardware "
+                    "contexts (" +
+                    std::to_string(nic.params().numContexts) +
+                    ") allocating guest '" + guest.name() +
+                    "'; enable virtual-context oversubscription "
+                    "(SystemConfig::oversubscribed) to run more guests "
+                    "than physical contexts");
+            }
             mem::PageNum txp = mem_->allocOne(guest.id());
             mem::PageNum rxp = mem_->allocOne(guest.id());
             mem::PageNum stp = mem_->allocOne(guest.id());
@@ -544,8 +588,13 @@ System::snapshot() const
     s.grantsRevoked = grants.revokedGrants();
     s.pagesQuarantined = grants.quarantineAdmissions();
     s.quarantineReleases = grants.quarantineReleases();
-    for (const auto &n : cdnaNics_)
+    for (const auto &n : cdnaNics_) {
         s.mailboxThrottled += n->mailboxThrottled();
+        s.cxtPageTraps += n->pageTraps();
+        s.cxtEvictions += n->pageEvictions();
+        s.cxtPageIns += n->pageIns();
+        s.cxtResidentPeak += n->residentPeak();
+    }
     for (const auto &d : ddns_) {
         s.outagePacketsLost += d->outageRxDrops();
         for (const auto &vif : d->vifs())
@@ -642,6 +691,12 @@ System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
     r.quarantineReleased = b.quarantineReleases - a.quarantineReleases;
     r.mailboxThrottled = b.mailboxThrottled - a.mailboxThrottled;
     r.outagePacketsLost = b.outagePacketsLost - a.outagePacketsLost;
+    r.cxtPageTraps = b.cxtPageTraps - a.cxtPageTraps;
+    r.cxtEvictions = b.cxtEvictions - a.cxtEvictions;
+    r.cxtPageIns = b.cxtPageIns - a.cxtPageIns;
+    // Residency peak is a high-water mark over the whole run, not a
+    // windowed delta (like tx_backlog_peak).
+    r.cxtResidentPeak = b.cxtResidentPeak;
 
     r.perGuestMbps.resize(guests_.size());
     for (std::size_t g = 0; g < guests_.size(); ++g) {
@@ -1016,6 +1071,8 @@ SystemConfig::effectiveLabel() const
         base += "/tcp";
     if (mode == IoMode::kCdna && !dmaProtection)
         base += "/noprot";
+    if (mode == IoMode::kCdna && ctxOversub)
+        base += "/oversub";
     return base;
 }
 

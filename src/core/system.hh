@@ -35,6 +35,7 @@
 #include "core/availability.hh"
 #include "core/cdna_driver.hh"
 #include "core/cdna_nic.hh"
+#include "core/context_pager.hh"
 #include "core/cost_model.hh"
 #include "core/dma_protection.hh"
 #include "core/fault_plan.hh"
@@ -108,6 +109,15 @@ struct SystemConfig
     TransportKind transportKind = TransportKind::kOpenLoop;
     /** TCP tunables (used only when transportKind == kTcp). */
     net::transport::TcpParams tcpParams{};
+    /**
+     * Virtual-context oversubscription (CDNA only): allocate one
+     * virtual context per guest even past the NIC's physical slot
+     * count, with the hypervisor's pager switching contexts on demand.
+     * Off by default -- disabled systems are bit-identical to PR 5.
+     */
+    bool ctxOversub = false;
+    /** Eviction policy used by the context pager. */
+    EvictPolicy ctxEvictPolicy = EvictPolicy::kLru;
 
     // --- named constructors (the paper's configurations) -----------------
     /** Native Linux owning @p nics NICs directly (Table 1 baseline). */
@@ -198,6 +208,22 @@ struct SystemConfig
         return *this;
     }
 
+    /** Enable virtual-context oversubscription (CDNA only). */
+    SystemConfig &
+    oversubscribed(bool on = true)
+    {
+        ctxOversub = on;
+        return *this;
+    }
+
+    /** Eviction policy for the context pager (with oversubscribed()). */
+    SystemConfig &
+    withEvictionPolicy(EvictPolicy p)
+    {
+        ctxEvictPolicy = p;
+        return *this;
+    }
+
     /** Select the transport model, e.g. `.transport(kTcp)`. */
     SystemConfig &
     transport(TransportKind k)
@@ -256,6 +282,15 @@ class System
             std::max(cdnaNics_.size(), intelNics_.size()));
     }
     CdnaNic *cdnaNic(std::uint32_t i);
+
+    /** Context pager of NIC @p i (nullptr unless oversubscribed). */
+    ContextPager *
+    contextPager(std::uint32_t i)
+    {
+        return i < pagers_.size() ? pagers_[i].get() : nullptr;
+    }
+
+    vmm::Hypervisor &hypervisor() { return *hv_; }
     nic::IntelNic *intelNic(std::uint32_t i);
     net::TrafficPeer &peer(std::uint32_t i) { return *peers_[i]; }
 
@@ -355,6 +390,10 @@ class System
         std::uint64_t quarantineReleases = 0;
         std::uint64_t mailboxThrottled = 0;
         std::uint64_t outagePacketsLost = 0;
+        std::uint64_t cxtPageTraps = 0;
+        std::uint64_t cxtEvictions = 0;
+        std::uint64_t cxtPageIns = 0;
+        std::uint64_t cxtResidentPeak = 0;
     };
 
     void buildCommon();
@@ -396,8 +435,10 @@ class System
     std::vector<std::unique_ptr<CdnaGuestDriver>> drvDomCdnaDrivers_;
     std::vector<std::unique_ptr<os::DriverDomainNet>> ddns_;
 
-    // CDNA path: per-NIC channel table indexed by context id
+    // CDNA path: per-NIC channel table indexed by (virtual) context id
     std::vector<std::vector<vmm::EventChannel *>> cxtChannels_;
+    // Per-NIC context pagers (oversubscription only; else empty).
+    std::vector<std::unique_ptr<ContextPager>> pagers_;
     std::vector<std::unique_ptr<CdnaGuestDriver>> guestCdnaDrivers_;
 
     // Per (guest, nic) plumbing; index = guest * numNics + nic.

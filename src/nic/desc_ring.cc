@@ -10,6 +10,12 @@ DescRing::DescRing(std::uint32_t entries, mem::PhysAddr base)
     : base_(base), slots_(entries), packets_(entries)
 {
     SIM_ASSERT(entries > 0, "empty descriptor ring");
+    // Indices are free-running uint32 counters that eventually wrap.
+    // pos % size() only maps wrapped positions consistently when size
+    // divides 2^32, so ring sizes must be powers of two -- otherwise
+    // the slot for position 0 and position 2^32 would differ.
+    SIM_ASSERT((entries & (entries - 1)) == 0,
+               "descriptor ring size must be a power of two");
 }
 
 void

@@ -33,7 +33,10 @@ class DescRing
 {
   public:
     /**
-     * @param entries ring size (power of two not required)
+     * @param entries ring size; must be a power of two so that the
+     *                free-running uint32 indices map to consistent
+     *                slots across wraparound (i % size == (i + 2^32) %
+     *                size only when size divides 2^32)
      * @param base    host physical address of slot 0
      */
     DescRing(std::uint32_t entries, mem::PhysAddr base);

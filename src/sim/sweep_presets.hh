@@ -61,6 +61,16 @@ ExperimentSpec tcpLoss();
  * ride out both faults with zero downtime.
  */
 ExperimentSpec availability();
+/**
+ * Extension: virtual-context oversubscription.  Sweeps guest count 8 to
+ * 256 on one NIC across {xen, cdna, cdna-oversub}: plain CDNA falls
+ * back to the virtual-context layer past 32 guests (it cannot boot
+ * otherwise), cdna-oversub always runs through the hypervisor's context
+ * pager.  Shows where direct access beats Xen's software path while the
+ * hot-tenant working set fits the 32 physical slots, and how paging
+ * degrades as it no longer does.
+ */
+ExperimentSpec oversub();
 
 /** Every preset, keyed by CLI name, in documentation order. */
 const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &all();

@@ -38,7 +38,8 @@ Hypervisor::Hypervisor(sim::SimContext &ctx, cpu::SimCpu &cpu,
       nHypercalls_(stats().addCounter("hypercalls")),
       nPhysIrqs_(stats().addCounter("phys_irqs")),
       nVirtIrqs_(stats().addCounter("virt_irqs")),
-      nFaults_(stats().addCounter("faults"))
+      nFaults_(stats().addCounter("faults")),
+      nCxtTraps_(stats().addCounter("context_traps"))
 {
 }
 
@@ -113,6 +114,14 @@ Hypervisor::hypercall(sim::Time cost, std::function<void()> body,
                            if (done)
                                done();
                        });
+}
+
+void
+Hypervisor::contextTrap(sim::Time cost, std::function<void()> body)
+{
+    nCxtTraps_.inc();
+    CDNA_TRACE_INSTANT(ctx().tracer(), traceLane(), "cxt_trap", now());
+    cpu_.runHypervisor(params_.hypercallOverhead + cost, std::move(body));
 }
 
 void

@@ -104,6 +104,13 @@ class Hypervisor : public sim::SimObject
     void hypercall(sim::Time cost, std::function<void()> body,
                    std::function<void()> done = {});
 
+    /**
+     * Virtual-context page trap (oversubscribed CDNA): a doorbell to a
+     * paged-out context lands here.  Charges @p cost in hypervisor
+     * context, then runs @p body (the context pager's switch logic).
+     */
+    void contextTrap(sim::Time cost, std::function<void()> body);
+
     cpu::SimCpu &cpu() { return cpu_; }
     mem::PhysMemory &mem() { return mem_; }
     mem::GrantTable &grants() { return grants_; }
@@ -116,6 +123,7 @@ class Hypervisor : public sim::SimObject
     std::uint64_t faultCount(mem::DomainId dom, Fault f) const;
     std::uint64_t hypercallCount() const { return nHypercalls_.value(); }
     std::uint64_t physIrqCount() const { return nPhysIrqs_.value(); }
+    std::uint64_t contextTrapCount() const { return nCxtTraps_.value(); }
 
   private:
     cpu::SimCpu &cpu_;
@@ -131,6 +139,7 @@ class Hypervisor : public sim::SimObject
     sim::Counter &nPhysIrqs_;
     sim::Counter &nVirtIrqs_;
     sim::Counter &nFaults_;
+    sim::Counter &nCxtTraps_;
 };
 
 } // namespace cdna::vmm

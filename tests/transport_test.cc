@@ -534,17 +534,20 @@ TEST(TcpGolden, HeadlineConfigsUnchangedWithTransportOff)
                 << c.file << ": missing line: " << line;
         }
         // Schema 3 appended the failure-domain counters and the
-        // availability arrays; a fault-free headline run must report
-        // every counter as zero (the recovery machinery is inert
-        // without a fault plan).
+        // availability arrays, and schema 4 the context-paging
+        // counters; a fault-free headline run without oversubscription
+        // must report every one of them as zero (both machineries are
+        // inert unless enabled).
         for (const char *key :
-             {"\"schema_version\": 3", "\"driver_domain_kills\": 0",
+             {"\"schema_version\": 4", "\"driver_domain_kills\": 0",
               "\"firmware_reboots\": 0", "\"fe_reconnects\": 0",
               "\"grants_revoked\": 0", "\"pages_quarantined\": 0",
               "\"quarantine_released\": 0", "\"mailbox_throttled\": 0",
-              "\"outage_packets_lost\": 0", "\"per_guest_downtime_us\"",
+              "\"outage_packets_lost\": 0", "\"cxt_page_traps\": 0",
+              "\"cxt_evictions\": 0", "\"cxt_page_ins\": 0",
+              "\"cxt_resident_peak\"", "\"per_guest_downtime_us\"",
               "\"per_guest_ttfp_us\""})
             EXPECT_NE(json.find(key), std::string::npos)
-                << c.file << ": missing schema-3 key: " << key;
+                << c.file << ": missing schema-3/4 key: " << key;
     }
 }
