@@ -29,9 +29,9 @@ sgPrefix(const mem::SgList &sg, std::uint64_t bytes)
 } // namespace
 
 CdnaNic::CdnaNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
-                 mem::PhysMemory &mem, mem::DeviceId dev, net::EthLink &link,
-                 net::EthLink::Side side, CdnaNicParams params)
-    : nic::NicBase(ctx, std::move(name), bus, mem, dev, link, side),
+                 mem::PhysMemory &mem, mem::DeviceId dev, net::Fabric &fabric,
+                 CdnaNicParams params)
+    : nic::NicBase(ctx, std::move(name), bus, mem, dev, fabric),
       params_(params),
       fw_(ctx, this->name() + ".fw"),
       txBuf_(params.txBufferBytes),
@@ -814,7 +814,7 @@ CdnaNic::pumpTx()
             }
             sim::Time gap = params_.txInterFrameGap *
                             static_cast<sim::Time>(pkt.wireFrames());
-            link_.send(side_, std::move(pkt), gap, [this, id, bytes, ep] {
+            port_.send(std::move(pkt), gap, [this, id, bytes, ep] {
                 if (ep != fw_.epoch())
                     return; // completion record reconciled at reboot
                 txBuf_.release(bytes);

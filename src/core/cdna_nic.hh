@@ -109,8 +109,8 @@ class CdnaNic : public nic::NicBase
     using PageFaultHandler = std::function<void(ContextId)>;
 
     CdnaNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
-            mem::PhysMemory &mem, mem::DeviceId dev, net::EthLink &link,
-            net::EthLink::Side side, CdnaNicParams params = {});
+            mem::PhysMemory &mem, mem::DeviceId dev, net::Fabric &fabric,
+            CdnaNicParams params = {});
 
     // ---- hypervisor-facing management (the privileged context) ----------
     /**

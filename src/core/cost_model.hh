@@ -174,6 +174,18 @@ struct CostModel
      *  "NIC coalescing options" per experiment). */
     nic::CoalesceParams cdnaCoalesce{sim::microseconds(145), 1u << 30};
     nic::CoalesceParams cdnaCoalesceRx{sim::microseconds(268), 1u << 30};
+
+    // ---- switch fabric (multi-host topologies) --------------------------
+    /**
+     * Store-and-forward lookup/enqueue latency per frame between full
+     * ingress reception and egress eligibility; a cut-through-era GigE
+     * top-of-rack switch forwards a learned unicast in a few
+     * microseconds.
+     */
+    Time switchForwardLatency = sim::microseconds(4.0);
+    /** Per-egress-port packet buffer (wire bytes); ~85 full frames,
+     *  modeled after the shallow shared-memory switches of the era. */
+    std::uint64_t switchBufBytesPerPort = 128 * 1024;
 };
 
 } // namespace cdna::core

@@ -33,7 +33,7 @@ Report::anyFaultActivity() const
            guestKills || mailboxTimeouts || ringResyncs ||
            driverDomainKills || firmwareReboots || feReconnects ||
            grantsRevoked || pagesQuarantined || mailboxThrottled ||
-           outagePacketsLost;
+           outagePacketsLost || switchDrops;
 }
 
 std::string
@@ -69,6 +69,15 @@ Report::faultSummary() const
             static_cast<unsigned long long>(grantsRevoked),
             static_cast<unsigned long long>(pagesQuarantined),
             static_cast<unsigned long long>(outagePacketsLost));
+        out += buf;
+    }
+    if (switchDrops) {
+        std::snprintf(
+            buf, sizeof(buf),
+            " | fabric: swdrops=%llu (%llu bytes, qpeak=%llu)",
+            static_cast<unsigned long long>(switchDrops),
+            static_cast<unsigned long long>(switchDropBytes),
+            static_cast<unsigned long long>(switchQueuePeakBytes));
         out += buf;
     }
     return out;
@@ -154,6 +163,9 @@ reportToJson(const Report &r)
     addU("cxt_evictions", r.cxtEvictions);
     addU("cxt_page_ins", r.cxtPageIns);
     addU("cxt_resident_peak", r.cxtResidentPeak);
+    addU("switch_drops", r.switchDrops);
+    addU("switch_drop_bytes", r.switchDropBytes);
+    addU("switch_queue_peak_bytes", r.switchQueuePeakBytes);
     auto addArr = [&](const char *key, const std::vector<double> &v,
                       const char *fmt, bool last = false) {
         out += "  \"";

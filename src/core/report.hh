@@ -45,8 +45,14 @@ namespace cdna::core {
  *      resident peak, which counts allocated contexts -- unless
  *      oversubscription is enabled and contexts exceed slots).  All
  *      version-3 keys keep their order and formatting.
+ *   5  network fabric: "switch_drops", "switch_drop_bytes", and
+ *      "switch_queue_peak_bytes" appended after "cxt_resident_peak"
+ *      (all zero on a point-to-point link; nonzero only when a NIC
+ *      rides an output-queued switch that tail-dropped or queued
+ *      frames toward it).  All version-4 keys keep their order and
+ *      formatting.
  */
-inline constexpr int kReportSchemaVersion = 4;
+inline constexpr int kReportSchemaVersion = 5;
 
 struct Report
 {
@@ -125,6 +131,11 @@ struct Report
     std::uint64_t cxtEvictions = 0;    //!< contexts evicted from a slot
     std::uint64_t cxtPageIns = 0;      //!< contexts restored into a slot
     std::uint64_t cxtResidentPeak = 0; //!< max simultaneously resident
+
+    // Network fabric (schema 5; all zero on point-to-point links).
+    std::uint64_t switchDrops = 0;     //!< frames tail-dropped toward us
+    std::uint64_t switchDropBytes = 0; //!< wire bytes of those frames
+    std::uint64_t switchQueuePeakBytes = 0; //!< egress-queue high water
 
     /** Per-guest goodput (fairness analysis), Mb/s. */
     std::vector<double> perGuestMbps;

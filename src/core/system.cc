@@ -9,15 +9,37 @@
 
 namespace cdna::core {
 
-System::System(SystemConfig cfg) : cfg_(std::move(cfg)), ctx_(cfg_.seed)
+System::System(SystemConfig cfg) : System(std::move(cfg), nullptr, {})
 {
+}
+
+System::System(SystemConfig cfg, sim::SimContext &shared,
+               std::vector<net::Fabric *> nic_fabrics)
+    : System(std::move(cfg), &shared, std::move(nic_fabrics))
+{
+}
+
+System::System(SystemConfig cfg, sim::SimContext *shared,
+               std::vector<net::Fabric *> nic_fabrics)
+    : cfg_(std::move(cfg)),
+      ownedCtx_(shared ? nullptr
+                       : std::make_unique<sim::SimContext>(cfg_.seed)),
+      ctx_(shared ? *shared : *ownedCtx_),
+      extFabrics_(std::move(nic_fabrics))
+{
+    // Guest/driver MAC blocks are 1 Mi ids apart; cap hostId well clear
+    // of the 0xFE0000 range traffic peers hash their names into.
+    SIM_ASSERT(cfg_.hostId <= 12, "hostId out of range for the MAC plan");
     // Install the injector before any component is built so fault
     // hooks (driver watchdogs, link faults) see it from the start.  An
     // empty plan installs nothing, keeping the run bit-identical to a
-    // fault-free build.
+    // fault-free build.  The injector is context-global, so in a shared
+    // topology at most one host may carry a fault plan.
     if (!cfg_.faults.empty()) {
+        SIM_ASSERT(ctx_.faultInjector() == nullptr,
+                   "shared context already has a fault plan installed");
         faults_ = std::make_unique<sim::FaultInjector>(
-            ctx_, "faults", cfg_.seed, cfg_.faults.rates());
+            ctx_, nm("faults"), cfg_.seed, cfg_.faults.rates());
         ctx_.setFaultInjector(faults_.get());
     }
     buildCommon();
@@ -40,19 +62,32 @@ System::System(SystemConfig cfg) : cfg_(std::move(cfg)), ctx_(cfg_.seed)
     }
 }
 
-System::~System() = default;
+System::~System()
+{
+    if (faults_ && ctx_.faultInjector() == faults_.get())
+        ctx_.setFaultInjector(nullptr);
+}
 
 net::MacAddr
 System::guestMac(std::uint32_t guest, std::uint32_t nic) const
 {
-    return net::MacAddr::fromId(0x010000u + guest * 256u + nic);
+    // Host 0 is bit-identical to the classic single-host layout; other
+    // hosts shift into disjoint 1 Mi-id blocks of the 24-bit MAC space.
+    return net::MacAddr::fromId(cfg_.hostId * 0x00100000u + 0x010000u +
+                                guest * 256u + nic);
+}
+
+net::Port &
+System::nicPort(std::uint32_t i)
+{
+    return *nicPorts_[i];
 }
 
 void
 System::buildCommon()
 {
     mem_ = std::make_unique<mem::PhysMemory>(ctx_, cfg_.memoryPages);
-    cpu_ = std::make_unique<cpu::SimCpu>(ctx_, "cpu0",
+    cpu_ = std::make_unique<cpu::SimCpu>(ctx_, nm("cpu0"),
                                          cfg_.costs.cpuParams);
     hv_ = std::make_unique<vmm::Hypervisor>(ctx_, *cpu_, *mem_,
                                             cfg_.costs.hv);
@@ -64,21 +99,31 @@ System::buildCommon()
     for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
         std::string suffix = std::to_string(i);
         buses_.push_back(
-            std::make_unique<mem::PciBus>(ctx_, "pci" + suffix));
-        links_.push_back(
-            std::make_unique<net::EthLink>(ctx_, "eth" + suffix));
-        peers_.push_back(std::make_unique<net::TrafficPeer>(
-            ctx_, "peer" + suffix, *links_.back(),
-            net::EthLink::Side::kB));
-        peers_.back()->setAckEvery(cfg_.costs.ackPerFrames);
-        if (cfg_.transportKind == TransportKind::kTcp)
-            peers_.back()->enableTcp(cfg_.tcpParams);
+            std::make_unique<mem::PciBus>(ctx_, nm("pci" + suffix)));
+        net::Fabric *fab = nullptr;
+        if (nicExternal(i)) {
+            // The topology builder owns the fabric (and whatever peers
+            // sit on its far ports); this NIC only binds a port.
+            links_.push_back(nullptr);
+            peers_.push_back(nullptr);
+            fab = extFabrics_[i];
+        } else {
+            links_.push_back(
+                std::make_unique<net::EthLink>(ctx_, nm("eth" + suffix)));
+            peers_.push_back(std::make_unique<net::TrafficPeer>(
+                ctx_, nm("peer" + suffix), *links_.back()));
+            peers_.back()->setAckEvery(cfg_.costs.ackPerFrames);
+            if (cfg_.transportKind == TransportKind::kTcp)
+                peers_.back()->enableTcp(cfg_.tcpParams);
+            fab = links_.back().get();
+        }
         if (kind == NicKind::kIntel) {
             auto params = cfg_.intelParams;
             params.coalesce = cfg_.costs.intelCoalesce;
             intelNics_.push_back(std::make_unique<nic::IntelNic>(
-                ctx_, "intel" + suffix, *buses_.back(), *mem_, i,
-                *links_.back(), net::EthLink::Side::kA, params));
+                ctx_, nm("intel" + suffix), *buses_.back(), *mem_, i,
+                *fab, params));
+            nicPorts_.push_back(&intelNics_.back()->port());
             if (iommu_)
                 intelNics_.back()->dma().setIommu(iommu_.get());
         } else {
@@ -93,8 +138,9 @@ System::buildCommon()
                     std::max(params.numContexts, cfg_.numGuests);
             }
             cdnaNics_.push_back(std::make_unique<CdnaNic>(
-                ctx_, "cdna" + suffix, *buses_.back(), *mem_, i,
-                *links_.back(), net::EthLink::Side::kA, params));
+                ctx_, nm("cdna" + suffix), *buses_.back(), *mem_, i,
+                *fab, params));
+            nicPorts_.push_back(&cdnaNics_.back()->port());
             if (iommu_)
                 cdnaNics_.back()->dma().setIommu(iommu_.get());
             cxtChannels_.emplace_back(
@@ -205,9 +251,10 @@ System::registerGauges()
             metrics_.addGauge(t->name() + ".cwnd_bytes",
                               [t] { return t->cwndBytes(); });
     for (const auto &p : peers_)
-        if (net::transport::TcpEndpoint *t = p->tcp())
-            metrics_.addGauge(t->name() + ".cwnd_bytes",
-                              [t] { return t->cwndBytes(); });
+        if (p)
+            if (net::transport::TcpEndpoint *t = p->tcp())
+                metrics_.addGauge(t->name() + ".cwnd_bytes",
+                                  [t] { return t->cwndBytes(); });
 }
 
 void
@@ -252,27 +299,28 @@ void
 System::buildNative()
 {
     vmm::Domain &native = hv_->createDomain(vmm::Domain::Kind::kGuest,
-                                            "native");
+                                            nm("native"));
     guests_.push_back(&native);
 
     for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
         auto mac = guestMac(0, i);
         nativeDrivers_.push_back(std::make_unique<os::NativeDriver>(
-            ctx_, "natdrv" + std::to_string(i), native, *intelNics_[i],
+            ctx_, nm("natdrv" + std::to_string(i)), native, *intelNics_[i],
             cfg_.costs, os::NativeDriver::IrqRoute::kDirect, mac));
         nativeDrivers_.back()->attach();
         guestDevs_.push_back(nativeDrivers_.back().get());
         stacks_.push_back(std::make_unique<os::NetStack>(
-            ctx_, "stack0." + std::to_string(i), native,
+            ctx_, nm("stack0." + std::to_string(i)), native,
             *nativeDrivers_.back(), cfg_.costs));
-        stacks_.back()->setDefaultDst(peers_[i]->mac());
+        if (peers_[i])
+            stacks_.back()->setDefaultDst(peers_[i]->mac());
         if (cfg_.transportKind == TransportKind::kTcp)
             stacks_.back()->enableTcp(cfg_.tcpParams);
         workload::TrafficApp::Params ap;
         ap.connections = cfg_.connectionsPerVif;
         ap.transmit = cfg_.transmitDir;
         apps_.push_back(std::make_unique<workload::TrafficApp>(
-            ctx_, "app0." + std::to_string(i), *stacks_.back(),
+            ctx_, nm("app0." + std::to_string(i)), *stacks_.back(),
             cfg_.costs, ap));
     }
 }
@@ -280,10 +328,11 @@ System::buildNative()
 void
 System::buildXen()
 {
-    driverDom_ = &hv_->createDomain(vmm::Domain::Kind::kDriver, "dom0");
+    driverDom_ = &hv_->createDomain(vmm::Domain::Kind::kDriver,
+                                    nm("dom0"));
     for (std::uint32_t g = 0; g < cfg_.numGuests; ++g)
-        guests_.push_back(&hv_->createDomain(vmm::Domain::Kind::kGuest,
-                                             "guest" + std::to_string(g)));
+        guests_.push_back(&hv_->createDomain(
+            vmm::Domain::Kind::kGuest, nm("guest" + std::to_string(g))));
 
     if (cfg_.nicKind == NicKind::kRice)
         prot_ = std::make_unique<DmaProtection>(ctx_, *hv_, cfg_.costs,
@@ -291,10 +340,11 @@ System::buildXen()
 
     for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
         os::NetDevice *phys = nullptr;
-        auto drv_mac = net::MacAddr::fromId(0x020000u + i);
+        auto drv_mac = net::MacAddr::fromId(cfg_.hostId * 0x00100000u +
+                                            0x020000u + i);
         if (cfg_.nicKind == NicKind::kIntel) {
             nativeDrivers_.push_back(std::make_unique<os::NativeDriver>(
-                ctx_, "dom0drv" + std::to_string(i), *driverDom_,
+                ctx_, nm("dom0drv" + std::to_string(i)), *driverDom_,
                 *intelNics_[i], cfg_.costs,
                 os::NativeDriver::IrqRoute::kViaHypervisor, drv_mac));
             nativeDrivers_.back()->attach();
@@ -313,7 +363,7 @@ System::buildXen()
                                       mem::addrOf(rxp));
             nic.setStatusPage(*cxt, mem::addrOf(stp));
             drvDomCdnaDrivers_.push_back(std::make_unique<CdnaGuestDriver>(
-                ctx_, "dom0cdna" + std::to_string(i), *driverDom_, nic,
+                ctx_, nm("dom0cdna" + std::to_string(i)), *driverDom_, nic,
                 *cxt, *prot_, cfg_.costs, drv_mac));
             CdnaGuestDriver *drv = drvDomCdnaDrivers_.back().get();
             cxtChannels_[i][*cxt] = &hv_->createChannel(
@@ -329,7 +379,7 @@ System::buildXen()
             phys = drv;
         }
         ddns_.push_back(std::make_unique<os::DriverDomainNet>(
-            ctx_, "ddn" + std::to_string(i), *driverDom_, *phys,
+            ctx_, nm("ddn" + std::to_string(i)), *driverDom_, *phys,
             cfg_.costs));
         ddns_.back()->setRxCopyMode(cfg_.xenRxCopyMode);
 
@@ -339,16 +389,18 @@ System::buildXen()
             guestDevs_.push_back(&vif);
             stacks_.push_back(std::make_unique<os::NetStack>(
                 ctx_,
-                "stack" + std::to_string(g) + "." + std::to_string(i),
+                nm("stack" + std::to_string(g) + "." + std::to_string(i)),
                 *guests_[g], vif, cfg_.costs));
-            stacks_.back()->setDefaultDst(peers_[i]->mac());
+            if (peers_[i])
+                stacks_.back()->setDefaultDst(peers_[i]->mac());
             if (cfg_.transportKind == TransportKind::kTcp)
                 stacks_.back()->enableTcp(cfg_.tcpParams);
             workload::TrafficApp::Params ap;
             ap.connections = cfg_.connectionsPerVif;
             ap.transmit = cfg_.transmitDir;
             apps_.push_back(std::make_unique<workload::TrafficApp>(
-                ctx_, "app" + std::to_string(g) + "." + std::to_string(i),
+                ctx_,
+                nm("app" + std::to_string(g) + "." + std::to_string(i)),
                 *stacks_.back(), cfg_.costs, ap));
         }
     }
@@ -357,10 +409,11 @@ System::buildXen()
 void
 System::buildCdna()
 {
-    driverDom_ = &hv_->createDomain(vmm::Domain::Kind::kDriver, "dom0");
+    driverDom_ = &hv_->createDomain(vmm::Domain::Kind::kDriver,
+                                    nm("dom0"));
     for (std::uint32_t g = 0; g < cfg_.numGuests; ++g)
-        guests_.push_back(&hv_->createDomain(vmm::Domain::Kind::kGuest,
-                                             "guest" + std::to_string(g)));
+        guests_.push_back(&hv_->createDomain(
+            vmm::Domain::Kind::kGuest, nm("guest" + std::to_string(g))));
 
     prot_ = std::make_unique<DmaProtection>(ctx_, *hv_, cfg_.costs,
                                             cfg_.dmaProtection);
@@ -370,7 +423,7 @@ System::buildCdna()
         CdnaNic &nic = *cdnaNics_[i];
         if (cfg_.ctxOversub) {
             pagers_.push_back(std::make_unique<ContextPager>(
-                ctx_, "pager" + std::to_string(i), *hv_, nic, cfg_.costs,
+                ctx_, nm("pager" + std::to_string(i)), *hv_, nic, cfg_.costs,
                 cfg_.ctxEvictPolicy));
             ContextPager *pager = pagers_.back().get();
             nic.setPageFaultHandler(
@@ -409,7 +462,8 @@ System::buildCdna()
 
             guestCdnaDrivers_.push_back(std::make_unique<CdnaGuestDriver>(
                 ctx_,
-                "cdnadrv" + std::to_string(g) + "." + std::to_string(i),
+                nm("cdnadrv" + std::to_string(g) + "." +
+                   std::to_string(i)),
                 guest, nic, *cxt, *prot_, cfg_.costs, mac));
             CdnaGuestDriver *drv = guestCdnaDrivers_.back().get();
             cxtChannels_[i][*cxt] = &hv_->createChannel(
@@ -422,16 +476,18 @@ System::buildCdna()
             guestDevs_.push_back(drv);
             stacks_.push_back(std::make_unique<os::NetStack>(
                 ctx_,
-                "stack" + std::to_string(g) + "." + std::to_string(i),
+                nm("stack" + std::to_string(g) + "." + std::to_string(i)),
                 guest, *drv, cfg_.costs));
-            stacks_.back()->setDefaultDst(peers_[i]->mac());
+            if (peers_[i])
+                stacks_.back()->setDefaultDst(peers_[i]->mac());
             if (cfg_.transportKind == TransportKind::kTcp)
                 stacks_.back()->enableTcp(cfg_.tcpParams);
             workload::TrafficApp::Params ap;
             ap.connections = cfg_.connectionsPerVif;
             ap.transmit = cfg_.transmitDir;
             apps_.push_back(std::make_unique<workload::TrafficApp>(
-                ctx_, "app" + std::to_string(g) + "." + std::to_string(i),
+                ctx_,
+                nm("app" + std::to_string(g) + "." + std::to_string(i)),
                 *stacks_.back(), cfg_.costs, ap));
         }
     }
@@ -485,6 +541,8 @@ System::start()
                     dsts.push_back(guestMac(g, i));
             }
             net::TrafficPeer *p = peers_[i].get();
+            if (!p)
+                continue; // external fabric: the topology drives sources
             ctx_.events().schedule(sim::milliseconds(1.0),
                                    [p, dsts = std::move(dsts)] {
                                        p->startSource(dsts);
@@ -498,6 +556,8 @@ System::snapshot() const
 {
     Snapshot s;
     for (const auto &p : peers_) {
+        if (!p)
+            continue;
         s.peerRxPayload += p->payloadDelivered();
         s.rxDropsBadCsum += p->rxDropsBadCsum();
         if (auto *t = p->tcp()) {
@@ -519,12 +579,17 @@ System::snapshot() const
             s.tcpDupAcks += t->dupAcksRx();
         }
     }
-    // Raw payload carried by the links in the goodput direction
-    // (guests sit on side A, peers on side B).
-    for (const auto &l : links_)
-        s.wirePayload += l->payloadCarried(cfg_.transmitDir
-                                               ? net::EthLink::Side::kA
-                                               : net::EthLink::Side::kB);
+    // Raw payload carried on the wire in the goodput direction: what
+    // the NIC ports injected (tx), or what the far peers injected /
+    // the NIC ports were delivered (rx).
+    for (std::size_t i = 0; i < nicPorts_.size(); ++i) {
+        if (cfg_.transmitDir)
+            s.wirePayload += nicPorts_[i]->payloadCarried();
+        else
+            s.wirePayload += peers_[i]
+                                 ? peers_[i]->port().payloadCarried()
+                                 : nicPorts_[i]->payloadDelivered();
+    }
 
     s.perGuestBytes.assign(guests_.size(), 0);
     for (std::size_t g = 0; g < guests_.size(); ++g) {
@@ -534,6 +599,8 @@ System::snapshot() const
             if (idx >= stacks_.size())
                 continue;
             if (cfg_.transmitDir) {
+                if (!peers_[i])
+                    continue; // cross-host tx is measured at the receiver
                 auto mac = cfg_.mode == IoMode::kNative
                                ? guestMac(0, i)
                                : guestMac(static_cast<std::uint32_t>(g), i);
@@ -600,6 +667,12 @@ System::snapshot() const
         for (const auto &vif : d->vifs())
             s.outagePacketsLost += vif->txLostCrash();
     }
+    for (net::Port *np : nicPorts_) {
+        s.switchDrops += np->egressDrops();
+        s.switchDropBytes += np->egressDropBytes();
+        s.switchQueuePeak = std::max(s.switchQueuePeak,
+                                     np->queuePeakBytes());
+    }
     return s;
 }
 
@@ -609,12 +682,23 @@ System::run(sim::Time warmup, sim::Time measure)
     start();
     auto &eq = ctx_.events();
     eq.runUntil(eq.now() + warmup);
-    cpu_->resetAccounting();
-    Snapshot before = snapshot();
+    beginMeasurement();
     eq.runUntil(eq.now() + measure);
+    return endMeasurement(measure);
+}
+
+void
+System::beginMeasurement()
+{
+    cpu_->resetAccounting();
+    measureBegin_ = snapshot();
+}
+
+Report
+System::endMeasurement(sim::Time window)
+{
     cpu_->syncIdle();
-    Snapshot after = snapshot();
-    return buildReport(before, after, measure);
+    return buildReport(measureBegin_, snapshot(), window);
 }
 
 Report
@@ -697,6 +781,10 @@ System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
     // Residency peak is a high-water mark over the whole run, not a
     // windowed delta (like tx_backlog_peak).
     r.cxtResidentPeak = b.cxtResidentPeak;
+    r.switchDrops = b.switchDrops - a.switchDrops;
+    r.switchDropBytes = b.switchDropBytes - a.switchDropBytes;
+    // Like the other peaks, a lifetime high-watermark.
+    r.switchQueuePeakBytes = b.switchQueuePeak;
 
     r.perGuestMbps.resize(guests_.size());
     for (std::size_t g = 0; g < guests_.size(); ++g) {
@@ -723,6 +811,8 @@ System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
     std::uint64_t lat_n = 0;
     if (cfg_.transmitDir) {
         for (const auto &p : peers_) {
+            if (!p)
+                continue;
             merged.merge(p->latencyHist());
             lat_sum += p->latency().sum();
             lat_n += p->latency().count();

@@ -27,6 +27,7 @@
 #define CDNA_CORE_SYSTEM_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -43,6 +44,7 @@
 #include "mem/grant_table.hh"
 #include "mem/iommu.hh"
 #include "sim/metrics_registry.hh"
+#include "net/eth_link.hh"
 #include "net/traffic_peer.hh"
 #include "nic/intel_nic.hh"
 #include "os/native_driver.hh"
@@ -118,6 +120,26 @@ struct SystemConfig
     bool ctxOversub = false;
     /** Eviction policy used by the context pager. */
     EvictPolicy ctxEvictPolicy = EvictPolicy::kLru;
+    /**
+     * Multi-host topologies: this host's index in the shared MAC space.
+     * Host h's guest and driver-domain MACs live in a disjoint 1 Mi-id
+     * block, so hosts on one switch never collide; 0 is bit-identical
+     * to the classic single-host layout.
+     */
+    std::uint32_t hostId = 0;
+    /**
+     * Prefix applied to every component name this System creates, so N
+     * systems sharing one SimContext keep distinct stat/trace names
+     * ("h1.eth0", ...).  Empty (the default) matches the single-host
+     * names exactly.
+     */
+    std::string namePrefix;
+    /**
+     * Free-form scenario parameters (fanout, switch buffer bytes, ...)
+     * so sweep axes can carry topology knobs that System itself never
+     * reads; see sim/sweep_presets.cc's incast runner.
+     */
+    std::map<std::string, double> scenario;
 
     // --- named constructors (the paper's configurations) -----------------
     /** Native Linux owning @p nics NICs directly (Table 1 baseline). */
@@ -224,6 +246,31 @@ struct SystemConfig
         return *this;
     }
 
+    /** Place this host in a multi-host topology (MAC block + names). */
+    SystemConfig &
+    onHost(std::uint32_t id, std::string prefix)
+    {
+        hostId = id;
+        namePrefix = std::move(prefix);
+        return *this;
+    }
+
+    /** Attach a free-form scenario parameter (topology knobs). */
+    SystemConfig &
+    withScenario(const std::string &key, double value)
+    {
+        scenario[key] = value;
+        return *this;
+    }
+
+    /** Read a scenario parameter, defaulting when unset. */
+    double
+    scenarioOr(const std::string &key, double def) const
+    {
+        auto it = scenario.find(key);
+        return it == scenario.end() ? def : it->second;
+    }
+
     /** Select the transport model, e.g. `.transport(kTcp)`. */
     SystemConfig &
     transport(TransportKind k)
@@ -251,6 +298,18 @@ class System
 {
   public:
     explicit System(SystemConfig cfg);
+
+    /**
+     * Construct inside a shared context (multi-host topologies).  NIC i
+     * binds a port on @p nic_fabrics[i]; a nullptr entry (or a vector
+     * shorter than numNics) gives that NIC the classic private
+     * EthLink + TrafficPeer pair.  The caller drives the event queue
+     * and brackets measurement with beginMeasurement() /
+     * endMeasurement(); see sim/topology.hh for the builder that
+     * assembles switches, hosts, and peers.
+     */
+    System(SystemConfig cfg, sim::SimContext &shared,
+           std::vector<net::Fabric *> nic_fabrics);
     ~System();
 
     System(const System &) = delete;
@@ -264,6 +323,15 @@ class System
      * report the measurement window.
      */
     Report run(sim::Time warmup, sim::Time measure);
+
+    /**
+     * Externally driven measurement (shared-context topologies): call
+     * once the warmup has been simulated, run the shared queue for the
+     * window, then collect endMeasurement().  run() is exactly
+     * start + warmup + beginMeasurement + measure + endMeasurement.
+     */
+    void beginMeasurement();
+    Report endMeasurement(sim::Time window);
 
     // --- component access (tests, examples, ablations) -------------------
     sim::SimContext &ctx() { return ctx_; }
@@ -292,7 +360,19 @@ class System
 
     vmm::Hypervisor &hypervisor() { return *hv_; }
     nic::IntelNic *intelNic(std::uint32_t i);
+    /** Local traffic peer of NIC @p i (only for locally-linked NICs). */
     net::TrafficPeer &peer(std::uint32_t i) { return *peers_[i]; }
+    /** The fabric port NIC @p i is bound to. */
+    net::Port &nicPort(std::uint32_t i);
+    /** True when NIC @p i is bound to a caller-provided fabric. */
+    bool nicExternal(std::uint32_t i) const
+    {
+        return i < extFabrics_.size() && extFabrics_[i] != nullptr;
+    }
+    /** The caller-provided fabric of an external NIC. */
+    net::Fabric &nicFabric(std::uint32_t i) { return *extFabrics_[i]; }
+    /** MAC address of (guest, nic), offset into this host's MAC block. */
+    net::MacAddr guestMac(std::uint32_t guest, std::uint32_t nic) const;
 
     vmm::Domain *driverDomain() { return driverDom_; }
     vmm::Domain *guestDomain(std::uint32_t g);
@@ -394,7 +474,13 @@ class System
         std::uint64_t cxtEvictions = 0;
         std::uint64_t cxtPageIns = 0;
         std::uint64_t cxtResidentPeak = 0;
+        std::uint64_t switchDrops = 0;
+        std::uint64_t switchDropBytes = 0;
+        std::uint64_t switchQueuePeak = 0;
     };
+
+    System(SystemConfig cfg, sim::SimContext *shared,
+           std::vector<net::Fabric *> nic_fabrics);
 
     void buildCommon();
     void scheduleFaultEvents();
@@ -406,13 +492,21 @@ class System
     void buildCdna();
     void wireCdnaIsr(std::uint32_t nic_index);
     void startTimers();
-    net::MacAddr guestMac(std::uint32_t guest, std::uint32_t nic) const;
+    /** @p base prefixed with cfg_.namePrefix (shared-context naming). */
+    std::string nm(const std::string &base) const
+    {
+        return cfg_.namePrefix + base;
+    }
     Snapshot snapshot() const;
     Report buildReport(const Snapshot &a, const Snapshot &b,
                        sim::Time window);
 
     SystemConfig cfg_;
-    sim::SimContext ctx_;
+    /** Owned in single-host mode; null when sharing a topology context. */
+    std::unique_ptr<sim::SimContext> ownedCtx_;
+    sim::SimContext &ctx_;
+    /** Caller-provided fabrics, indexed by NIC (nullptr = local link). */
+    std::vector<net::Fabric *> extFabrics_;
     sim::MetricsRegistry metrics_{ctx_};
     std::unique_ptr<sim::FaultInjector> faults_;
     std::unique_ptr<mem::PhysMemory> mem_;
@@ -422,8 +516,11 @@ class System
     std::unique_ptr<DmaProtection> prot_;
 
     std::vector<std::unique_ptr<mem::PciBus>> buses_;
+    // Local-link plumbing; entry i is null when NIC i rides an external
+    // fabric (the topology builder owns the switch and remote peers).
     std::vector<std::unique_ptr<net::EthLink>> links_;
     std::vector<std::unique_ptr<net::TrafficPeer>> peers_;
+    std::vector<net::Port *> nicPorts_;
     std::vector<std::unique_ptr<nic::IntelNic>> intelNics_;
     std::vector<std::unique_ptr<CdnaNic>> cdnaNics_;
 
@@ -456,6 +553,7 @@ class System
     bool driverDomainDown_ = false;
 
     bool started_ = false;
+    Snapshot measureBegin_;
 };
 
 } // namespace cdna::core

@@ -15,63 +15,73 @@ EthLink::EthLink(sim::SimContext &ctx, std::string name, double bits_per_sec,
       psPerByte_(static_cast<double>(sim::kSecond) * 8.0 / bits_per_sec),
       propagation_(propagation)
 {
-    aToB_.frames = &stats().addCounter("a2b_frames");
-    aToB_.payloadBytes = &stats().addCounter("a2b_payload_bytes");
-    bToA_.frames = &stats().addCounter("b2a_frames");
-    bToA_.payloadBytes = &stats().addCounter("b2a_payload_bytes");
+    for (std::uint32_t i = 0; i < 2; ++i) {
+        std::string p = "p" + std::to_string(i);
+        ports_[i].link = this;
+        ports_[i].setIndex(i);
+        ports_[i].txFrames = &stats().addCounter(p + "_tx_frames");
+        ports_[i].txPayload = &stats().addCounter(p + "_tx_payload_bytes");
+        ports_[i].rxPayload = &stats().addCounter(p + "_rx_payload_bytes");
+    }
     faultDrops_ = &stats().addCounter("fault_drops");
     faultCorrupts_ = &stats().addCounter("fault_corrupts");
     faultDups_ = &stats().addCounter("fault_dups");
 }
 
-void
-EthLink::attach(Side side, LinkEndpoint *ep)
+Port &
+EthLink::bind(LinkEndpoint &ep)
 {
-    // Endpoint on side X receives traffic flowing *toward* X.
-    if (side == Side::kA)
-        bToA_.dest = ep;
-    else
-        aToB_.dest = ep;
+    SIM_ASSERT(bound_ < 2, "EthLink has only two ports");
+    LinkPort &p = ports_[bound_++];
+    p.ep = &ep;
+    return p;
+}
+
+Port &
+EthLink::port(std::uint32_t i)
+{
+    SIM_ASSERT(i < 2, "EthLink port index out of range");
+    return ports_[i];
 }
 
 sim::Time
-EthLink::estimate(Side from, const Packet &pkt) const
+EthLink::LinkPort::estimate(const Packet &pkt) const
 {
-    const Dir &d = dir(from);
-    sim::Time start = std::max(now(), d.busyUntil);
+    sim::Time start = std::max(link->now(), busyUntil);
     return start + static_cast<sim::Time>(
-        psPerByte_ * static_cast<double>(pkt.wireBytes()));
+        link->psPerByte_ * static_cast<double>(pkt.wireBytes()));
 }
 
 bool
-EthLink::busy(Side from) const
+EthLink::LinkPort::busy() const
 {
-    return dir(from).busyUntil > now();
-}
-
-std::uint64_t
-EthLink::payloadCarried(Side from) const
-{
-    return dir(from).payloadBytes->value();
+    return busyUntil > link->now();
 }
 
 sim::Time
-EthLink::send(Side from, Packet pkt, sim::Time extra_gap,
-              std::function<void()> serialized)
+EthLink::doSend(LinkPort &from, Packet pkt, sim::Time extra_gap,
+                std::function<void()> serialized)
 {
-    Dir &d = dir(from);
-    SIM_ASSERT(d.dest != nullptr, "link endpoint not attached");
-    d.frames->inc(pkt.wireFrames());
-    d.payloadBytes->inc(pkt.payloadBytes);
+    LinkPort *to = &ports_[1 - from.index()];
+    SIM_ASSERT(to->ep != nullptr, "link far endpoint not bound");
+    from.txFrames->inc(pkt.wireFrames());
+    from.txPayload->inc(pkt.payloadBytes);
 
-    sim::Time start = std::max(now(), d.busyUntil);
+    sim::Time start = std::max(now(), from.busyUntil);
     auto wire = static_cast<sim::Time>(
         psPerByte_ * static_cast<double>(pkt.wireBytes()));
     sim::Time end = start + wire;
-    d.busyUntil = end + extra_gap;
+    from.busyUntil = end + extra_gap;
 
     if (serialized)
         events().scheduleAt(end, std::move(serialized));
+    if (from.hook())
+        events().scheduleAt(from.busyUntil, [this, &from] {
+            // A later send pushed busyUntil forward: that send's own
+            // hook event covers the eventual drain.
+            if (from.hook() && from.busyUntil <= now())
+                from.hook()();
+        });
 
     // Fault injection: the frame still occupied the wire, but it may
     // never reach the far side (drop), arrive with its payload mangled
@@ -99,14 +109,16 @@ EthLink::send(Side from, Packet pkt, sim::Time extra_gap,
         dup.duplicated = true;
     }
     events().scheduleAt(end + propagation_,
-                        [dest = d.dest, p = std::move(pkt)]() mutable {
-                            dest->receiveFrame(std::move(p));
+                        [to, p = std::move(pkt)]() mutable {
+                            to->rxPayload->inc(p.payloadBytes);
+                            to->ep->receiveFrame(std::move(p));
                         });
     if (fate == sim::FaultInjector::FrameFault::kDuplicate)
         // FIFO ties: arrives right behind the original.
         events().scheduleAt(end + propagation_,
-                            [dest = d.dest, p = std::move(dup)]() mutable {
-                                dest->receiveFrame(std::move(p));
+                            [to, p = std::move(dup)]() mutable {
+                                to->rxPayload->inc(p.payloadBytes);
+                                to->ep->receiveFrame(std::move(p));
                             });
     return end;
 }

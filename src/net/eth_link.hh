@@ -1,6 +1,6 @@
 /**
  * @file
- * Full-duplex point-to-point Ethernet link.
+ * Full-duplex point-to-point Ethernet link: the trivial 2-port Fabric.
  *
  * Each direction is an independent serially-reused channel: a frame (or
  * TSO burst) occupies the wire for wireBytes() at the link rate, then is
@@ -8,6 +8,9 @@
  * paper's testbed used dedicated Gigabit links between the Xen host and
  * a tuned peer; this model reproduces the 949 Mb/s per-link TCP-goodput
  * ceiling that bounds the CDNA saturation plateau.
+ *
+ * Endpoints bind() in any order; the first binder gets port 0, the
+ * second port 1, and each port transmits toward the other's endpoint.
  */
 
 #ifndef CDNA_NET_ETH_LINK_HH
@@ -16,26 +19,15 @@
 #include <cstdint>
 #include <functional>
 
+#include "net/fabric.hh"
 #include "net/packet.hh"
 #include "sim/sim_object.hh"
 
 namespace cdna::net {
 
-/** Something that can terminate a link (a NIC or a traffic peer). */
-class LinkEndpoint
+class EthLink : public sim::SimObject, public Fabric
 {
   public:
-    virtual ~LinkEndpoint() = default;
-
-    /** A frame has fully arrived from the wire. */
-    virtual void receiveFrame(Packet pkt) = 0;
-};
-
-class EthLink : public sim::SimObject
-{
-  public:
-    enum class Side { kA, kB };
-
     /**
      * @param ctx          simulation context
      * @param name         component name
@@ -46,50 +38,53 @@ class EthLink : public sim::SimObject
             double bits_per_sec = 1.0e9,
             sim::Time propagation = sim::nanoseconds(500));
 
-    /** Attach the endpoint on @p side. */
-    void attach(Side side, LinkEndpoint *ep);
+    /** Claim the next of the two ports (asserts on a third binder). */
+    Port &bind(LinkEndpoint &ep) override;
 
-    /**
-     * Transmit @p pkt from @p from toward the other side.
-     * @param extra_gap   additional wire dead time charged after the
-     *                    frame (models MAC/firmware inter-frame stalls)
-     * @param serialized  fires when the last byte has left the sender
-     * @return time at which serialization completes
-     */
-    sim::Time send(Side from, Packet pkt, sim::Time extra_gap = 0,
-                   std::function<void()> serialized = {});
+    double bitsPerSec() const override { return bps_; }
 
-    /** Serialization-complete time for a hypothetical send issued now. */
-    sim::Time estimate(Side from, const Packet &pkt) const;
-
-    /** True if the given direction is currently serializing. */
-    bool busy(Side from) const;
-
-    /** Payload bytes carried in the given direction. */
-    std::uint64_t payloadCarried(Side from) const;
-
-    double bitsPerSec() const { return bps_; }
+    /** Port @p i's handle (bound or not; tests peek at counters). */
+    Port &port(std::uint32_t i);
 
   private:
-    struct Dir
+    struct LinkPort final : Port
     {
-        LinkEndpoint *dest = nullptr;
+        EthLink *link = nullptr;
+        LinkEndpoint *ep = nullptr;
         sim::Time busyUntil = 0;
-        sim::Counter *frames = nullptr;
-        sim::Counter *payloadBytes = nullptr;
+        sim::Counter *txFrames = nullptr;
+        sim::Counter *txPayload = nullptr;
+        sim::Counter *rxPayload = nullptr;
+
+        void setIndex(std::uint32_t i) { index_ = i; }
+        const std::function<void()> &hook() const { return drainHook_; }
+
+        sim::Time send(Packet pkt, sim::Time extra_gap,
+                       std::function<void()> serialized) override
+        {
+            return link->doSend(*this, std::move(pkt), extra_gap,
+                                std::move(serialized));
+        }
+        sim::Time estimate(const Packet &pkt) const override;
+        bool busy() const override;
+        std::uint64_t payloadCarried() const override
+        {
+            return txPayload->value();
+        }
+        std::uint64_t payloadDelivered() const override
+        {
+            return rxPayload->value();
+        }
     };
 
-    Dir &dir(Side from) { return from == Side::kA ? aToB_ : bToA_; }
-    const Dir &dir(Side from) const
-    {
-        return from == Side::kA ? aToB_ : bToA_;
-    }
+    sim::Time doSend(LinkPort &from, Packet pkt, sim::Time extra_gap,
+                     std::function<void()> serialized);
 
     double bps_;
     double psPerByte_;
     sim::Time propagation_;
-    Dir aToB_;
-    Dir bToA_;
+    LinkPort ports_[2];
+    std::uint32_t bound_ = 0;
     sim::Counter *faultDrops_ = nullptr;
     sim::Counter *faultCorrupts_ = nullptr;
     sim::Counter *faultDups_ = nullptr;

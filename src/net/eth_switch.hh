@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Output-queued Ethernet switch: the N-port Fabric.
+ *
+ * Each bound endpoint gets a Port whose ingress serializer behaves
+ * exactly like one EthLink direction (line-rate serialization, fault
+ * injection, propagation).  Fully-received frames are looked up --
+ * static route first, then the learned MAC table, else flooded -- and
+ * enqueued on the destination port's finite egress queue.  The queue is
+ * tail-drop with per-port drop counters, models store-and-forward (a
+ * frame occupies buffer from enqueue until its last byte has been
+ * retransmitted), and charges a fixed forwarding latency before a frame
+ * becomes eligible for egress.
+ *
+ * There is no spanning tree; multi-switch topologies must be acyclic.
+ * A two-switch trunk cannot loop because flooding never exits the
+ * ingress port.
+ */
+
+#ifndef CDNA_NET_ETH_SWITCH_HH
+#define CDNA_NET_ETH_SWITCH_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/fabric.hh"
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace cdna::net {
+
+struct EthSwitchParams
+{
+    /** Line rate of every port. */
+    double bitsPerSec = 1.0e9;
+    /** One-way propagation delay of each attached cable. */
+    sim::Time propagation = sim::nanoseconds(500);
+    /** Lookup/enqueue latency before a frame may begin egress. */
+    sim::Time forwardLatency = sim::microseconds(4);
+    /** Per-port egress buffer in wire bytes (0 = unlimited). */
+    std::uint64_t bufBytesPerPort = 128 * 1024;
+    /** Per-port egress buffer in frames (0 = byte-limited only). */
+    std::uint32_t bufFramesPerPort = 0;
+    /** Learn source MACs; unknown unicast floods.  When false, only
+     *  setRoute() entries forward and unrouted frames are dropped. */
+    bool learning = true;
+};
+
+class EthSwitch : public sim::SimObject, public Fabric
+{
+  public:
+    EthSwitch(sim::SimContext &ctx, std::string name,
+              std::uint32_t num_ports, EthSwitchParams params = {});
+
+    /** Claim the next free port (asserts when the switch is full). */
+    Port &bind(LinkEndpoint &ep) override;
+
+    double bitsPerSec() const override { return params_.bitsPerSec; }
+
+    /** Port @p i's handle (bound or not; tests peek at counters). */
+    Port &port(std::uint32_t i);
+    const Port &port(std::uint32_t i) const;
+
+    std::uint32_t numPorts() const
+    {
+        return static_cast<std::uint32_t>(ports_.size());
+    }
+
+    /** Pin @p mac to egress port @p port; beats the learned table. */
+    void setRoute(MacAddr mac, std::uint32_t port);
+
+    /** Frames dropped because no route existed (learning off). */
+    std::uint64_t unrouted() const { return nUnrouted_->value(); }
+
+    /** Sum of egress tail-drops over all ports. */
+    std::uint64_t totalDrops() const;
+    std::uint64_t totalDropBytes() const;
+    /** Largest egress-queue high-watermark over all ports. */
+    std::uint64_t maxQueuePeakBytes() const;
+
+  private:
+    struct QEntry
+    {
+        Packet pkt;
+        std::uint64_t wireBytes = 0;
+        sim::Time readyAt = 0;
+    };
+
+    struct SwitchPort final : Port
+    {
+        EthSwitch *sw = nullptr;
+        LinkEndpoint *ep = nullptr;
+
+        // Ingress: the endpoint's wire into the switch.
+        sim::Time inBusyUntil = 0;
+        sim::Counter *txFrames = nullptr;
+        sim::Counter *txPayload = nullptr;
+
+        // Egress: the finite output queue and its wire out.
+        std::deque<QEntry> q;
+        std::uint64_t qBytes = 0;
+        std::uint32_t qFrames = 0;
+        std::uint64_t qPeakBytes = 0;
+        bool egressBusy = false;
+        sim::Counter *rxPayload = nullptr;
+        sim::Counter *drops = nullptr;
+        sim::Counter *dropBytes = nullptr;
+
+        void setIndex(std::uint32_t i) { index_ = i; }
+        const std::function<void()> &hook() const { return drainHook_; }
+
+        sim::Time send(Packet pkt, sim::Time extra_gap,
+                       std::function<void()> serialized) override
+        {
+            return sw->doSend(*this, std::move(pkt), extra_gap,
+                              std::move(serialized));
+        }
+        sim::Time estimate(const Packet &pkt) const override;
+        bool busy() const override;
+        std::uint64_t payloadCarried() const override
+        {
+            return txPayload->value();
+        }
+        std::uint64_t payloadDelivered() const override
+        {
+            return rxPayload->value();
+        }
+        std::uint64_t egressDrops() const override
+        {
+            return drops->value();
+        }
+        std::uint64_t egressDropBytes() const override
+        {
+            return dropBytes->value();
+        }
+        std::uint64_t queuePeakBytes() const override { return qPeakBytes; }
+    };
+
+    sim::Time doSend(SwitchPort &from, Packet pkt, sim::Time extra_gap,
+                     std::function<void()> serialized);
+    /** A frame has fully arrived on @p ingress: look up and enqueue. */
+    void forward(SwitchPort &ingress, Packet pkt);
+    /** Enqueue one copy on @p out (tail-drop on overflow). */
+    void enqueue(SwitchPort &out, Packet pkt);
+    /** Start the next eligible egress transmission on @p out. */
+    void pumpEgress(SwitchPort &out);
+
+    EthSwitchParams params_;
+    double psPerByte_;
+    std::vector<SwitchPort> ports_;
+    std::uint32_t bound_ = 0;
+    std::map<MacAddr, std::uint32_t> routes_;
+    std::map<MacAddr, std::uint32_t> fdb_;
+    sim::Counter *faultDrops_ = nullptr;
+    sim::Counter *faultCorrupts_ = nullptr;
+    sim::Counter *faultDups_ = nullptr;
+    sim::Counter *nUnrouted_ = nullptr;
+    sim::Counter *nFlooded_ = nullptr;
+};
+
+/**
+ * Inter-switch uplink: binds one port on each of two fabrics and
+ * re-transmits every frame received on one side into the other.
+ * The finite buffering of a congested uplink lives in the upstream
+ * switch's egress queue toward the trunk port.
+ */
+class SwitchTrunk : public sim::SimObject
+{
+  public:
+    SwitchTrunk(sim::SimContext &ctx, std::string name, Fabric &a,
+                Fabric &b);
+
+    /** The trunk's port index on fabric A / B (for setRoute). */
+    std::uint32_t portOnA() const { return endA_.port->index(); }
+    std::uint32_t portOnB() const { return endB_.port->index(); }
+
+    /** Frames relayed in each direction. */
+    std::uint64_t relayedAToB() const { return nAToB_->value(); }
+    std::uint64_t relayedBToA() const { return nBToA_->value(); }
+
+  private:
+    struct End final : LinkEndpoint
+    {
+        SwitchTrunk *trunk = nullptr;
+        Port *port = nullptr;        // this end's port
+        End *other = nullptr;        // the far end
+        sim::Counter *relayed = nullptr;
+
+        void receiveFrame(Packet pkt) override;
+    };
+
+    End endA_;
+    End endB_;
+    sim::Counter *nAToB_ = nullptr;
+    sim::Counter *nBToA_ = nullptr;
+};
+
+} // namespace cdna::net
+
+#endif // CDNA_NET_ETH_SWITCH_HH

@@ -8,15 +8,14 @@
 namespace cdna::net {
 
 TrafficPeer::TrafficPeer(sim::SimContext &ctx, std::string name,
-                         EthLink &link, EthLink::Side side)
+                         Fabric &fabric)
     : sim::SimObject(ctx, std::move(name)),
-      link_(link),
-      side_(side),
       nRxFrames_(stats().addCounter("rx_frames")),
       nRxPayload_(stats().addCounter("rx_payload_bytes")),
       nTxFrames_(stats().addCounter("tx_frames")),
       nRxDups_(stats().addCounter("rx_duplicates")),
-      nRxBadCsum_(stats().addCounter("rx_drops_bad_csum"))
+      nRxBadCsum_(stats().addCounter("rx_drops_bad_csum")),
+      nRxFiltered_(stats().addCounter("rx_filtered"))
 {
     // Derive the peer's MAC from its name so it is stable per component
     // regardless of construction order; peers live in a reserved id range
@@ -25,7 +24,7 @@ TrafficPeer::TrafficPeer(sim::SimContext &ctx, std::string name,
     for (char c : this->name())
         h = (h ^ static_cast<unsigned char>(c)) * 16777619u;
     mac_ = MacAddr::fromId(0x00FE0000u + (h & 0xFFFFu));
-    link_.attach(side_, this);
+    port_ = &fabric.bind(*this);
 }
 
 void
@@ -38,7 +37,7 @@ TrafficPeer::enableTcp(const transport::TcpParams &params)
     // Data segments self-clock off the wire: refuse while the link is
     // busy, and the wire-end serialized callback pumps the next one.
     tcp_->setSegmentTx([this](const transport::TcpEndpoint::SegmentOut &so) {
-        if (link_.busy(side_))
+        if (port_->busy())
             return false;
         Packet pkt;
         pkt.src = mac_;
@@ -50,7 +49,7 @@ TrafficPeer::enableTcp(const transport::TcpParams &params)
         pkt.seq = so.seq;
         pkt.tcpData = true;
         nTxFrames_.inc();
-        link_.send(side_, std::move(pkt), 0, [this] { tcp_->pump(); });
+        port_->send(std::move(pkt), 0, [this] { tcp_->pump(); });
         return true;
     });
 
@@ -66,7 +65,7 @@ TrafficPeer::enableTcp(const transport::TcpParams &params)
         ack.created = now();
         ack.tcpAck = true;
         ack.ackNo = ao.ackNo;
-        link_.send(side_, std::move(ack));
+        port_->send(std::move(ack));
         return true;
     });
 
@@ -159,7 +158,7 @@ TrafficPeer::sendNext()
     srcSent_[dst] += pkt.wireFrames();
     nTxFrames_.inc();
     sendInProgress_ = true;
-    link_.send(side_, std::move(pkt), 0, [this] {
+    port_->send(std::move(pkt), 0, [this] {
         sendInProgress_ = false;
         sendNext();
     });
@@ -168,6 +167,12 @@ TrafficPeer::sendNext()
 void
 TrafficPeer::receiveFrame(Packet pkt)
 {
+    if (macFilter_ && pkt.dst != mac_ && pkt.dst != MacAddr{}) {
+        // Flooded or misrouted frame for someone else: a real NIC's MAC
+        // filter discards it before it costs anything.
+        nRxFiltered_.inc();
+        return;
+    }
     nRxFrames_.inc(pkt.wireFrames());
     if (!pkt.intact) {
         // Checksum check fails: the frame occupied the wire but never
@@ -226,7 +231,7 @@ TrafficPeer::receiveFrame(Packet pkt)
             ack.payloadBytes = 0;
             ack.id = nextPktId_++;
             ack.created = now();
-            link_.send(side_, std::move(ack));
+            port_->send(std::move(ack));
         }
     }
 }

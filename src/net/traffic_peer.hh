@@ -19,7 +19,7 @@
 #include <memory>
 #include <vector>
 
-#include "net/eth_link.hh"
+#include "net/fabric.hh"
 #include "net/packet.hh"
 #include "net/transport/tcp.hh"
 #include "sim/sim_object.hh"
@@ -30,16 +30,29 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
 {
   public:
     /**
-     * @param ctx   simulation context
-     * @param name  component name
-     * @param link  the link this peer terminates
-     * @param side  which side of the link the peer sits on
+     * @param ctx     simulation context
+     * @param name    component name
+     * @param fabric  the fabric this peer binds a port on
      */
-    TrafficPeer(sim::SimContext &ctx, std::string name, EthLink &link,
-                EthLink::Side side);
+    TrafficPeer(sim::SimContext &ctx, std::string name, Fabric &fabric);
 
     /** MAC address the peer sources traffic from. */
     MacAddr mac() const { return mac_; }
+
+    /** The fabric port this peer is bound to. */
+    Port &port() { return *port_; }
+    const Port &port() const { return *port_; }
+
+    /**
+     * Accept only frames addressed to this peer's MAC (plus unaddressed
+     * test frames).  Off by default -- on a point-to-point link every
+     * frame is for the peer -- but required on a switch, where learning
+     * floods unknown-unicast frames to every port.
+     */
+    void setMacFilter(bool on) { macFilter_ = on; }
+
+    /** Frames discarded by the MAC filter. */
+    std::uint64_t rxFiltered() const { return nRxFiltered_.value(); }
 
     /**
      * Begin sourcing back-to-back frames, cycling round-robin over
@@ -119,9 +132,9 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
   private:
     void sendNext();
 
-    EthLink &link_;
-    EthLink::Side side_;
+    Port *port_ = nullptr;
     MacAddr mac_;
+    bool macFilter_ = false;
     std::vector<MacAddr> dsts_;
     std::uint32_t payload_ = kMss;
     std::size_t rrIndex_ = 0;
@@ -146,6 +159,7 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
     sim::Counter &nTxFrames_;
     sim::Counter &nRxDups_;
     sim::Counter &nRxBadCsum_;
+    sim::Counter &nRxFiltered_;
 };
 
 } // namespace cdna::net

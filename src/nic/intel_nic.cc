@@ -9,9 +9,8 @@ namespace cdna::nic {
 
 IntelNic::IntelNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
                    mem::PhysMemory &mem, mem::DeviceId dev,
-                   net::EthLink &link, net::EthLink::Side side,
-                   IntelNicParams params)
-    : NicBase(ctx, std::move(name), bus, mem, dev, link, side),
+                   net::Fabric &fabric, IntelNicParams params)
+    : NicBase(ctx, std::move(name), bus, mem, dev, fabric),
       params_(params),
       txBuf_(params.txBufferBytes),
       rxBuf_(params.rxBufferBytes),
@@ -143,7 +142,7 @@ IntelNic::pumpTx()
         nTxPayload_.inc(pkt.payloadBytes);
         sim::Time gap = params_.txInterFrameGap *
                         static_cast<sim::Time>(pkt.wireFrames());
-        link_.send(side_, std::move(pkt), gap, [this, bytes, ep] {
+        port_.send(std::move(pkt), gap, [this, bytes, ep] {
             if (ep != txEpoch_)
                 return; // quiesced while on the wire; state already reset
             txBuf_.release(bytes);

@@ -51,8 +51,8 @@ class IntelNic : public NicBase
     };
 
     IntelNic(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
-             mem::PhysMemory &mem, mem::DeviceId dev, net::EthLink &link,
-             net::EthLink::Side side, IntelNicParams params = {});
+             mem::PhysMemory &mem, mem::DeviceId dev, net::Fabric &fabric,
+             IntelNicParams params = {});
 
     // --- host/driver configuration -------------------------------------
     void setMac(net::MacAddr mac) { mac_ = mac; }

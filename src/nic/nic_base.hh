@@ -17,7 +17,7 @@
 #include <functional>
 
 #include "mem/dma_engine.hh"
-#include "net/eth_link.hh"
+#include "net/fabric.hh"
 #include "sim/sim_object.hh"
 
 namespace cdna::nic {
@@ -35,8 +35,11 @@ class NicBase : public sim::SimObject, public net::LinkEndpoint
 {
   public:
     NicBase(sim::SimContext &ctx, std::string name, mem::PciBus &bus,
-            mem::PhysMemory &mem, mem::DeviceId dev, net::EthLink &link,
-            net::EthLink::Side side);
+            mem::PhysMemory &mem, mem::DeviceId dev, net::Fabric &fabric);
+
+    /** The fabric port this NIC is bound to. */
+    net::Port &port() { return port_; }
+    const net::Port &port() const { return port_; }
 
     /** Install the physical interrupt line (wired by the hypervisor). */
     void setIrqLine(std::function<void()> fn) { irq_ = std::move(fn); }
@@ -67,8 +70,7 @@ class NicBase : public sim::SimObject, public net::LinkEndpoint
     /** Immediately raise the physical interrupt line. */
     void raiseIrq();
 
-    net::EthLink &link_;
-    net::EthLink::Side side_;
+    net::Port &port_;
     mem::DmaEngine dma_;
 
     sim::Counter &nIrqs_;

@@ -87,10 +87,16 @@ namespace {
 /** Execute one run point in complete isolation. */
 RunResult
 executeRun(const RunPoint &point, const ExperimentSpec::Setup &setup,
-           const ExperimentSpec::Probe &probe, const core::CliOptions *obs)
+           const ExperimentSpec::Probe &probe,
+           const ExperimentSpec::Runner &runner, const core::CliOptions *obs)
 {
     RunResult result;
     result.point = point;
+    if (runner) {
+        result.report = runner(point, result.extra);
+        result.json = core::reportToJson(result.report);
+        return result;
+    }
     core::System sys(point.config);
     if (setup)
         setup(sys, point);
@@ -213,8 +219,8 @@ runSweep(const ExperimentSpec &spec, const SweepOptions &opt)
 
     parallelFor(jobs, points.size(), [&](std::size_t i) {
         const core::CliOptions *obs = i == obsIndex ? &opt.obs : nullptr;
-        RunResult r =
-            executeRun(points[i], spec.setupFn(), spec.probeFn(), obs);
+        RunResult r = executeRun(points[i], spec.setupFn(), spec.probeFn(),
+                                 spec.runnerFn(), obs);
         {
             std::lock_guard<std::mutex> lock(progressMu);
             result.runs[i] = std::move(r);

@@ -112,6 +112,17 @@ class ExperimentSpec
                                      std::map<std::string, double> &)>;
     /** Pre-run hook: adjust the freshly built System before run(). */
     using Setup = std::function<void(core::System &, const RunPoint &)>;
+    /**
+     * Custom executor: build whatever topology the run point asks for
+     * (multi-host switches, external peers) and return the report to
+     * record.  When set, the default single-System execution -- and
+     * with it setup/probe/observability -- is bypassed; the runner
+     * reads knobs from point.config.scenario and fills @p extra
+     * itself.  Determinism contract is unchanged: the result may
+     * depend only on the run point.
+     */
+    using Runner = std::function<core::Report(
+        const RunPoint &, std::map<std::string, double> &extra)>;
 
     explicit ExperimentSpec(std::string name) : name_(std::move(name)) {}
 
@@ -216,8 +227,17 @@ class ExperimentSpec
         return *this;
     }
 
+    /** Install a custom executor (see Runner). */
+    ExperimentSpec &
+    runner(Runner r)
+    {
+        runner_ = std::move(r);
+        return *this;
+    }
+
     const Probe &probeFn() const { return probe_; }
     const Setup &setupFn() const { return setup_; }
+    const Runner &runnerFn() const { return runner_; }
     const std::vector<std::uint64_t> &seedEnsemble() const { return seeds_; }
 
     /**
@@ -252,6 +272,7 @@ class ExperimentSpec
     sim::Time measure_ = sim::milliseconds(400);
     Probe probe_;
     Setup setup_;
+    Runner runner_;
 };
 
 /** Execution knobs for a sweep (none of these affect results). */

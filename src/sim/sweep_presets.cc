@@ -1,6 +1,10 @@
 #include "sim/sweep_presets.hh"
 
+#include <algorithm>
 #include <cstdio>
+
+#include "net/eth_switch.hh"
+#include "sim/topology.hh"
 
 namespace cdna::sim::presets {
 
@@ -286,6 +290,185 @@ oversub()
         });
 }
 
+namespace {
+
+/** Snapshot of one sender-side TCP flow for windowed deltas. */
+struct FlowBase
+{
+    std::uint64_t acked = 0;
+    std::uint64_t retrans = 0;
+};
+
+FlowBase
+flowNow(net::TrafficPeer &peer)
+{
+    FlowBase f;
+    if (auto *t = peer.tcp()) {
+        if (auto *fl = t->senderFlow(0x1000))
+            f.acked = fl->sndUna();
+        f.retrans = t->retransSegs();
+    }
+    return f;
+}
+
+} // namespace
+
+ExperimentSpec
+incast()
+{
+    using Cfg = core::SystemConfig;
+    std::vector<std::pair<std::string, ExperimentSpec::Mutator>> fanouts;
+    for (std::uint32_t n : {2u, 4u, 8u, 16u}) {
+        char label[16];
+        std::snprintf(label, sizeof(label), "f%u", n);
+        fanouts.emplace_back(label, [n](Cfg &c) {
+            c.withScenario("fanout", static_cast<double>(n));
+        });
+    }
+    return ExperimentSpec("incast")
+        .config("xen", core::SystemConfig::xenIntel(1)
+                           .receive()
+                           .withNics(1)
+                           .transport(core::kTcp))
+        .config("cdna", core::SystemConfig::cdna(1)
+                            .receive()
+                            .withNics(1)
+                            .transport(core::kTcp))
+        .vary("fanout", std::move(fanouts))
+        .vary("buffer",
+              {{"buf32k",
+                [](Cfg &c) {
+                    c.withScenario("switch_buf_bytes", 32.0 * 1024.0);
+                }},
+               {"buf256k",
+                [](Cfg &c) {
+                    c.withScenario("switch_buf_bytes", 256.0 * 1024.0);
+                }}})
+        .warmup(sim::milliseconds(10))
+        .measure(sim::milliseconds(40))
+        .runner([](const RunPoint &point,
+                   std::map<std::string, double> &extra) {
+            const Cfg &cfg = point.config;
+            auto fanout =
+                static_cast<std::uint32_t>(cfg.scenarioOr("fanout", 4.0));
+            net::EthSwitchParams sw_params;
+            sw_params.bufBytesPerPort = static_cast<std::uint64_t>(
+                cfg.scenarioOr("switch_buf_bytes",
+                               static_cast<double>(
+                                   cfg.costs.switchBufBytesPerPort)));
+            sw_params.forwardLatency = cfg.costs.switchForwardLatency;
+
+            Topology topo(cfg.seed);
+            auto &sw = topo.addSwitch("sw", fanout + 1, sw_params);
+            auto &host = topo.addHost(cfg, {&sw});
+            std::vector<net::TrafficPeer *> senders;
+            for (std::uint32_t i = 0; i < fanout; ++i) {
+                auto &p = topo.addPeer("snd" + std::to_string(i), sw);
+                p.enableTcp(cfg.tcpParams);
+                senders.push_back(&p);
+            }
+            topo.ctx().events().schedule(
+                sim::milliseconds(1), [&host, &senders] {
+                    for (auto *p : senders)
+                        p->startSource({host.guestMac(0, 0)});
+                });
+
+            std::vector<FlowBase> base(senders.size());
+            topo.run(point.warmup, point.measure, [&] {
+                for (std::size_t i = 0; i < senders.size(); ++i)
+                    base[i] = flowNow(*senders[i]);
+            });
+
+            double secs = sim::toSeconds(point.measure);
+            double lo = 0.0, hi = 0.0, sum = 0.0;
+            std::uint64_t retrans = 0;
+            for (std::size_t i = 0; i < senders.size(); ++i) {
+                FlowBase end = flowNow(*senders[i]);
+                double mbps = static_cast<double>(end.acked -
+                                                  base[i].acked) *
+                              8.0 / secs / 1.0e6;
+                lo = i == 0 ? mbps : std::min(lo, mbps);
+                hi = std::max(hi, mbps);
+                sum += mbps;
+                retrans += end.retrans - base[i].retrans;
+            }
+            extra["flow_mbps_min"] = lo;
+            extra["flow_mbps_mean"] =
+                sum / static_cast<double>(senders.size());
+            extra["flow_mbps_max"] = hi;
+            extra["sender_retrans"] = static_cast<double>(retrans);
+            return topo.report(host);
+        });
+}
+
+ExperimentSpec
+noisyNeighbor()
+{
+    using Cfg = core::SystemConfig;
+    return ExperimentSpec("noisy-neighbor")
+        .config("xen", core::SystemConfig::xenIntel(1)
+                           .receive()
+                           .withNics(1)
+                           .transport(core::kTcp))
+        .config("cdna", core::SystemConfig::cdna(1)
+                            .receive()
+                            .withNics(1)
+                            .transport(core::kTcp))
+        .vary("neighbor",
+              {{"alone", [](Cfg &) {}},
+               {"noisy",
+                [](Cfg &c) { c.withScenario("noisy", 1.0); }}})
+        .warmup(sim::milliseconds(10))
+        .measure(sim::milliseconds(40))
+        .runner([](const RunPoint &point,
+                   std::map<std::string, double> &extra) {
+            const Cfg &cfg = point.config;
+            bool noisy = cfg.scenarioOr("noisy", 0.0) != 0.0;
+            net::EthSwitchParams sw_params;
+            sw_params.bufBytesPerPort = cfg.costs.switchBufBytesPerPort;
+            sw_params.forwardLatency = cfg.costs.switchForwardLatency;
+
+            Topology topo(cfg.seed);
+            auto &core_sw = topo.addSwitch("core", 4, sw_params);
+            auto &access = topo.addSwitch("access", 4, sw_params);
+            auto &trunk = topo.link(core_sw, access);
+            auto &victim = topo.addHost(cfg, {&access});
+            auto &other = topo.addHost(
+                core::SystemConfig::cdna(1).receive().withNics(1),
+                {&access});
+            auto &vsrc = topo.addPeer("vsrc", core_sw);
+            auto &nsrc = topo.addPeer("nsrc", core_sw);
+            core_sw.setRoute(victim.guestMac(0, 0), trunk.portOnA());
+            core_sw.setRoute(other.guestMac(0, 0), trunk.portOnA());
+            access.setRoute(vsrc.mac(), trunk.portOnB());
+            access.setRoute(nsrc.mac(), trunk.portOnB());
+
+            vsrc.enableTcp(cfg.tcpParams);
+            topo.ctx().events().schedule(
+                sim::milliseconds(1), [&victim, &other, &vsrc, &nsrc, noisy] {
+                    vsrc.startSource({victim.guestMac(0, 0)});
+                    if (noisy)
+                        nsrc.startSource({other.guestMac(0, 0)});
+                });
+
+            FlowBase base;
+            std::uint64_t drops0 = 0;
+            topo.run(point.warmup, point.measure, [&] {
+                base = flowNow(vsrc);
+                drops0 = core_sw.totalDrops();
+            });
+            FlowBase end = flowNow(vsrc);
+            extra["victim_flow_mbps"] =
+                static_cast<double>(end.acked - base.acked) * 8.0 /
+                sim::toSeconds(point.measure) / 1.0e6;
+            extra["victim_retrans"] =
+                static_cast<double>(end.retrans - base.retrans);
+            extra["trunk_drops"] =
+                static_cast<double>(core_sw.totalDrops() - drops0);
+            return topo.report(victim);
+        });
+}
+
 const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &
 all()
 {
@@ -306,6 +489,8 @@ all()
             {"tcp-loss", tcpLoss},
             {"availability", availability},
             {"oversub", oversub},
+            {"incast", incast},
+            {"noisy-neighbor", noisyNeighbor},
         };
     return presets;
 }

@@ -71,6 +71,24 @@ ExperimentSpec availability();
  * degrades as it no longer does.
  */
 ExperimentSpec oversub();
+/**
+ * Extension: switch incast.  N TCP senders on one output-queued switch
+ * converge on a single receiving guest -- Xen vs CDNA receivers,
+ * crossed with fanout {2,4,8,16} and per-port switch buffer
+ * {32 KiB, 256 KiB}.  Reports switch tail drops, per-flow goodput
+ * spread, and sender retransmissions; the shallow-buffer high-fanout
+ * cells are loss-limited rather than receiver-limited.
+ */
+ExperimentSpec incast();
+/**
+ * Extension: noisy neighbor.  The victim and noisy hosts share one
+ * access switch fed by a single trunk from a core switch; cells cross
+ * {xen, cdna} victims with {alone, noisy}.  With the neighbor active,
+ * an open-loop line-rate stream to the other host saturates the
+ * shared trunk and the victim's closed-loop TCP flow degrades through
+ * trunk-queue drops.
+ */
+ExperimentSpec noisyNeighbor();
 
 /** Every preset, keyed by CLI name, in documentation order. */
 const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &all();

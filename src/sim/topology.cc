@@ -1,0 +1,120 @@
+#include "sim/topology.hh"
+
+#include <utility>
+
+#include "sim/assert.hh"
+
+namespace cdna::sim {
+
+Topology::Topology(std::uint64_t seed)
+    : ctx_(std::make_unique<SimContext>(seed))
+{
+}
+
+Topology::~Topology() = default;
+
+net::EthSwitch &
+Topology::addSwitch(const std::string &name, std::uint32_t num_ports,
+                    net::EthSwitchParams params)
+{
+    switches_.push_back(
+        std::make_unique<net::EthSwitch>(*ctx_, name, num_ports, params));
+    return *switches_.back();
+}
+
+net::SwitchTrunk &
+Topology::link(net::EthSwitch &a, net::EthSwitch &b)
+{
+    trunks_.push_back(std::make_unique<net::SwitchTrunk>(
+        *ctx_, "trunk" + std::to_string(trunks_.size()), a, b));
+    return *trunks_.back();
+}
+
+void
+Topology::routeOnSwitch(net::Fabric &fabric, net::MacAddr mac,
+                        std::uint32_t port_index)
+{
+    for (auto &sw : switches_)
+        if (sw.get() == &fabric)
+            sw->setRoute(mac, port_index);
+}
+
+core::System &
+Topology::addHost(core::SystemConfig cfg, std::vector<net::Fabric *> fabrics)
+{
+    SIM_ASSERT(reports_.empty(), "cannot add hosts after run()");
+    std::uint32_t id = nextHostId_++;
+    // Host 0 keeps the standalone naming and MAC block so single-host
+    // topologies stay bit-identical to a standalone System.
+    cfg.onHost(id, id == 0 ? "" : "h" + std::to_string(id) + ".");
+    hosts_.push_back(
+        std::make_unique<core::System>(cfg, *ctx_, std::move(fabrics)));
+    core::System &sys = *hosts_.back();
+
+    // Pin this host's MACs to its switch ports: every guest terminates
+    // one connection per NIC, and Xen/native modes source from the
+    // driver-domain MAC as well.
+    for (std::uint32_t i = 0; i < cfg.numNics; ++i) {
+        if (!sys.nicExternal(i))
+            continue;
+        net::Fabric &fab = sys.nicFabric(i);
+        std::uint32_t port = sys.nicPort(i).index();
+        for (std::uint32_t g = 0; g < cfg.numGuests; ++g)
+            routeOnSwitch(fab, sys.guestMac(g, i), port);
+        routeOnSwitch(fab,
+                      net::MacAddr::fromId(cfg.hostId * 0x00100000u +
+                                           0x020000u + i),
+                      port);
+    }
+    return sys;
+}
+
+net::TrafficPeer &
+Topology::addPeer(const std::string &name, net::Fabric &fabric)
+{
+    peers_.push_back(
+        std::make_unique<net::TrafficPeer>(*ctx_, name, fabric));
+    net::TrafficPeer &peer = *peers_.back();
+    // On a switch, flooding can deliver other hosts' frames here;
+    // filter like a real NIC would, and pin the return route.
+    peer.setMacFilter(true);
+    routeOnSwitch(fabric, peer.mac(), peer.port().index());
+    return peer;
+}
+
+void
+Topology::run(Time warmup, Time measure,
+              std::function<void()> on_measure_begin)
+{
+    SIM_ASSERT(reports_.empty(), "Topology::run is one-shot");
+    SIM_ASSERT(!hosts_.empty(), "topology has no hosts");
+    for (auto &h : hosts_)
+        h->start();
+    ctx_->events().runUntil(warmup);
+    for (auto &h : hosts_)
+        h->beginMeasurement();
+    if (on_measure_begin)
+        on_measure_begin();
+    ctx_->events().runUntil(warmup + measure);
+    for (auto &h : hosts_)
+        reports_.push_back(h->endMeasurement(measure));
+}
+
+core::Report
+Topology::report(std::size_t h) const
+{
+    SIM_ASSERT(h < reports_.size(), "no report: index bad or run() not called");
+    return reports_[h];
+}
+
+core::Report
+Topology::report(const core::System &h) const
+{
+    for (std::size_t i = 0; i < hosts_.size(); ++i)
+        if (hosts_[i].get() == &h)
+            return report(i);
+    SIM_ASSERT(false, "host not in this topology");
+    return {};
+}
+
+} // namespace cdna::sim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Multi-host topology builder: full System instances, switches, and
+ * external traffic peers composed inside ONE simulation context.
+ *
+ * A Topology owns the shared SimContext and wires hosts onto fabrics:
+ *
+ *   sim::Topology topo(seed);
+ *   auto &sw = topo.addSwitch("sw", 5);
+ *   auto &victim = topo.addHost(core::SystemConfig::cdna(1).receive(),
+ *                               {&sw});
+ *   auto &sender = topo.addPeer("sender", sw);
+ *   sender.startSource({victim.guestMac(0, 0)});
+ *   topo.run(warmup, measure);
+ *   core::Report r = topo.report(victim);
+ *
+ * Host 0 keeps an empty name prefix and hostId 0, so a 1-host topology
+ * with no external fabrics is event-for-event identical to a
+ * standalone System -- the single-host paper configurations are the
+ * degenerate case of this builder, not a separate code path.  Every
+ * subsequent host gets an "h<k>." prefix and a distinct hostId (a
+ * disjoint guest-MAC block).
+ *
+ * addHost() pins every guest MAC (and the driver-domain MAC for Xen
+ * modes) to the host's switch port with static routes, so cross-host
+ * unicast never depends on flood-then-learn warmup.
+ */
+
+#ifndef CDNA_SIM_TOPOLOGY_HH
+#define CDNA_SIM_TOPOLOGY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "net/eth_switch.hh"
+#include "net/traffic_peer.hh"
+#include "sim/sim_object.hh"
+
+namespace cdna::sim {
+
+class Topology
+{
+  public:
+    explicit Topology(std::uint64_t seed = 1);
+    ~Topology();
+
+    Topology(const Topology &) = delete;
+    Topology &operator=(const Topology &) = delete;
+
+    SimContext &ctx() { return *ctx_; }
+
+    /** Add an @p num_ports -port switch named @p name. */
+    net::EthSwitch &addSwitch(const std::string &name,
+                              std::uint32_t num_ports,
+                              net::EthSwitchParams params = {});
+
+    /** Uplink two switches; routes via the trunk must be pinned with
+     *  setRoute(mac, trunk.portOnA()/portOnB()) on each switch. */
+    net::SwitchTrunk &link(net::EthSwitch &a, net::EthSwitch &b);
+
+    /**
+     * Add a full System.  NIC i binds @p fabrics[i]; a nullptr entry
+     * (or a short vector) leaves that NIC on a private EthLink +
+     * TrafficPeer pair.  Guest and driver-domain MACs are statically
+     * routed on every switch the host binds.
+     */
+    core::System &addHost(core::SystemConfig cfg,
+                          std::vector<net::Fabric *> fabrics);
+
+    /** Add an external traffic peer on @p fabric (MAC-filtered and
+     *  statically routed when the fabric is one of ours). */
+    net::TrafficPeer &addPeer(const std::string &name,
+                              net::Fabric &fabric);
+
+    std::size_t numHosts() const { return hosts_.size(); }
+    core::System &host(std::size_t i) { return *hosts_[i]; }
+
+    /**
+     * Start every host, simulate @p warmup, begin measurement on every
+     * host (and fire @p on_measure_begin, for per-flow baseline
+     * snapshots), simulate @p measure, and end measurement.  Reports
+     * are then available via report().
+     */
+    void run(Time warmup, Time measure,
+             std::function<void()> on_measure_begin = {});
+
+    /** Host @p h's measurement-window report (after run()). */
+    core::Report report(std::size_t h) const;
+    core::Report report(const core::System &h) const;
+
+  private:
+    std::unique_ptr<SimContext> ctx_;
+    std::vector<std::unique_ptr<net::EthSwitch>> switches_;
+    std::vector<std::unique_ptr<net::SwitchTrunk>> trunks_;
+    std::vector<std::unique_ptr<core::System>> hosts_;
+    std::vector<std::unique_ptr<net::TrafficPeer>> peers_;
+    std::vector<core::Report> reports_;
+    std::uint32_t nextHostId_ = 0;
+
+    /** Pin @p mac to @p port_index on @p fabric if it is one of our
+     *  switches (links need no routes). */
+    void routeOnSwitch(net::Fabric &fabric, net::MacAddr mac,
+                       std::uint32_t port_index);
+};
+
+} // namespace cdna::sim
+
+#endif // CDNA_SIM_TOPOLOGY_HH

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "core/cdna_driver.hh"
+#include "net/eth_link.hh"
 #include "net/traffic_peer.hh"
 
 using namespace cdna;
@@ -25,9 +26,9 @@ struct DriverFixture : ::testing::TestWithParam<bool>
     vmm::Hypervisor hv{ctx, cpu, mem};
     mem::PciBus bus{ctx, "pci"};
     net::EthLink link{ctx, "eth"};
-    net::TrafficPeer peer{ctx, "peer", link, net::EthLink::Side::kB};
+    net::TrafficPeer peer{ctx, "peer", link};
     CostModel costs;
-    CdnaNic nic{ctx, "cdna", bus, mem, 0, link, net::EthLink::Side::kA,
+    CdnaNic nic{ctx, "cdna", bus, mem, 0, link,
                 [] {
                     CdnaNicParams p;
                     p.seqnoCheck = true;
@@ -126,7 +127,7 @@ TEST_F(DriverFixture, ReceiveIntoRecycledBuffers)
     p.dst = drv->mac();
     p.payloadBytes = 1200;
     for (int i = 0; i < 40; ++i) // more than one ring lap of 32
-        link.send(net::EthLink::Side::kB, p);
+        link.port(0).send(p);
     ctx.events().run();
 
     EXPECT_EQ(got.size(), 40u);

@@ -10,6 +10,7 @@
 
 #include "core/cdna_nic.hh"
 #include "core/interrupt_ring.hh"
+#include "net/eth_link.hh"
 #include "net/traffic_peer.hh"
 #include "sim/sim_object.hh"
 
@@ -24,7 +25,7 @@ struct CdnaHarness
     mem::PhysMemory mem{ctx, 8192};
     mem::PciBus bus{ctx, "pci"};
     net::EthLink link{ctx, "eth"};
-    net::TrafficPeer peer{ctx, "peer", link, net::EthLink::Side::kB};
+    net::TrafficPeer peer{ctx, "peer", link};
     CdnaNic nic;
 
     std::vector<std::uint32_t> producers;
@@ -33,7 +34,7 @@ struct CdnaHarness
     std::vector<std::uint64_t> rxSeqnos;
 
     explicit CdnaHarness(CdnaNicParams params = {})
-        : nic(ctx, "cdna", bus, mem, 0, link, net::EthLink::Side::kA,
+        : nic(ctx, "cdna", bus, mem, 0, link,
               params)
     {
     }
@@ -310,9 +311,9 @@ TEST(CdnaNic, DemuxByMacToContexts)
     net::Packet to_b;
     to_b.dst = net::MacAddr::fromId(20);
     to_b.payloadBytes = 900;
-    h.link.send(net::EthLink::Side::kB, to_a);
-    h.link.send(net::EthLink::Side::kB, to_b);
-    h.link.send(net::EthLink::Side::kB, to_b);
+    h.link.port(0).send(to_a);
+    h.link.port(0).send(to_b);
+    h.link.port(0).send(to_b);
     h.ctx.events().run();
 
     EXPECT_EQ(h.nic.drainRx(a).size(), 1u);
@@ -331,7 +332,7 @@ TEST(CdnaNic, UnknownMacDropped)
     net::Packet p;
     p.dst = net::MacAddr::fromId(999);
     p.payloadBytes = 100;
-    h.link.send(net::EthLink::Side::kB, p);
+    h.link.port(0).send(p);
     h.ctx.events().run();
     EXPECT_EQ(h.nic.rxPackets(), 0u);
     EXPECT_EQ(h.nic.rxDropFilter(), 1u);
@@ -347,7 +348,7 @@ TEST(CdnaNic, PromiscuousContextCatchesUnknownMacs)
     net::Packet p;
     p.dst = net::MacAddr::fromId(999);
     p.payloadBytes = 100;
-    h.link.send(net::EthLink::Side::kB, p);
+    h.link.port(0).send(p);
     h.ctx.events().run();
     EXPECT_EQ(h.nic.drainRx(a).size(), 1u);
 }
@@ -359,7 +360,7 @@ TEST(CdnaNic, RxDropWithoutDescriptors)
     net::Packet p;
     p.dst = net::MacAddr::fromId(10);
     p.payloadBytes = 100;
-    h.link.send(net::EthLink::Side::kB, p);
+    h.link.port(0).send(p);
     h.ctx.events().run();
     EXPECT_EQ(h.nic.rxDropNoDesc(), 1u);
 }

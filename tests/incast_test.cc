@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Incast sweep tests: the preset's Runner-driven multi-host cells are
+ * byte-identical across worker counts, and the buffer-limited cells
+ * actually exhibit loss-driven degradation (tail drops, sender
+ * retransmissions, lower per-flow goodput) relative to deep buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/sweep.hh"
+#include "sim/sweep_presets.hh"
+
+using namespace cdna;
+
+namespace {
+
+/** The incast preset shrunk to a sub-second grid (same runner). */
+sim::ExperimentSpec
+smallIncast()
+{
+    auto spec = sim::presets::byName("incast");
+    EXPECT_TRUE(spec.has_value());
+    return spec->warmup(sim::milliseconds(2)).measure(sim::milliseconds(10));
+}
+
+} // namespace
+
+TEST(Incast, SweepDeterministicJ1J8)
+{
+    sim::SweepOptions j1;
+    j1.jobs = 1;
+    sim::SweepOptions j8;
+    j8.jobs = 8;
+    auto a = sim::runSweep(smallIncast(), j1);
+    auto b = sim::runSweep(smallIncast(), j8);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        EXPECT_EQ(a.runs[i].point.cell, b.runs[i].point.cell);
+        EXPECT_EQ(a.runs[i].json, b.runs[i].json) << a.runs[i].point.cell;
+        EXPECT_EQ(a.runs[i].extra, b.runs[i].extra) << a.runs[i].point.cell;
+    }
+    EXPECT_EQ(sim::sweepToJson(a), sim::sweepToJson(b));
+}
+
+TEST(Incast, BufferLimitedCellDropsAndDegrades)
+{
+    // Full measurement window so congestion control reaches steady
+    // state, but only the two cells the assertion needs.
+    auto spec = sim::presets::byName("incast");
+    ASSERT_TRUE(spec.has_value());
+    sim::SweepOptions opt;
+    opt.jobs = 2;
+    auto result = sim::runSweep(*spec, opt);
+
+    std::map<std::string, const sim::RunResult *> by_cell;
+    for (const auto &r : result.runs)
+        by_cell[r.point.cell] = &r;
+
+    const auto *shallow = by_cell.at("cdna/f16/buf32k");
+    const auto *deep = by_cell.at("cdna/f16/buf256k");
+
+    // The 32 KiB egress queue tail-drops under 16-way incast ...
+    EXPECT_GT(shallow->report.switchDrops, 0u);
+    EXPECT_GT(shallow->extra.at("sender_retrans"), 0.0);
+    // ... and the peak queue depth is pinned at the configured cap.
+    EXPECT_LE(shallow->report.switchQueuePeakBytes, 32u * 1024u);
+    EXPECT_GT(shallow->report.switchQueuePeakBytes, 30u * 1024u);
+    EXPECT_GT(deep->report.switchQueuePeakBytes, 200u * 1024u);
+
+    // Loss-driven degradation: deep buffers deliver more aggregate
+    // goodput and a healthier slowest flow than the shallow queue.
+    EXPECT_GT(deep->report.mbps, shallow->report.mbps);
+    EXPECT_GT(shallow->extra.at("flow_mbps_mean"), 0.0);
+    EXPECT_LT(shallow->extra.at("flow_mbps_min"),
+              deep->extra.at("flow_mbps_min"));
+}

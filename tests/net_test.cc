@@ -93,13 +93,12 @@ TEST(EthLink, SerializationAndPropagationTiming)
     EthLink link(ctx, "eth", 1.0e9, sim::nanoseconds(500));
     Sink sink;
     sink.eq = &ctx.events();
-    link.attach(EthLink::Side::kB, &sink);
+    link.bind(sink);
 
     Packet p;
     p.payloadBytes = kMss;
     sim::Time serialized = 0;
-    link.send(EthLink::Side::kA, p, 0,
-              [&] { serialized = ctx.now(); });
+    link.port(1).send(p, 0, [&] { serialized = ctx.now(); });
     ctx.events().run();
     // 1538 bytes at 8 ns/byte = 12.304 us.
     EXPECT_EQ(serialized, sim::nanoseconds(1538 * 8));
@@ -113,15 +112,16 @@ TEST(EthLink, BackToBackFramesQueue)
     EthLink link(ctx, "eth", 1.0e9, 0);
     Sink sink;
     sink.eq = &ctx.events();
-    link.attach(EthLink::Side::kB, &sink);
+    link.bind(sink);
     Packet p;
     p.payloadBytes = kMss;
-    link.send(EthLink::Side::kA, p);
-    link.send(EthLink::Side::kA, p);
+    link.port(1).send(p);
+    link.port(1).send(p);
     ctx.events().run();
     ASSERT_EQ(sink.got.size(), 2u);
     EXPECT_EQ(sink.last_at, 2 * sim::nanoseconds(1538 * 8));
-    EXPECT_EQ(link.payloadCarried(EthLink::Side::kA), 2ull * kMss);
+    EXPECT_EQ(link.port(1).payloadCarried(), 2ull * kMss);
+    EXPECT_EQ(link.port(0).payloadDelivered(), 2ull * kMss);
 }
 
 TEST(EthLink, ExtraGapDelaysNextFrame)
@@ -130,11 +130,11 @@ TEST(EthLink, ExtraGapDelaysNextFrame)
     EthLink link(ctx, "eth", 1.0e9, 0);
     Sink sink;
     sink.eq = &ctx.events();
-    link.attach(EthLink::Side::kB, &sink);
+    link.bind(sink);
     Packet p;
     p.payloadBytes = kMss;
-    link.send(EthLink::Side::kA, p, sim::microseconds(5));
-    link.send(EthLink::Side::kA, p);
+    link.port(1).send(p, sim::microseconds(5));
+    link.port(1).send(p);
     ctx.events().run();
     EXPECT_EQ(sink.last_at,
               2 * sim::nanoseconds(1538 * 8) + sim::microseconds(5));
@@ -145,12 +145,12 @@ TEST(EthLink, DirectionsIndependent)
     sim::SimContext ctx;
     EthLink link(ctx, "eth", 1.0e9, 0);
     Sink a, b;
-    link.attach(EthLink::Side::kA, &a);
-    link.attach(EthLink::Side::kB, &b);
+    Port &pa = link.bind(a);
+    Port &pb = link.bind(b);
     Packet p;
     p.payloadBytes = 100;
-    link.send(EthLink::Side::kA, p);
-    link.send(EthLink::Side::kB, p);
+    pa.send(p);
+    pb.send(p);
     ctx.events().run();
     EXPECT_EQ(a.got.size(), 1u);
     EXPECT_EQ(b.got.size(), 1u);
@@ -161,11 +161,11 @@ TEST(EthLink, HostSgClearedOnWire)
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
     Sink sink;
-    link.attach(EthLink::Side::kB, &sink);
+    link.bind(sink);
     Packet p;
     p.payloadBytes = 100;
     p.hostSg = {{0x1000, 100}};
-    link.send(EthLink::Side::kA, std::move(p));
+    link.port(1).send(std::move(p));
     ctx.events().run();
     ASSERT_EQ(sink.got.size(), 1u);
     EXPECT_TRUE(sink.got[0].hostSg.empty());
@@ -177,9 +177,9 @@ TEST(TrafficPeer, SourcesRoundRobinAtLineRate)
 {
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
-    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    TrafficPeer peer(ctx, "peer", link);
     Sink sink;
-    link.attach(EthLink::Side::kA, &sink);
+    link.bind(sink);
 
     auto m1 = MacAddr::fromId(1);
     auto m2 = MacAddr::fromId(2);
@@ -201,12 +201,12 @@ TEST(TrafficPeer, SinkCountsPayloadBySource)
 {
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
-    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    TrafficPeer peer(ctx, "peer", link);
     Packet p;
     p.src = MacAddr::fromId(5);
     p.payloadBytes = 1000;
-    link.send(EthLink::Side::kA, p);
-    link.send(EthLink::Side::kA, p);
+    link.port(1).send(p);
+    link.port(1).send(p);
     ctx.events().run();
     EXPECT_EQ(peer.payloadReceived(), 2000u);
     EXPECT_EQ(peer.receivedBySrc().at(MacAddr::fromId(5)), 2000u);
@@ -216,16 +216,16 @@ TEST(TrafficPeer, AcksEveryNthFrame)
 {
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
-    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    TrafficPeer peer(ctx, "peer", link);
     peer.setAckEvery(2);
     Sink sink;
-    link.attach(EthLink::Side::kA, &sink);
+    link.bind(sink);
 
     Packet p;
     p.src = MacAddr::fromId(5);
     p.payloadBytes = kMss;
     for (int i = 0; i < 10; ++i)
-        link.send(EthLink::Side::kA, p);
+        link.port(1).send(p);
     ctx.events().run();
     // 10 data frames -> 5 acks back to the sender.
     ASSERT_EQ(sink.got.size(), 5u);
@@ -239,15 +239,15 @@ TEST(TrafficPeer, TsoBurstAckedPerWireFrame)
 {
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
-    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    TrafficPeer peer(ctx, "peer", link);
     peer.setAckEvery(2);
     Sink sink;
-    link.attach(EthLink::Side::kA, &sink);
+    link.bind(sink);
 
     Packet p;
     p.src = MacAddr::fromId(5);
     p.payloadBytes = 10 * kMss; // 10 wire frames in one burst
-    link.send(EthLink::Side::kA, p);
+    link.port(1).send(p);
     ctx.events().run();
     EXPECT_EQ(sink.got.size(), 5u);
 }
@@ -256,15 +256,15 @@ TEST(TrafficPeer, BadChecksumFramesCountedNotAcked)
 {
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
-    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    TrafficPeer peer(ctx, "peer", link);
     peer.setAckEvery(1);
     Sink sink;
-    link.attach(EthLink::Side::kA, &sink);
+    link.bind(sink);
     Packet p;
     p.src = MacAddr::fromId(5);
     p.payloadBytes = kMss;
     p.intact = false; // failed FCS/checksum on the wire
-    link.send(EthLink::Side::kA, p);
+    link.port(1).send(p);
     ctx.events().run();
     EXPECT_TRUE(sink.got.empty());
     EXPECT_EQ(peer.rxDropsBadCsum(), 1u);
@@ -275,15 +275,15 @@ TEST(TrafficPeer, NeverAcksAnAck)
 {
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
-    TrafficPeer peer(ctx, "peer", link, EthLink::Side::kB);
+    TrafficPeer peer(ctx, "peer", link);
     peer.setAckEvery(1);
     Sink sink;
-    link.attach(EthLink::Side::kA, &sink);
+    link.bind(sink);
     Packet ack;
     ack.src = MacAddr::fromId(5);
     ack.payloadBytes = 0;
     for (int i = 0; i < 4; ++i)
-        link.send(EthLink::Side::kA, ack);
+        link.port(1).send(ack);
     ctx.events().run();
     EXPECT_TRUE(sink.got.empty());
 }

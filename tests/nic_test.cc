@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "mem/phys_memory.hh"
+#include "net/eth_link.hh"
 #include "net/traffic_peer.hh"
 #include "nic/desc_ring.hh"
 #include "nic/firmware.hh"
@@ -197,7 +198,7 @@ struct IntelHarness
     mem::PhysMemory mem{ctx, 4096};
     mem::PciBus bus{ctx, "pci"};
     net::EthLink link{ctx, "eth"};
-    net::TrafficPeer peer{ctx, "peer", link, net::EthLink::Side::kB};
+    net::TrafficPeer peer{ctx, "peer", link};
     IntelNic nic;
     mem::DomainId dom = 1;
     std::uint32_t txProducer = 0;
@@ -205,7 +206,7 @@ struct IntelHarness
     std::vector<mem::PageNum> rxPages;
 
     IntelHarness()
-        : nic(ctx, "nic", bus, mem, 0, link, net::EthLink::Side::kA)
+        : nic(ctx, "nic", bus, mem, 0, link)
     {
         nic.setDmaDomain(dom);
         nic.setMac(net::MacAddr::fromId(1));
@@ -285,8 +286,8 @@ TEST(IntelNic, ReceiveIntoPostedBuffers)
     p.src = h.peer.mac();
     p.dst = h.nic.mac();
     p.payloadBytes = 800;
-    h.link.send(net::EthLink::Side::kB, p);
-    h.link.send(net::EthLink::Side::kB, p);
+    h.link.port(0).send(p);
+    h.link.port(0).send(p);
     h.ctx.events().run();
 
     EXPECT_EQ(h.nic.rxPackets(), 2u);
@@ -305,13 +306,13 @@ TEST(IntelNic, MacFilterDropsForeignFrames)
     net::Packet p;
     p.dst = net::MacAddr::fromId(999);
     p.payloadBytes = 100;
-    h.link.send(net::EthLink::Side::kB, p);
+    h.link.port(0).send(p);
     h.ctx.events().run();
     EXPECT_EQ(h.nic.rxPackets(), 0u);
     EXPECT_EQ(h.nic.rxDropFilter(), 1u);
 
     h.nic.setPromiscuous(true);
-    h.link.send(net::EthLink::Side::kB, p);
+    h.link.port(0).send(p);
     h.ctx.events().run();
     EXPECT_EQ(h.nic.rxPackets(), 1u);
 }
@@ -322,7 +323,7 @@ TEST(IntelNic, DropsWhenNoRxDescriptors)
     net::Packet p;
     p.dst = h.nic.mac();
     p.payloadBytes = 100;
-    h.link.send(net::EthLink::Side::kB, p);
+    h.link.port(0).send(p);
     h.ctx.events().run();
     EXPECT_EQ(h.nic.rxDropNoDesc(), 1u);
     EXPECT_EQ(h.nic.rxPackets(), 0u);

@@ -24,6 +24,7 @@
 #include "core/system.hh"
 #include "cpu/sim_cpu.hh"
 #include "mem/grant_table.hh"
+#include "net/eth_link.hh"
 #include "net/traffic_peer.hh"
 #include "sim/sweep.hh"
 #include "sim/sweep_presets.hh"
@@ -41,7 +42,7 @@ struct OversubHarness
     mem::PhysMemory mem{ctx, 8192};
     mem::PciBus bus{ctx, "pci"};
     net::EthLink link{ctx, "eth"};
-    net::TrafficPeer peer{ctx, "peer", link, net::EthLink::Side::kB};
+    net::TrafficPeer peer{ctx, "peer", link};
     CdnaNic nic;
 
     std::vector<std::uint32_t> producers;
@@ -50,7 +51,7 @@ struct OversubHarness
     std::vector<std::uint64_t> rxSeqnos;
 
     explicit OversubHarness(CdnaNicParams params = {})
-        : nic(ctx, "cdna", bus, mem, 0, link, net::EthLink::Side::kA,
+        : nic(ctx, "cdna", bus, mem, 0, link,
               params)
     {
     }

@@ -10,6 +10,7 @@
 
 #include "core/cdna_nic.hh"
 #include "core/dma_protection.hh"
+#include "net/eth_link.hh"
 #include "net/traffic_peer.hh"
 #include "sim/sim_object.hh"
 
@@ -26,9 +27,9 @@ struct ProtFixture : ::testing::Test
     vmm::Hypervisor hv{ctx, cpu, mem};
     mem::PciBus bus{ctx, "pci"};
     net::EthLink link{ctx, "eth"};
-    net::TrafficPeer peer{ctx, "peer", link, net::EthLink::Side::kB};
+    net::TrafficPeer peer{ctx, "peer", link};
     CostModel costs;
-    CdnaNic nic{ctx, "cdna", bus, mem, 0, link, net::EthLink::Side::kA};
+    CdnaNic nic{ctx, "cdna", bus, mem, 0, link};
 
     vmm::Domain *guest = nullptr;
     CdnaNic::ContextId cxt = 0;

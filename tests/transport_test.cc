@@ -353,11 +353,11 @@ TEST(TcpFrames, CorruptedFrameDeliveredWithIntactCleared)
         std::vector<Packet> got;
         void receiveFrame(Packet p) override { got.push_back(std::move(p)); }
     } sink;
-    link.attach(EthLink::Side::kB, &sink);
+    link.bind(sink);
     Packet p;
     p.payloadBytes = kMss;
     ASSERT_TRUE(p.intact);
-    link.send(EthLink::Side::kA, std::move(p));
+    link.port(1).send(std::move(p));
     ctx.events().run();
     // Corruption consumes wire and receiver resources: the frame is
     // delivered, flagged, and left for the receiver's checksum check.
@@ -534,20 +534,23 @@ TEST(TcpGolden, HeadlineConfigsUnchangedWithTransportOff)
                 << c.file << ": missing line: " << line;
         }
         // Schema 3 appended the failure-domain counters and the
-        // availability arrays, and schema 4 the context-paging
-        // counters; a fault-free headline run without oversubscription
-        // must report every one of them as zero (both machineries are
+        // availability arrays, schema 4 the context-paging counters,
+        // and schema 5 the switch-fabric counters; a fault-free
+        // headline run on a dedicated link without oversubscription
+        // must report every one of them as zero (the machineries are
         // inert unless enabled).
         for (const char *key :
-             {"\"schema_version\": 4", "\"driver_domain_kills\": 0",
+             {"\"schema_version\": 5", "\"driver_domain_kills\": 0",
               "\"firmware_reboots\": 0", "\"fe_reconnects\": 0",
               "\"grants_revoked\": 0", "\"pages_quarantined\": 0",
               "\"quarantine_released\": 0", "\"mailbox_throttled\": 0",
               "\"outage_packets_lost\": 0", "\"cxt_page_traps\": 0",
               "\"cxt_evictions\": 0", "\"cxt_page_ins\": 0",
-              "\"cxt_resident_peak\"", "\"per_guest_downtime_us\"",
-              "\"per_guest_ttfp_us\""})
+              "\"cxt_resident_peak\"", "\"switch_drops\": 0",
+              "\"switch_drop_bytes\": 0",
+              "\"switch_queue_peak_bytes\": 0",
+              "\"per_guest_downtime_us\"", "\"per_guest_ttfp_us\""})
             EXPECT_NE(json.find(key), std::string::npos)
-                << c.file << ": missing schema-3/4 key: " << key;
+                << c.file << ": missing appended schema key: " << key;
     }
 }
