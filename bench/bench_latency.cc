@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Extension experiment: RPC tail latency under open-loop load.
+ *
+ * The paper evaluates throughput and CPU efficiency; request/response
+ * tail latency is the companion metric that motivates concurrent direct
+ * access (and the user-level networking lineage of section 6).  Each
+ * guest issues 512 B requests answered with 8 KB responses under
+ * Poisson arrivals, and the report carries p50/p99/p999 round-trip
+ * latency plus timeout counts.  The grid crosses {xen, cdna,
+ * cdna-oversub} with offered load and the availability faults.
+ *
+ * Expected shape: CDNA's tail stays near the wire+coalescing floor at
+ * every load while Xen's p99/p999 inflate with driver-domain queueing;
+ * a dom0 kill times out in-flight Xen requests but leaves CDNA's
+ * datapath (and its tail) untouched; oversubscribing contexts 2:1
+ * halves achieved throughput as paged-out guests miss their deadlines.
+ */
+
+#include "bench_util.hh"
+
+using namespace cdna;
+using namespace cdna::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = parseBenchArgs(argc, argv);
+    opt.observeCell = "xen/load10k/healthy";
+    auto result = runBenchSweep(sim::presets::latency(), opt);
+
+    std::printf("=== Extension: RPC tail latency (512 B -> 8 KB, "
+                "Poisson open loop, 4 guests) ===\n");
+    std::printf("%-28s %9s %9s %8s %8s %8s %8s\n", "cell", "off rps",
+                "ach rps", "p50 us", "p99 us", "p999 us", "timeout");
+    for (const char *series : {"xen", "cdna", "cdna-oversub"}) {
+        for (const char *load : {"load2k", "load10k"}) {
+            for (const char *fault : {"healthy", "domkill", "fwreboot"}) {
+                std::string cell = std::string(series) + "/" + load + "/" +
+                                   fault;
+                const auto &r = cellReport(result, cell);
+                std::printf("%-28s %9.0f %9.0f %8.0f %8.0f %8.0f %8llu\n",
+                            cell.c_str(), r.rpcOfferedRps, r.rpcAchievedRps,
+                            r.rpcLatP50Us, r.rpcLatP99Us, r.rpcLatP999Us,
+                            static_cast<unsigned long long>(r.rpcTimeouts));
+            }
+        }
+    }
+
+    const auto &xen = cellReport(result, "xen/load10k/healthy");
+    const auto &cdna = cellReport(result, "cdna/load10k/healthy");
+    const auto &xenKill = cellReport(result, "xen/load10k/domkill");
+    const auto &cdnaKill = cellReport(result, "cdna/load10k/domkill");
+    std::printf("\nAt 10k rps: xen p99/p999 %.0f/%.0f us vs cdna "
+                "%.0f/%.0f us (%.1fx/%.1fx); dom0 kill: xen %llu "
+                "timeouts, cdna %llu (datapath bypasses the driver "
+                "domain)\n",
+                xen.rpcLatP99Us, xen.rpcLatP999Us, cdna.rpcLatP99Us,
+                cdna.rpcLatP999Us, xen.rpcLatP99Us / cdna.rpcLatP99Us,
+                xen.rpcLatP999Us / cdna.rpcLatP999Us,
+                static_cast<unsigned long long>(xenKill.rpcTimeouts),
+                static_cast<unsigned long long>(cdnaKill.rpcTimeouts));
+    return 0;
+}

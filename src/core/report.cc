@@ -131,6 +131,12 @@ reportToJson(const Report &r)
     add("latency_p99_us", r.latencyP99Us);
     add("fairness", r.fairness());
     add("wire_mbps", r.wireMbps);
+    add("rpc_lat_mean_us", r.rpcLatMeanUs);
+    add("rpc_lat_p50_us", r.rpcLatP50Us);
+    add("rpc_lat_p99_us", r.rpcLatP99Us);
+    add("rpc_lat_p999_us", r.rpcLatP999Us);
+    add("rpc_offered_rps", r.rpcOfferedRps);
+    add("rpc_achieved_rps", r.rpcAchievedRps);
     addU("protection_faults", r.protectionFaults);
     addU("dma_violations", r.dmaViolations);
     addU("rx_drops_no_desc", r.rxDropsNoDesc);
@@ -166,6 +172,11 @@ reportToJson(const Report &r)
     addU("switch_drops", r.switchDrops);
     addU("switch_drop_bytes", r.switchDropBytes);
     addU("switch_queue_peak_bytes", r.switchQueuePeakBytes);
+    addU("rpc_requests", r.rpcRequests);
+    addU("rpc_responses", r.rpcResponses);
+    addU("rpc_timeouts", r.rpcTimeouts);
+    addU("flows_started", r.flowsStarted);
+    addU("flows_completed", r.flowsCompleted);
     auto addArr = [&](const char *key, const std::vector<double> &v,
                       const char *fmt, bool last = false) {
         out += "  \"";

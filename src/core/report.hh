@@ -51,8 +51,16 @@ namespace cdna::core {
  *      rides an output-queued switch that tail-dropped or queued
  *      frames toward it).  All version-4 keys keep their order and
  *      formatting.
+ *   6  workload/RPC layer: "rpc_lat_mean_us", "rpc_lat_p50_us",
+ *      "rpc_lat_p99_us", "rpc_lat_p999_us", "rpc_offered_rps", and
+ *      "rpc_achieved_rps" appended after "wire_mbps"; "rpc_requests",
+ *      "rpc_responses", "rpc_timeouts", "flows_started", and
+ *      "flows_completed" appended after "switch_queue_peak_bytes"
+ *      (all zero unless the run carries an engine-backed
+ *      WorkloadSpec).  All version-5 keys keep their order and
+ *      formatting.
  */
-inline constexpr int kReportSchemaVersion = 5;
+inline constexpr int kReportSchemaVersion = 6;
 
 struct Report
 {
@@ -155,6 +163,30 @@ struct Report
     double latencyP50Us = 0.0;
     double latencyP99Us = 0.0;
 
+    /**
+     * RPC request/response tail latency in microseconds (schema 6; all
+     * zero without an RPC workload class).  Request enqueue at the
+     * client engine to last response byte back at the client.
+     * Quantiles come from the fine-grained sub-bucketed histogram, so
+     * p999 is meaningful at microsecond scales.
+     */
+    double rpcLatMeanUs = 0.0;
+    double rpcLatP50Us = 0.0;
+    double rpcLatP99Us = 0.0;
+    double rpcLatP999Us = 0.0;
+
+    // Offered vs. achieved RPC load over the measurement window,
+    // requests per second (schema 6).
+    double rpcOfferedRps = 0.0;
+    double rpcAchievedRps = 0.0;
+
+    // Workload-engine activity (schema 6; totals over the window).
+    std::uint64_t rpcRequests = 0;
+    std::uint64_t rpcResponses = 0;
+    std::uint64_t rpcTimeouts = 0;
+    std::uint64_t flowsStarted = 0;
+    std::uint64_t flowsCompleted = 0;
+
     sim::Time window = 0;
 
     /** Paper-style table row. */
@@ -185,13 +217,15 @@ struct Report
  *
  *   schema_version, label, then the double-valued metrics (mbps, the
  *   six profile percentages, the five rate counters, the three latency
- *   quantiles, fairness, wire_mbps), then the integer counters
+ *   quantiles, fairness, wire_mbps, then the schema-6 RPC latency
+ *   quantiles and offered/achieved rates), then the integer counters
  *   (protection/drop counters, the fault/recovery counters, then the
  *   checksum/backlog/TCP counters added in schema 2, then the outage
- *   counters added in schema 3 and the context-paging counters added
- *   in schema 4), then per_guest_mbps followed by the
- *   schema-3 per_guest_downtime_us and per_guest_ttfp_us arrays.  New
- *   keys are only ever appended at the end of
+ *   counters added in schema 3, the context-paging counters added in
+ *   schema 4, the switch counters added in schema 5, and the
+ *   RPC/flow counters added in schema 6), then per_guest_mbps followed
+ *   by the schema-3 per_guest_downtime_us and per_guest_ttfp_us
+ *   arrays.  New keys are only ever appended at the end of
  *   their block so older goldens remain a line-subset of newer reports.
  *
  * Doubles are printed with "%.4f", integers as decimal, arrays in

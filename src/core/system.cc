@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/workload/workload_engine.hh"
 #include "sim/assert.hh"
 
 namespace cdna::core {
@@ -319,6 +320,7 @@ System::buildNative()
         workload::TrafficApp::Params ap;
         ap.connections = cfg_.connectionsPerVif;
         ap.transmit = cfg_.transmitDir;
+        ap.rpcServer = cfg_.workload.hasRpc();
         apps_.push_back(std::make_unique<workload::TrafficApp>(
             ctx_, nm("app0." + std::to_string(i)), *stacks_.back(),
             cfg_.costs, ap));
@@ -398,6 +400,7 @@ System::buildXen()
             workload::TrafficApp::Params ap;
             ap.connections = cfg_.connectionsPerVif;
             ap.transmit = cfg_.transmitDir;
+            ap.rpcServer = cfg_.workload.hasRpc();
             apps_.push_back(std::make_unique<workload::TrafficApp>(
                 ctx_,
                 nm("app" + std::to_string(g) + "." + std::to_string(i)),
@@ -485,6 +488,7 @@ System::buildCdna()
             workload::TrafficApp::Params ap;
             ap.connections = cfg_.connectionsPerVif;
             ap.transmit = cfg_.transmitDir;
+            ap.rpcServer = cfg_.workload.hasRpc();
             apps_.push_back(std::make_unique<workload::TrafficApp>(
                 ctx_,
                 nm("app" + std::to_string(g) + "." + std::to_string(i)),
@@ -529,7 +533,32 @@ System::start()
     started_ = true;
     for (auto &app : apps_)
         app->start();
-    if (!cfg_.transmitDir) {
+    if (!cfg_.workload.empty()) {
+        // Declarative workload: each local peer runs the spec against
+        // the guests' MACs (or the spec's explicit targets), started
+        // once the guests have had a moment to post RX buffers.  The
+        // system seed replaces the spec seed so sweeps that vary only
+        // the seed stay deterministic without touching the spec.
+        for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
+            net::TrafficPeer *p = peers_[i].get();
+            if (!p)
+                continue; // external fabric: the topology drives sources
+            net::workload::WorkloadSpec spec = cfg_.workload;
+            spec.seed = cfg_.seed;
+            if (spec.targets.empty()) {
+                if (cfg_.mode == IoMode::kNative) {
+                    spec.targets.push_back(guestMac(0, i));
+                } else {
+                    for (std::uint32_t g = 0; g < cfg_.numGuests; ++g)
+                        spec.targets.push_back(guestMac(g, i));
+                }
+            }
+            ctx_.events().schedule(sim::milliseconds(1.0),
+                                   [p, spec = std::move(spec)] {
+                                       p->applyWorkload(spec);
+                                   });
+        }
+    } else if (!cfg_.transmitDir) {
         // Receive experiments: the peer floods the guests' MACs at line
         // rate once the guests have had a moment to post RX buffers.
         for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
@@ -560,6 +589,13 @@ System::snapshot() const
             continue;
         s.peerRxPayload += p->payloadDelivered();
         s.rxDropsBadCsum += p->rxDropsBadCsum();
+        if (const auto *e = p->engine()) {
+            s.rpcRequests += e->rpcRequests();
+            s.rpcResponses += e->rpcResponses();
+            s.rpcTimeouts += e->rpcTimeouts();
+            s.flowsStarted += e->flowsStarted();
+            s.flowsCompleted += e->flowsCompleted();
+        }
         if (auto *t = p->tcp()) {
             s.tcpRetrans += t->retransSegs();
             s.tcpFastRtx += t->fastRetransmits();
@@ -828,6 +864,36 @@ System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
         r.latencyMeanUs = lat_sum / static_cast<double>(lat_n);
         r.latencyP50Us = static_cast<double>(merged.quantile(0.5));
         r.latencyP99Us = static_cast<double>(merged.quantile(0.99));
+    }
+
+    // RPC activity: rates are windowed deltas; tail quantiles come
+    // from the engines' fine-grained cumulative histograms (like the
+    // data-frame latency above, they include warmup).
+    r.rpcRequests = b.rpcRequests - a.rpcRequests;
+    r.rpcResponses = b.rpcResponses - a.rpcResponses;
+    r.rpcTimeouts = b.rpcTimeouts - a.rpcTimeouts;
+    r.flowsStarted = b.flowsStarted - a.flowsStarted;
+    r.flowsCompleted = b.flowsCompleted - a.flowsCompleted;
+    r.rpcOfferedRps = static_cast<double>(r.rpcRequests) / secs;
+    r.rpcAchievedRps = static_cast<double>(r.rpcResponses) / secs;
+    sim::Histogram rpc_hist(net::workload::kRpcHistBuckets,
+                            net::workload::kRpcHistSubBits);
+    double rpc_sum = 0.0;
+    std::uint64_t rpc_n = 0;
+    for (const auto &p : peers_) {
+        if (!p)
+            continue;
+        if (const auto *e = p->engine()) {
+            rpc_hist.merge(e->rpcLatencyHist());
+            rpc_sum += e->rpcLatency().sum();
+            rpc_n += e->rpcLatency().count();
+        }
+    }
+    if (rpc_n > 0) {
+        r.rpcLatMeanUs = rpc_sum / static_cast<double>(rpc_n);
+        r.rpcLatP50Us = static_cast<double>(rpc_hist.quantile(0.5));
+        r.rpcLatP99Us = static_cast<double>(rpc_hist.quantile(0.99));
+        r.rpcLatP999Us = static_cast<double>(rpc_hist.quantile(0.999));
     }
     return r;
 }

@@ -112,6 +112,15 @@ struct SystemConfig
     /** TCP tunables (used only when transportKind == kTcp). */
     net::transport::TcpParams tcpParams{};
     /**
+     * Declarative peer workload (see net/workload/workload_spec.hh).
+     * Empty (the default) keeps the classic behavior: receive runs
+     * flood the guests at line rate, transmit runs generate nothing at
+     * the peer.  Non-empty specs are applied to every local peer at
+     * start(); targets default to the guests' MACs and the spec's seed
+     * is replaced by the system seed, so sweeps stay deterministic.
+     */
+    net::workload::WorkloadSpec workload{};
+    /**
      * Virtual-context oversubscription (CDNA only): allocate one
      * virtual context per guest even past the NIC's physical slot
      * count, with the hypervisor's pager switching contexts on demand.
@@ -283,6 +292,14 @@ struct SystemConfig
     withTcpParams(const net::transport::TcpParams &p)
     {
         tcpParams = p;
+        return *this;
+    }
+
+    /** Attach a declarative peer workload (replaces the default flood). */
+    SystemConfig &
+    withWorkload(net::workload::WorkloadSpec spec)
+    {
+        workload = std::move(spec);
         return *this;
     }
 
@@ -477,6 +494,11 @@ class System
         std::uint64_t switchDrops = 0;
         std::uint64_t switchDropBytes = 0;
         std::uint64_t switchQueuePeak = 0;
+        std::uint64_t rpcRequests = 0;
+        std::uint64_t rpcResponses = 0;
+        std::uint64_t rpcTimeouts = 0;
+        std::uint64_t flowsStarted = 0;
+        std::uint64_t flowsCompleted = 0;
     };
 
     System(SystemConfig cfg, sim::SimContext *shared,

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * One value struct carrying every per-endpoint flow measurement.
+ *
+ * Sweep runners and tests used to reach into three objects per
+ * measurement (peer counters, the TCP endpoint, the latency
+ * histograms).  FlowStats snapshots all of it in one call --
+ * TrafficPeer::flowStats() / os::NetStack::flowStats() -- and the old
+ * accessors remain as documented views delegating to the same sources.
+ */
+
+#ifndef CDNA_NET_FLOW_STATS_HH
+#define CDNA_NET_FLOW_STATS_HH
+
+#include <cstdint>
+#include <map>
+
+#include "net/packet.hh"
+#include "sim/stats.hh"
+
+namespace cdna::net {
+
+/** Point-in-time snapshot of an endpoint's flow results. */
+struct FlowStats
+{
+    // ------------------------------------------------------ datapath ----
+    /** Goodput basis: in-order payload bytes delivered past the
+     *  transport (open-loop: all payload received). */
+    std::uint64_t payloadDelivered = 0;
+    std::uint64_t framesReceived = 0;
+    std::uint64_t framesSent = 0;
+    std::uint64_t rxDuplicates = 0;
+    std::uint64_t rxDropsBadCsum = 0;
+    std::uint64_t rxFiltered = 0;
+
+    // ----------------------------------------------------- transport ----
+    /** Sum of cumulatively ACKed bytes across TCP sender flows. */
+    std::uint64_t ackedBytes = 0;
+    std::uint64_t retransSegs = 0;
+    std::uint64_t fastRetransmits = 0;
+    std::uint64_t rtoEvents = 0;
+
+    // ------------------------------------------------------ fairness ----
+    std::map<MacAddr, std::uint64_t> receivedBySrc;
+
+    // ------------------------------------------------------- latency ----
+    /** End-to-end data-frame latency in microseconds. */
+    sim::SampleStats latency;
+    sim::Histogram latencyHist;
+};
+
+} // namespace cdna::net
+
+#endif // CDNA_NET_FLOW_STATS_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/workload/workload_engine.hh"
 #include "sim/assert.hh"
 
 namespace cdna::net {
@@ -27,8 +28,69 @@ TrafficPeer::TrafficPeer(sim::SimContext &ctx, std::string name,
     port_ = &fabric.bind(*this);
 }
 
+// Out of line: WorkloadEngine is incomplete in the header.
+TrafficPeer::~TrafficPeer() = default;
+
 void
-TrafficPeer::enableTcp(const transport::TcpParams &params)
+TrafficPeer::applyWorkload(const workload::WorkloadSpec &spec)
+{
+    if (spec.macFilter)
+        macFilter_ = *spec.macFilter;
+    if (spec.ackEvery)
+        ackEvery_ = *spec.ackEvery;
+    if (spec.sourceWindow)
+        windowFrames_ = *spec.sourceWindow;
+    if (spec.tcp)
+        enableTcpImpl(*spec.tcp);
+
+    // A saturating open-loop class is the legacy line-rate source and
+    // runs on the peer's own machinery, byte-identically; everything
+    // else (rate-driven streams, bulk TCP, RPC) needs the engine.
+    workload::WorkloadSpec engine_spec;
+    engine_spec.targets = spec.targets;
+    engine_spec.seed = spec.seed;
+    for (const auto &fc : spec.classes) {
+        if (fc.kind == workload::FlowKind::kOpenLoopStream &&
+            fc.arrival == workload::Arrival::kSaturate)
+            startSourceImpl(spec.targets,
+                            static_cast<std::uint32_t>(fc.sizeBytes));
+        else
+            engine_spec.classes.push_back(fc);
+    }
+    if (!engine_spec.classes.empty()) {
+        SIM_ASSERT(!engine_,
+                   "engine-backed workload classes applied twice");
+        engine_ = std::make_unique<workload::WorkloadEngine>(
+            ctx(), name() + ".wl", *port_, mac_, tcp_.get(),
+            std::move(engine_spec));
+        engine_->start();
+    }
+}
+
+FlowStats
+TrafficPeer::flowStats() const
+{
+    FlowStats fs;
+    fs.payloadDelivered = payloadDelivered();
+    fs.framesReceived = nRxFrames_.value();
+    fs.framesSent = nTxFrames_.value();
+    fs.rxDuplicates = nRxDups_.value();
+    fs.rxDropsBadCsum = nRxBadCsum_.value();
+    fs.rxFiltered = nRxFiltered_.value();
+    if (tcp_) {
+        fs.ackedBytes = tcp_->sndUnaTotal();
+        fs.retransSegs = tcp_->retransSegs();
+        fs.fastRetransmits = tcp_->fastRetransmits();
+        fs.rtoEvents = tcp_->rtoEvents();
+    }
+    fs.receivedBySrc = rxBySrc_;
+    fs.latency = latency_;
+    fs.latencyHist = latencyHist_;
+    return fs;
+}
+
+void
+TrafficPeer::enableTcpImpl(const transport::TcpParams &params)
 {
     SIM_ASSERT(!tcp_, "enableTcp called twice");
     tcp_ = std::make_unique<transport::TcpEndpoint>(
@@ -80,7 +142,8 @@ TrafficPeer::enableTcp(const transport::TcpParams &params)
 }
 
 void
-TrafficPeer::startSource(std::vector<MacAddr> dsts, std::uint32_t payload)
+TrafficPeer::startSourceImpl(std::vector<MacAddr> dsts,
+                             std::uint32_t payload)
 {
     dsts_ = std::move(dsts);
     payload_ = payload;
@@ -178,6 +241,19 @@ TrafficPeer::receiveFrame(Packet pkt)
         // Checksum check fails: the frame occupied the wire but never
         // reaches the transport, so the sender must retransmit it.
         nRxBadCsum_.inc();
+        return;
+    }
+    if (pkt.rpcResp && engine_) {
+        // A guest's answer to one of our requests: route to the engine
+        // for request-latency accounting (RPC frames bypass the TCP
+        // demux -- they are datagrams regardless of transport mode).
+        if (pkt.duplicated) {
+            nRxDups_.inc();
+            return;
+        }
+        nRxPayload_.inc(pkt.payloadBytes);
+        rxBySrc_[pkt.src] += pkt.payloadBytes;
+        engine_->onRpcResponse(pkt);
         return;
     }
     if (tcp_) {

@@ -20,11 +20,17 @@
 #include <vector>
 
 #include "net/fabric.hh"
+#include "net/flow_stats.hh"
 #include "net/packet.hh"
 #include "net/transport/tcp.hh"
+#include "net/workload/workload_spec.hh"
 #include "sim/sim_object.hh"
 
 namespace cdna::net {
+
+namespace workload {
+class WorkloadEngine;
+} // namespace workload
 
 class TrafficPeer : public sim::SimObject, public LinkEndpoint
 {
@@ -35,6 +41,26 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
      * @param fabric  the fabric this peer binds a port on
      */
     TrafficPeer(sim::SimContext &ctx, std::string name, Fabric &fabric);
+    ~TrafficPeer() override;
+
+    /**
+     * Configure this endpoint from one declarative WorkloadSpec: knob
+     * optionals that are set are applied (unset ones leave the current
+     * setting alone), a saturating open-loop class starts the legacy
+     * line-rate source, and every other class is handed to a
+     * WorkloadEngine bound to this peer's port and transport.  This is
+     * the one entry point the legacy setters below are shims over; it
+     * has no call-order constraints.
+     */
+    void applyWorkload(const workload::WorkloadSpec &spec);
+
+    /** The workload engine, or null when no engine class was applied. */
+    workload::WorkloadEngine *engine() { return engine_.get(); }
+    const workload::WorkloadEngine *engine() const { return engine_.get(); }
+
+    /** Snapshot every per-flow measurement in one value (the scattered
+     *  accessors below remain as views over the same sources). */
+    FlowStats flowStats() const;
 
     /** MAC address the peer sources traffic from. */
     MacAddr mac() const { return mac_; }
@@ -48,8 +74,14 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
      * test frames).  Off by default -- on a point-to-point link every
      * frame is for the peer -- but required on a switch, where learning
      * floods unknown-unicast frames to every port.
+     *
+     * Legacy shim over applyWorkload(spec.filteringMac(on)).
      */
-    void setMacFilter(bool on) { macFilter_ = on; }
+    void
+    setMacFilter(bool on)
+    {
+        applyWorkload(workload::WorkloadSpec{}.filteringMac(on));
+    }
 
     /** Frames discarded by the MAC filter. */
     std::uint64_t rxFiltered() const { return nRxFiltered_.value(); }
@@ -57,9 +89,17 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
     /**
      * Begin sourcing back-to-back frames, cycling round-robin over
      * @p dsts, each frame carrying @p payload bytes.
+     *
+     * Legacy shim over applyWorkload() with one saturating class.
      */
-    void startSource(std::vector<MacAddr> dsts,
-                     std::uint32_t payload = kMss);
+    void
+    startSource(std::vector<MacAddr> dsts, std::uint32_t payload = kMss)
+    {
+        applyWorkload(workload::WorkloadSpec{}
+                          .toward(std::move(dsts))
+                          .withClass(workload::FlowClass::saturating(
+                              payload)));
+    }
 
     /** Stop sourcing (pending frame still completes). */
     void stopSource();
@@ -68,17 +108,29 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
      * Acknowledge received data: send one zero-payload ACK frame back
      * per @p every wire frames received from a source (0 disables).
      * Models the TCP reverse path of the paper's transmit experiments.
+     *
+     * Legacy shim over applyWorkload(spec.ackingEvery(every)).
      */
-    void setAckEvery(std::uint32_t every) { ackEvery_ = every; }
+    void
+    setAckEvery(std::uint32_t every)
+    {
+        applyWorkload(workload::WorkloadSpec{}.ackingEvery(every));
+    }
 
     /**
      * Run a full transport endpoint on the peer: received data segments
      * are sequenced and cumulatively ACKed (the ACKs traverse the link,
      * NIC, and guest RX path), and receive-experiment sources become
      * closed-loop Reno flows instead of the open-loop line-rate source.
-     * Must be called before traffic flows.
+     * Must be applied before traffic flows.
+     *
+     * Legacy shim over applyWorkload(spec.overTcp(params)).
      */
-    void enableTcp(const transport::TcpParams &params);
+    void
+    enableTcp(const transport::TcpParams &params)
+    {
+        applyWorkload(workload::WorkloadSpec{}.overTcp(params));
+    }
 
     /** The transport endpoint, or null in open-loop mode. */
     transport::TcpEndpoint *tcp() { return tcp_.get(); }
@@ -94,8 +146,14 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
      * active when ACKs are enabled; keeps receive experiments
      * closed-loop so a slow receiver throttles the source instead of
      * being buried, as real TCP did in the paper's testbed.
+     *
+     * Legacy shim over applyWorkload(spec.windowed(frames)).
      */
-    void setSourceWindow(std::uint32_t frames) { windowFrames_ = frames; }
+    void
+    setSourceWindow(std::uint32_t frames)
+    {
+        applyWorkload(workload::WorkloadSpec{}.windowed(frames));
+    }
 
     /** Frames and payload bytes absorbed by the sink side. */
     std::uint64_t framesReceived() const { return nRxFrames_.value(); }
@@ -131,6 +189,8 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
 
   private:
     void sendNext();
+    void enableTcpImpl(const transport::TcpParams &params);
+    void startSourceImpl(std::vector<MacAddr> dsts, std::uint32_t payload);
 
     Port *port_ = nullptr;
     MacAddr mac_;
@@ -153,6 +213,7 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
     sim::Histogram latencyHist_;
 
     std::unique_ptr<transport::TcpEndpoint> tcp_;
+    std::unique_ptr<workload::WorkloadEngine> engine_;
 
     sim::Counter &nRxFrames_;
     sim::Counter &nRxPayload_;

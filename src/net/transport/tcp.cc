@@ -386,6 +386,15 @@ TcpEndpoint::shutdown()
 }
 
 std::uint64_t
+TcpEndpoint::sndUnaTotal() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[id, s] : senders_)
+        n += s.flow->sndUna();
+    return n;
+}
+
+std::uint64_t
 TcpEndpoint::armedTimers() const
 {
     std::uint64_t n = 0;

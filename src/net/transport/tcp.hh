@@ -304,6 +304,10 @@ class TcpEndpoint : public sim::SimObject
     std::uint64_t deliveredBytes() const { return nDelivered_.value(); }
     std::uint64_t acksReceived() const { return nAcksRx_.value(); }
 
+    /** Sum of cumulatively ACKed bytes across sender flows (the
+     *  closed-loop progress basis FlowStats::ackedBytes reports). */
+    std::uint64_t sndUnaTotal() const;
+
     /** Sum of sender-flow congestion windows (cwnd-trajectory gauge). */
     double cwndBytes() const;
     std::uint64_t senderFlows() const { return senders_.size(); }

@@ -26,7 +26,13 @@ NetStack::NetStack(sim::SimContext &ctx, std::string name, vmm::Domain &dom,
     dev_.setTxCompleteHandler([this](std::uint64_t bytes) {
         if (progress_)
             progress_();
-        if (txComplete_)
+        // RPC response bytes complete through the same device signal
+        // but were never part of the application's send window; net
+        // them out so the window accounting only sees its own sends.
+        std::uint64_t rpc = std::min(bytes, rpcTxPending_);
+        rpcTxPending_ -= rpc;
+        bytes -= rpc;
+        if (bytes > 0 && txComplete_)
             txComplete_(bytes);
     });
     dev_.setTxSpaceHandler([this] { pushToDevice(); });
@@ -46,6 +52,7 @@ NetStack::shutdown()
     rxBatchPkts_ = 0;
     rxBatchAcks_ = 0;
     rxBatchCreated_.clear();
+    rpcBatch_.clear();
     ackDebt_ = 0;
 }
 
@@ -158,6 +165,22 @@ NetStack::onRxPacket(net::Packet pkt)
         // driver resources but never reaches the transport layer, so
         // under TCP the sender must retransmit it.
         nRxBadCsum_.inc();
+        return;
+    }
+    if (pkt.rpcReq) {
+        // RPC requests are datagrams regardless of transport mode and
+        // join the normal batched RX-cost path.  No ACK debt: the
+        // response itself acknowledges the request.
+        if (pkt.duplicated) {
+            nRxDups_.inc();
+            return;
+        }
+        rxBatchBytes_ += pkt.payloadBytes;
+        rxBatchPkts_ += 1;
+        if (pkt.created > 0)
+            rxBatchCreated_.push_back(pkt.created);
+        rpcBatch_.push_back(std::move(pkt));
+        scheduleRxCollect();
         return;
     }
     if (tcp_) {
@@ -343,6 +366,7 @@ NetStack::collectRxBatch()
     std::uint32_t pkts = std::exchange(rxBatchPkts_, 0);
     std::uint32_t acks = std::exchange(rxBatchAcks_, 0);
     auto stamps = std::exchange(rxBatchCreated_, {});
+    auto rpcs = std::exchange(rpcBatch_, {});
     if (pkts == 0 && acks == 0)
         return;
 
@@ -370,7 +394,8 @@ NetStack::collectRxBatch()
 
     dom_.vcpu().post(cpu::Bucket::kOs, os_cost,
                      [this, bytes, pkts, acks_out, user_cost,
-                      stamps = std::move(stamps)]() mutable {
+                      stamps = std::move(stamps),
+                      rpcs = std::move(rpcs)]() mutable {
         // Emit the owed ACKs toward the data source.
         bool sent = false;
         for (std::uint32_t i = 0; i < acks_out && dev_.canTransmit(); ++i) {
@@ -389,8 +414,8 @@ NetStack::collectRxBatch()
         if (pkts == 0 && bytes == 0)
             return;
         dom_.vcpu().post(cpu::Bucket::kUser, user_cost,
-                         [this, bytes, pkts,
-                          stamps = std::move(stamps)] {
+                         [this, bytes, pkts, stamps = std::move(stamps),
+                          rpcs = std::move(rpcs)] {
             nRxBytes_.inc(bytes);
             nRxPkts_.inc(pkts);
             CDNA_TRACE_INSTANT_ARG(ctx().tracer(), traceLane(),
@@ -405,8 +430,68 @@ NetStack::collectRxBatch()
                 progress_();
             if (rxDeliver_)
                 rxDeliver_(bytes, pkts);
+            if (rpcHandler_)
+                for (const auto &req : rpcs)
+                    rpcHandler_(req);
         });
     });
+}
+
+void
+NetStack::sendRpcResponse(const net::Packet &req)
+{
+    if (dead_)
+        return;
+    std::uint64_t bytes = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(req.rpcRespBytes, net::kMaxTsoBytes));
+    if (rpcBuf_.empty()) {
+        std::size_t pages =
+            (net::kMaxTsoBytes + mem::kPageSize - 1) / mem::kPageSize;
+        rpcBuf_ = dom_.hypervisor().mem().alloc(dom_.id(), pages);
+    }
+    auto pkts = std::make_shared<std::vector<net::Packet>>();
+    buildPackets(bytes, req.rpcId, rpcBuf_, pkts.get());
+    for (auto &p : *pkts) {
+        p.dst = req.src;
+        p.rpcResp = true;
+        p.rpcId = req.rpcId;
+        p.rpcRespBytes = req.rpcRespBytes;
+    }
+
+    sim::Time cost =
+        static_cast<sim::Time>(pkts->size()) * costs_.stackTxPerPacket +
+        static_cast<sim::Time>(costs_.stackTxPerByteNs *
+                               static_cast<double>(bytes) * sim::kNanosecond);
+    CDNA_TRACE_INSTANT_ARG(ctx().tracer(), traceLane(), "rpc_response",
+                           now(), "bytes", bytes);
+    dom_.vcpu().post(cpu::Bucket::kOs, cost, [this, pkts, bytes] {
+        if (dead_)
+            return;
+        nTxBytes_.inc(bytes);
+        rpcTxPending_ += bytes;
+        for (auto &p : *pkts)
+            txBacklog_.push_back(std::move(p));
+        pushToDevice();
+    });
+}
+
+net::FlowStats
+NetStack::flowStats() const
+{
+    net::FlowStats fs;
+    fs.payloadDelivered = nRxBytes_.value();
+    fs.framesReceived = nRxPkts_.value();
+    fs.rxDuplicates = nRxDups_.value();
+    fs.rxDropsBadCsum = nRxBadCsum_.value();
+    if (tcp_) {
+        fs.ackedBytes = tcp_->sndUnaTotal();
+        fs.retransSegs = tcp_->retransSegs();
+        fs.fastRetransmits = tcp_->fastRetransmits();
+        fs.rtoEvents = tcp_->rtoEvents();
+    }
+    fs.latency = rxLatency_;
+    fs.latencyHist = rxLatencyHist_;
+    return fs;
 }
 
 } // namespace cdna::os

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/cost_model.hh"
+#include "net/flow_stats.hh"
 #include "net/transport/tcp.hh"
 #include "os/net_device.hh"
 #include "vmm/domain.hh"
@@ -81,6 +82,26 @@ class NetStack : public sim::SimObject
     }
 
     /**
+     * Fires per RPC request frame (Packet::rpcReq) once the request
+     * reaches user space through the normal batched RX-cost path; the
+     * rpc-serving application answers with sendRpcResponse().  A
+     * separate slot from setRxDeliverHandler, which stays the bulk
+     * byte-count delivery signal.
+     */
+    void setRpcHandler(std::function<void(const net::Packet &)> fn)
+    {
+        rpcHandler_ = std::move(fn);
+    }
+
+    /**
+     * Transmit the response @p req asked for (req.rpcRespBytes, capped
+     * at one TSO segment) back to req.src.  Responses are datagrams:
+     * they take the open-loop packet path even in TCP transport mode,
+     * paying the usual OS segmentation/copy costs.
+     */
+    void sendRpcResponse(const net::Packet &req);
+
+    /**
      * Kill the stack with its domain: cancel transport timers, drop
      * the TX backlog and blocked writes, and ignore all later send and
      * receive activity.  Closes the --kill-guest x --transport tcp
@@ -103,6 +124,10 @@ class NetStack : public sim::SimObject
     /** Wire-to-app latency of received data frames, in microseconds. */
     const sim::SampleStats &rxLatency() const { return rxLatency_; }
     const sim::Histogram &rxLatencyHist() const { return rxLatencyHist_; }
+
+    /** Snapshot every per-flow measurement in one value (the scattered
+     *  accessors above remain as views over the same sources). */
+    net::FlowStats flowStats() const;
 
     NetDevice &device() { return dev_; }
     vmm::Domain &domain() { return dom_; }
@@ -134,6 +159,7 @@ class NetStack : public sim::SimObject
     std::uint32_t rxBatchPkts_ = 0;  //!< data frames in the batch
     std::uint32_t rxBatchAcks_ = 0;  //!< pure ACKs in the batch
     std::vector<sim::Time> rxBatchCreated_; //!< origin stamps for latency
+    std::vector<net::Packet> rpcBatch_;     //!< RPC requests in the batch
     sim::SampleStats rxLatency_;
     sim::Histogram rxLatencyHist_;
     bool rxCollectorPending_ = false;
@@ -142,8 +168,15 @@ class NetStack : public sim::SimObject
 
     std::function<void(std::uint64_t)> txComplete_;
     std::function<void(std::uint64_t, std::uint32_t)> rxDeliver_;
+    std::function<void(const net::Packet &)> rpcHandler_;
     std::function<void()> progress_;
     bool dead_ = false;
+
+    /** Lazily allocated response buffer (one TSO segment's pages). */
+    std::vector<mem::PageNum> rpcBuf_;
+    /** RPC response bytes queued but not yet completed by the device
+     *  (netted out of the application's tx-complete signal). */
+    std::uint64_t rpcTxPending_ = 0;
 
     // TCP transport mode (null = open loop).
     std::unique_ptr<net::transport::TcpEndpoint> tcp_;

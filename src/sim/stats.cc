@@ -38,7 +38,21 @@ SampleStats::stddev() const
 void
 Histogram::record(std::uint64_t x)
 {
-    int b = x == 0 ? 0 : std::bit_width(x);
+    // With S = 2^subBits_ sub-buckets per octave: values below 2S get
+    // an exact bucket each; above, the top subBits_ bits below the
+    // leading one select a linear sub-bucket inside the octave.  At
+    // subBits_ == 0 this reduces exactly to the original
+    // one-bucket-per-octave layout (index = bit_width(x)).
+    const std::uint64_t s = 1ULL << subBits_;
+    int b;
+    if (x < 2 * s) {
+        b = static_cast<int>(x);
+    } else {
+        int m = std::bit_width(x) - 1;
+        auto sub = static_cast<int>((x >> (m - subBits_)) & (s - 1));
+        b = (m - subBits_) * static_cast<int>(s) + sub +
+            static_cast<int>(s);
+    }
     if (b >= static_cast<int>(buckets_.size()))
         b = static_cast<int>(buckets_.size()) - 1;
     ++buckets_[b];
@@ -48,6 +62,8 @@ Histogram::record(std::uint64_t x)
 void
 Histogram::merge(const Histogram &other)
 {
+    SIM_ASSERT(subBits_ == other.subBits_,
+               "merging histograms of different sub-bucket geometry");
     if (other.buckets_.size() > buckets_.size())
         buckets_.resize(other.buckets_.size(), 0);
     for (std::size_t i = 0; i < other.buckets_.size(); ++i)
@@ -72,11 +88,19 @@ Histogram::quantile(double q) const
         static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
     if (target == 0)
         target = 1;
+    const std::uint64_t s = 1ULL << subBits_;
     std::uint64_t seen = 0;
     for (std::size_t b = 0; b < buckets_.size(); ++b) {
         seen += buckets_[b];
-        if (seen >= target)
-            return b == 0 ? 0 : (1ULL << b) - 1;
+        if (seen < target)
+            continue;
+        // Inclusive upper bound of bucket b (inverse of record()).
+        if (b < 2 * s)
+            return b;
+        std::uint64_t t = b - s;
+        std::uint64_t m = t / s + subBits_;
+        std::uint64_t r = t % s;
+        return (1ULL << m) + (r + 1) * (1ULL << (m - subBits_)) - 1;
     }
     SIM_PANIC("histogram bucket sum diverged from total");
 }

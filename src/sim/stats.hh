@@ -66,19 +66,30 @@ class SampleStats
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/** Power-of-two bucketed histogram for latency-like quantities. */
+/**
+ * Power-of-two bucketed histogram for latency-like quantities, with
+ * optional HdrHistogram-style sub-bucketing: each power-of-two range
+ * is split into 2^sub_bucket_bits linear sub-buckets, bounding the
+ * relative quantile error at 2^-sub_bucket_bits (12.5% at 3 bits)
+ * instead of a full octave.  The default (0 bits) keeps the original
+ * one-bucket-per-octave geometry and bucket layout bit-for-bit.
+ */
 class Histogram
 {
   public:
-    explicit Histogram(int num_buckets = 48) : buckets_(num_buckets, 0) {}
+    explicit Histogram(int num_buckets = 48, int sub_bucket_bits = 0)
+        : buckets_(num_buckets, 0), subBits_(sub_bucket_bits)
+    {}
 
     void record(std::uint64_t x);
 
-    /** Accumulate another histogram's buckets into this one. */
+    /** Accumulate another histogram's buckets into this one.  Both
+     *  histograms must share the same sub-bucket geometry. */
     void merge(const Histogram &other);
 
     std::uint64_t count() const { return total_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    int subBucketBits() const { return subBits_; }
 
     /**
      * Approximate quantile (bucket upper bound).  @p q is clamped to
@@ -90,6 +101,7 @@ class Histogram
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t total_ = 0;
+    int subBits_ = 0;
 };
 
 /** A named, flat set of statistics owned by one component. */

@@ -89,11 +89,40 @@ fig4()
 ExperimentSpec
 latency()
 {
+    using Cfg = core::SystemConfig;
+    namespace wl = net::workload;
+    // Tail latency of a Poisson request/response RPC workload: peers
+    // fire 512 B requests at the guests, which answer with 8 KB
+    // responses; the engines histogram request-to-last-response-byte
+    // and the report carries p50/p99/p999.  The xen column rides the
+    // RiceNIC so the fwreboot fault has firmware to reboot (and dom0
+    // funnels every guest, so both outage classes stall all four).
+    auto rpcLoad = [](double rate) {
+        return [rate](Cfg &c) {
+            c.withWorkload(wl::WorkloadSpec{}.withClass(
+                wl::FlowClass::rpc(512, 8192)
+                    .poissonAt(rate)
+                    .timingOutAfter(sim::milliseconds(50))));
+        };
+    };
+    auto oversub = core::SystemConfig::cdna(4).withNics(1).receive();
+    oversub.cdnaParams.numContexts = 2; // 4 guests over 2 slots
+    oversub.oversubscribed();
     return ExperimentSpec("latency")
-        .config("xen", xenIntelG)
-        .config("cdna", cdnaG)
-        .guests({1, 4, 8})
-        .directions(true, true);
+        .config("xen", core::SystemConfig::xenRice(4).withNics(1).receive())
+        .config("cdna", core::SystemConfig::cdna(4).withNics(1).receive())
+        .config("cdna-oversub", oversub)
+        .vary("load",
+              {{"load2k", rpcLoad(2000.0)}, {"load10k", rpcLoad(10000.0)}})
+        .vary("fault",
+              {{"healthy", [](Cfg &) {}},
+               {"domkill",
+                [](Cfg &c) {
+                    c.withFaults(core::FaultPlan{}.killingDriverDomain(150));
+                }},
+               {"fwreboot", [](Cfg &c) {
+                    c.withFaults(core::FaultPlan{}.rebootingFirmware(0, 150));
+                }}});
 }
 
 ExperimentSpec
@@ -302,13 +331,8 @@ struct FlowBase
 FlowBase
 flowNow(net::TrafficPeer &peer)
 {
-    FlowBase f;
-    if (auto *t = peer.tcp()) {
-        if (auto *fl = t->senderFlow(0x1000))
-            f.acked = fl->sndUna();
-        f.retrans = t->retransSegs();
-    }
-    return f;
+    net::FlowStats fs = peer.flowStats();
+    return {fs.ackedBytes, fs.retransSegs};
 }
 
 } // namespace
@@ -364,13 +388,17 @@ incast()
             std::vector<net::TrafficPeer *> senders;
             for (std::uint32_t i = 0; i < fanout; ++i) {
                 auto &p = topo.addPeer("snd" + std::to_string(i), sw);
-                p.enableTcp(cfg.tcpParams);
                 senders.push_back(&p);
             }
             topo.ctx().events().schedule(
-                sim::milliseconds(1), [&host, &senders] {
+                sim::milliseconds(1), [&host, &senders, &cfg] {
                     for (auto *p : senders)
-                        p->startSource({host.guestMac(0, 0)});
+                        p->applyWorkload(
+                            net::workload::WorkloadSpec{}
+                                .overTcp(cfg.tcpParams)
+                                .toward({host.guestMac(0, 0)})
+                                .withClass(
+                                    net::workload::FlowClass::saturating()));
                 });
 
             std::vector<FlowBase> base(senders.size());
@@ -443,12 +471,21 @@ noisyNeighbor()
             access.setRoute(vsrc.mac(), trunk.portOnB());
             access.setRoute(nsrc.mac(), trunk.portOnB());
 
-            vsrc.enableTcp(cfg.tcpParams);
             topo.ctx().events().schedule(
-                sim::milliseconds(1), [&victim, &other, &vsrc, &nsrc, noisy] {
-                    vsrc.startSource({victim.guestMac(0, 0)});
+                sim::milliseconds(1),
+                [&victim, &other, &vsrc, &nsrc, &cfg, noisy] {
+                    vsrc.applyWorkload(
+                        net::workload::WorkloadSpec{}
+                            .overTcp(cfg.tcpParams)
+                            .toward({victim.guestMac(0, 0)})
+                            .withClass(
+                                net::workload::FlowClass::saturating()));
                     if (noisy)
-                        nsrc.startSource({other.guestMac(0, 0)});
+                        nsrc.applyWorkload(
+                            net::workload::WorkloadSpec{}
+                                .toward({other.guestMac(0, 0)})
+                                .withClass(
+                                    net::workload::FlowClass::saturating()));
                 });
 
             FlowBase base;

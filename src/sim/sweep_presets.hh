@@ -34,7 +34,13 @@ ExperimentSpec table4();
 ExperimentSpec fig3();
 /** Figure 4: receive throughput vs guest count (1..24), Xen vs CDNA. */
 ExperimentSpec fig4();
-/** Extension: end-to-end latency under load, both directions. */
+/**
+ * Extension: RPC tail latency (p50/p99/p999).  A Poisson
+ * request/response workload (512 B requests, 8 KB responses) runs
+ * against {xen-rice, cdna, cdna-oversub}, each at two load levels and
+ * under {healthy, domkill, fwreboot}; the report's rpc_lat_* keys
+ * carry the quantiles per cell.
+ */
 ExperimentSpec latency();
 /** Ablation A: CDNA interrupt-coalescing window sweep. */
 ExperimentSpec coalesce();

@@ -77,7 +77,7 @@ Topology::addPeer(const std::string &name, net::Fabric &fabric)
     net::TrafficPeer &peer = *peers_.back();
     // On a switch, flooding can deliver other hosts' frames here;
     // filter like a real NIC would, and pin the return route.
-    peer.setMacFilter(true);
+    peer.applyWorkload(net::workload::WorkloadSpec{}.filteringMac(true));
     routeOnSwitch(fabric, peer.mac(), peer.port().index());
     return peer;
 }

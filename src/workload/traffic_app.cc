@@ -15,7 +15,8 @@ TrafficApp::TrafficApp(sim::SimContext &ctx, std::string name,
       params_(params),
       nSent_(stats().addCounter("bytes_sent")),
       nReceived_(stats().addCounter("bytes_received")),
-      nRxPkts_(stats().addCounter("packets_received"))
+      nRxPkts_(stats().addCounter("packets_received")),
+      nRpcServed_(stats().addCounter("rpc_served"))
 {
     stack_.setRxDeliverHandler([this](std::uint64_t bytes,
                                       std::uint32_t pkts) {
@@ -26,6 +27,29 @@ TrafficApp::TrafficApp(sim::SimContext &ctx, std::string name,
         SIM_ASSERT(inFlight_ >= bytes, "window underflow");
         inFlight_ -= bytes;
         pump();
+    });
+    if (params_.rpcServer)
+        stack_.setRpcHandler(
+            [this](const net::Packet &req) { onRpc(req); });
+}
+
+void
+TrafficApp::onRpc(const net::Packet &req)
+{
+    if (stopped_)
+        return;
+    // The server's work per request: one application write of the
+    // response, paid in user time before the stack transmits it.
+    sim::Time user_cost = costs_.appPerWrite +
+        static_cast<sim::Time>(costs_.appPerByteNs *
+                               static_cast<double>(req.rpcRespBytes) *
+                               sim::kNanosecond);
+    stack_.domain().vcpu().post(cpu::Bucket::kUser, user_cost,
+                                [this, req] {
+        if (stopped_)
+            return;
+        nRpcServed_.inc();
+        stack_.sendRpcResponse(req);
     });
 }
 

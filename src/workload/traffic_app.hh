@@ -36,6 +36,9 @@ class TrafficApp : public sim::SimObject
         std::uint32_t chunkBytes = 65536;
         /** Generate traffic (transmit test) or only sink (receive). */
         bool transmit = true;
+        /** Answer RPC request frames (net/workload/) with responses of
+         *  the requested size, paying user time per request. */
+        bool rpcServer = false;
     };
 
     TrafficApp(sim::SimContext &ctx, std::string name, os::NetStack &stack,
@@ -50,9 +53,12 @@ class TrafficApp : public sim::SimObject
     std::uint64_t bytesSent() const { return nSent_.value(); }
     std::uint64_t bytesReceived() const { return nReceived_.value(); }
     std::uint64_t packetsReceived() const { return nRxPkts_.value(); }
+    /** RPC requests answered (rpcServer mode). */
+    std::uint64_t rpcServed() const { return nRpcServed_.value(); }
 
   private:
     void pump();
+    void onRpc(const net::Packet &req);
 
     os::NetStack &stack_;
     const core::CostModel &costs_;
@@ -74,6 +80,7 @@ class TrafficApp : public sim::SimObject
     sim::Counter &nSent_;
     sim::Counter &nReceived_;
     sim::Counter &nRxPkts_;
+    sim::Counter &nRpcServed_;
 };
 
 } // namespace cdna::workload

@@ -65,3 +65,68 @@ TEST(Latency, XenAddsLatencyOverCdnaOnReceive)
     auto cr = cdna.run(sim::milliseconds(40), sim::milliseconds(150));
     EXPECT_GT(xr.latencyMeanUs, cr.latencyMeanUs);
 }
+
+TEST(Latency, ZeroSubBucketBitsKeepsLegacyGeometry)
+{
+    // The default histogram must keep the one-bucket-per-octave layout
+    // bit-for-bit: a sample of 100 lands in the [64,128) octave whose
+    // upper bound is 127.
+    sim::Histogram h;
+    EXPECT_EQ(h.subBucketBits(), 0);
+    h.record(100);
+    EXPECT_EQ(h.quantile(1.0), 127u);
+}
+
+TEST(Latency, SubBucketsResolveSubOctaveTails)
+{
+    // Tail samples clustered at 1000..1100 us: the coarse octave
+    // histogram can only answer "somewhere under 2048", while 3
+    // sub-bucket bits bound the error at 12.5% -- the resolution the
+    // p999 column needs to separate, say, 959 us from 2303 us tails.
+    sim::Histogram coarse;
+    sim::Histogram fine(160, 3);
+    for (std::uint64_t v = 1000; v <= 1100; ++v) {
+        coarse.record(v);
+        fine.record(v);
+    }
+    EXPECT_EQ(coarse.quantile(0.99), 2047u);
+    EXPECT_LE(fine.quantile(0.99), 1151u);
+    EXPECT_GE(fine.quantile(0.99), 1100u);
+}
+
+TEST(Latency, FineQuantilesAreMonotonic)
+{
+    // p50 <= p99 <= p999 must hold on the sub-bucketed geometry across
+    // a spread-out sample set (uniform-ish plus a heavy tail).
+    sim::Histogram h(160, 3);
+    for (std::uint64_t i = 1; i <= 1000; ++i)
+        h.record(i);
+    for (int i = 0; i < 10; ++i)
+        h.record(50000);
+    std::uint64_t p50 = h.quantile(0.5);
+    std::uint64_t p99 = h.quantile(0.99);
+    std::uint64_t p999 = h.quantile(0.999);
+    EXPECT_LE(p50, p99);
+    EXPECT_LE(p99, p999);
+    // And they are tight: the median of 1..1000 sits near 500, the
+    // p999 lands in the 50000 spike's sub-bucket.
+    EXPECT_GE(p50, 448u);
+    EXPECT_LE(p50, 576u);
+    EXPECT_GE(p999, 50000u * 7 / 8);
+}
+
+TEST(Latency, SubBucketedMergePreservesQuantiles)
+{
+    sim::Histogram a(160, 3), b(160, 3);
+    for (int i = 0; i < 100; ++i)
+        a.record(400);
+    for (int i = 0; i < 100; ++i)
+        b.record(900);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    // Lower half resolves near 400, upper half near 900 -- within one
+    // sub-bucket (12.5%) each, not one octave.
+    EXPECT_LE(a.quantile(0.25), 448u);
+    EXPECT_GE(a.quantile(0.9), 900u);
+    EXPECT_LE(a.quantile(0.9), 1024u);
+}

@@ -183,7 +183,9 @@ TEST(TrafficPeer, SourcesRoundRobinAtLineRate)
 
     auto m1 = MacAddr::fromId(1);
     auto m2 = MacAddr::fromId(2);
-    peer.startSource({m1, m2});
+    peer.applyWorkload(workload::WorkloadSpec{}
+                           .toward({m1, m2})
+                           .withClass(workload::FlowClass::saturating()));
     ctx.events().runUntil(sim::milliseconds(1));
     peer.stopSource();
 
@@ -217,7 +219,7 @@ TEST(TrafficPeer, AcksEveryNthFrame)
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
     TrafficPeer peer(ctx, "peer", link);
-    peer.setAckEvery(2);
+    peer.applyWorkload(workload::WorkloadSpec{}.ackingEvery(2));
     Sink sink;
     link.bind(sink);
 
@@ -240,7 +242,7 @@ TEST(TrafficPeer, TsoBurstAckedPerWireFrame)
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
     TrafficPeer peer(ctx, "peer", link);
-    peer.setAckEvery(2);
+    peer.applyWorkload(workload::WorkloadSpec{}.ackingEvery(2));
     Sink sink;
     link.bind(sink);
 
@@ -257,7 +259,7 @@ TEST(TrafficPeer, BadChecksumFramesCountedNotAcked)
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
     TrafficPeer peer(ctx, "peer", link);
-    peer.setAckEvery(1);
+    peer.applyWorkload(workload::WorkloadSpec{}.ackingEvery(1));
     Sink sink;
     link.bind(sink);
     Packet p;
@@ -276,7 +278,7 @@ TEST(TrafficPeer, NeverAcksAnAck)
     sim::SimContext ctx;
     EthLink link(ctx, "eth");
     TrafficPeer peer(ctx, "peer", link);
-    peer.setAckEvery(1);
+    peer.applyWorkload(workload::WorkloadSpec{}.ackingEvery(1));
     Sink sink;
     link.bind(sink);
     Packet ack;

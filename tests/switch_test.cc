@@ -268,17 +268,19 @@ TEST(Switch, SharedEgressQueueNeverStarvesEitherSender)
     TrafficPeer s1(ctx, "s1", sw);
     TrafficPeer s2(ctx, "s2", sw);
     TrafficPeer rx(ctx, "rx", sw);
-    rx.setMacFilter(true);
-    rx.setAckEvery(2);
+    rx.applyWorkload(
+        workload::WorkloadSpec{}.filteringMac(true).ackingEvery(2));
     sw.setRoute(rx.mac(), 2);
     sw.setRoute(s1.mac(), 0);
     sw.setRoute(s2.mac(), 1);
 
-    for (TrafficPeer *s : {&s1, &s2}) {
-        s->setAckEvery(2);
-        s->setSourceWindow(8);
-        s->startSource({rx.mac()});
-    }
+    for (TrafficPeer *s : {&s1, &s2})
+        s->applyWorkload(
+            workload::WorkloadSpec{}
+                .ackingEvery(2)
+                .windowed(8)
+                .toward({rx.mac()})
+                .withClass(workload::FlowClass::saturating()));
     ctx.events().runUntil(sim::milliseconds(20));
     s1.stopSource();
     s2.stopSource();

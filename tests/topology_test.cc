@@ -85,9 +85,12 @@ TEST(Topology, ThreeHostRunsAreDeterministic)
                                       {&sw}));
         hosts[0]->stack(0, 0).setDefaultDst(hosts[1]->guestMac(0, 0));
         auto &peer = topo.addPeer("ext", sw);
-        peer.enableTcp({});
         topo.ctx().events().schedule(sim::milliseconds(1), [&] {
-            peer.startSource({hosts[2]->guestMac(0, 0)});
+            peer.applyWorkload(
+                net::workload::WorkloadSpec{}
+                    .overTcp({})
+                    .toward({hosts[2]->guestMac(0, 0)})
+                    .withClass(net::workload::FlowClass::saturating()));
         });
         topo.run(sim::milliseconds(10), sim::milliseconds(30));
         std::string all;
@@ -134,11 +137,17 @@ TEST(Topology, NoisyNeighborOnSharedUplinkDegradesVictim)
         access.setRoute(vsrc.mac(), trunk.portOnB());
         access.setRoute(nsrc.mac(), trunk.portOnB());
 
-        vsrc.enableTcp({});
         topo.ctx().events().schedule(sim::milliseconds(1), [&] {
-            vsrc.startSource({victim.guestMac(0, 0)});
+            vsrc.applyWorkload(
+                net::workload::WorkloadSpec{}
+                    .overTcp({})
+                    .toward({victim.guestMac(0, 0)})
+                    .withClass(net::workload::FlowClass::saturating()));
             if (noisy)
-                nsrc.startSource({other.guestMac(0, 0)});
+                nsrc.applyWorkload(
+                    net::workload::WorkloadSpec{}
+                        .toward({other.guestMac(0, 0)})
+                        .withClass(net::workload::FlowClass::saturating()));
         });
         topo.run(sim::milliseconds(10), sim::milliseconds(40));
         if (drops)
