@@ -11,6 +11,10 @@
  * hypervisor-validated view rather than restarting guests.  This bench
  * runs two TCP guests per configuration and reports per-guest downtime,
  * time-to-first-packet after the fault, and packets lost to the outage.
+ * The swpt column sits between the two: its validator is
+ * hypervisor-resident (a dom0 kill stalls it -- every guest down, like
+ * Xen) and its one shared NIC makes a firmware reboot a full device
+ * reset rather than CDNA's per-context reconciliation.
  *
  * Expected shape: every Xen guest sees >10 ms downtime under a dom0
  * kill (reboot + backoff reconnect), while every CDNA guest reports
@@ -34,7 +38,7 @@ main(int argc, char **argv)
                 "t=150 ms (2 TCP guests) ===\n");
     std::printf("%-16s %10s %9s %12s %12s %10s %8s\n", "cell", "good Mb/s",
                 "reconn", "downtime ms", "ttfp ms", "quarantine", "lost");
-    for (const char *series : {"xen", "xen-rice", "cdna"}) {
+    for (const char *series : {"xen", "xen-rice", "cdna", "swpt"}) {
         for (const char *fault : {"healthy", "domkill", "fwreboot"}) {
             std::string cell = std::string(series) + "/" + fault;
             const auto &r = cellReport(result, cell);

@@ -8,7 +8,7 @@
  * guest issues 512 B requests answered with 8 KB responses under
  * Poisson arrivals, and the report carries p50/p99/p999 round-trip
  * latency plus timeout counts.  The grid crosses {xen, cdna,
- * cdna-oversub} with offered load and the availability faults.
+ * cdna-oversub, swpt} with offered load and the availability faults.
  *
  * Expected shape: CDNA's tail stays near the wire+coalescing floor at
  * every load while Xen's p99/p999 inflate with driver-domain queueing;
@@ -33,7 +33,7 @@ main(int argc, char **argv)
                 "Poisson open loop, 4 guests) ===\n");
     std::printf("%-28s %9s %9s %8s %8s %8s %8s\n", "cell", "off rps",
                 "ach rps", "p50 us", "p99 us", "p999 us", "timeout");
-    for (const char *series : {"xen", "cdna", "cdna-oversub"}) {
+    for (const char *series : {"xen", "cdna", "cdna-oversub", "swpt"}) {
         for (const char *load : {"load2k", "load10k"}) {
             for (const char *fault : {"healthy", "domkill", "fwreboot"}) {
                 std::string cell = std::string(series) + "/" + load + "/" +

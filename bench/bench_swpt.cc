@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Extension: software-only passthrough (swpt) three-way scaling.
+ *
+ * swPassthrough is the third design point between Xen's paravirtual
+ * split driver and CDNA's per-guest hardware contexts: guests program
+ * real Intel-style descriptor rings, but every doorbell traps into a
+ * hypervisor validator that audits each scatter-gather page against
+ * the grant table before shadow-copying the descriptor onto one shared
+ * single-context NIC.  Protection is equivalent to CDNA's; the cost is
+ * a trap per doorbell plus per-descriptor validation, all burned on
+ * the hypervisor CPU lane.
+ *
+ * This bench sweeps guest count {1, 2, 4, 8, 16} on one NIC in both
+ * directions and prints the three-way table plus the swpt-specific
+ * counters (doorbell traps, validated descriptors, validation CPU
+ * time).  The question it answers: at what point does per-descriptor
+ * software validation cost cross CDNA's hardware contexts?
+ *
+ * Expected shape: swpt tracks CDNA while the validator has hypervisor
+ * CPU to spare (descriptor-rate, not byte-rate, work) and beats Xen's
+ * copy path everywhere on RX; as guest count grows the trap rate
+ * scales with aggregate descriptor rate and the hypervisor lane
+ * saturates before the wire does, so the swpt/cdna ratio decays where
+ * CDNA stays flat.
+ */
+
+#include "bench_util.hh"
+
+using namespace cdna;
+using namespace cdna::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = parseBenchArgs(argc, argv);
+    opt.observeCell = "swpt/g4/tx";
+    auto result = runBenchSweep(sim::presets::swpt(), opt);
+
+    std::printf("=== swPassthrough: three-way scaling on one NIC ===\n");
+    std::printf("%-14s %9s %10s %10s %9s %9s %10s %8s %9s\n", "cell",
+                "xen Mb/s", "cdna Mb/s", "swpt Mb/s", "swpt/xen",
+                "swpt/cdna", "traps", "hyp%", "valid us");
+    for (const char *dir : {"tx", "rx"}) {
+        for (std::uint32_t g : {1u, 2u, 4u, 8u, 16u}) {
+            std::string suffix = "/g" + std::to_string(g) + "/" + dir;
+            const auto &xen = cellReport(result, "xen" + suffix);
+            const auto &cdna = cellReport(result, "cdna" + suffix);
+            const auto &swpt = cellReport(result, "swpt" + suffix);
+            std::printf("%-14s %9.0f %10.0f %10.0f %9.2f %9.2f %10llu "
+                        "%8.1f %9.0f\n",
+                        ("g" + std::to_string(g) + "/" + dir).c_str(),
+                        xen.mbps, cdna.mbps, swpt.mbps,
+                        swpt.mbps / xen.mbps, swpt.mbps / cdna.mbps,
+                        static_cast<unsigned long long>(
+                            swpt.swptDoorbellTraps),
+                        swpt.hypPct, swpt.swptValidationUs);
+        }
+    }
+
+    // Crossover headline: the largest guest count where software
+    // validation still holds >= 95% of CDNA's throughput, per
+    // direction.
+    for (const char *dir : {"tx", "rx"}) {
+        std::uint32_t lastClose = 0;
+        double worstRatio = 1.0;
+        for (std::uint32_t g : {1u, 2u, 4u, 8u, 16u}) {
+            std::string suffix = "/g" + std::to_string(g) + "/" + dir;
+            double ratio = cellReport(result, "swpt" + suffix).mbps /
+                           cellReport(result, "cdna" + suffix).mbps;
+            if (ratio >= 0.95)
+                lastClose = g;
+            worstRatio = std::min(worstRatio, ratio);
+        }
+        std::printf("\n%s: swpt holds >=95%% of cdna up to %u guests; "
+                    "worst swpt/cdna ratio %.2f",
+                    dir, lastClose, worstRatio);
+    }
+    const auto &xen16 = cellReport(result, "xen/g16/rx");
+    const auto &swpt16 = cellReport(result, "swpt/g16/rx");
+    std::printf("\nswpt vs xen copy path at 16 guests (rx): %.2fx "
+                "(validation is per-descriptor, netback copy is "
+                "per-byte)\n",
+                swpt16.mbps / xen16.mbps);
+    return 0;
+}

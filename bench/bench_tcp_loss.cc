@@ -8,7 +8,8 @@
  * reproduces that behaviour with the Reno transport subsystem: frame
  * drop rates from 0 to 1% (plus a corruption point, which consumes NIC
  * and stack resources before the checksum check discards the frame)
- * against Xen/Intel and CDNA, single guest, transmit direction.
+ * against Xen/Intel, CDNA, and software-only passthrough, single
+ * guest, transmit direction.
  *
  * Expected shape: goodput <= wire throughput everywhere, retransmission
  * counters grow with the loss rate, and goodput recovers monotonically
@@ -30,7 +31,7 @@ main(int argc, char **argv)
     std::printf("=== TCP goodput vs wire loss (Reno transport) ===\n");
     std::printf("%-22s %10s %10s %8s %8s %6s %8s\n", "cell", "good Mb/s",
                 "wire Mb/s", "retrans", "fastrtx", "rto", "badcsum");
-    for (const char *series : {"xen", "cdna"}) {
+    for (const char *series : {"xen", "cdna", "swpt"}) {
         for (const char *loss :
              {"drop0", "drop0.0001", "drop0.001", "drop0.01",
               "corrupt0.001"}) {

@@ -89,7 +89,7 @@ rateArg(const char *flag, const std::string &v, double *out,
 // flag here is the whole job.
 const Spec kSpecs[] = {
     // --- I/O architecture ------------------------------------------------
-    {"--mode", "MODE", "native | xen | cdna (default cdna)",
+    {"--mode", "MODE", "native | xen | cdna | swpt (default cdna)",
      "I/O architecture",
      [](ParseState &st, const std::string &v, std::string *) {
          st.mode = v;
@@ -406,8 +406,10 @@ finalize(ParseState st, std::string *error)
             cfg.withEvictionPolicy(EvictPolicy::kTrafficWeighted);
         else
             return fail("--evict-policy must be lru or traffic");
+    } else if (st.mode == "swpt") {
+        cfg = SystemConfig::swPassthrough(st.guests).withNics(st.nics);
     } else {
-        return fail("--mode must be native, xen, or cdna");
+        return fail("--mode must be native, xen, cdna, or swpt");
     }
     if (st.oversub && st.mode != "cdna")
         return fail("--oversub requires --mode cdna");

@@ -158,6 +158,23 @@ struct CostModel
     /** DMA the saved image back into the freed physical slot. */
     Time cxtRestoreDma = sim::microseconds(4.0);
 
+    // ---- software-only passthrough (Kedia & Bansal) ---------------------
+    // Guests program real Intel-style descriptor rings; every doorbell
+    // traps into the hypervisor, which validates and shadow-copies the
+    // descriptors onto the shared single-context NIC.  Costs are per
+    // trap / per descriptor so batching (many descriptors per doorbell)
+    // amortizes the trap exactly as in the paper this models.
+    /** VM exit + decode + re-entry for one trapped doorbell PIO. */
+    Time swptDoorbellTrap = sim::microseconds(1.0);
+    /** Audit one descriptor against the grant table / page owners. */
+    Time swptValidatePerDesc = sim::nanoseconds(250);
+    /** Copy one validated descriptor into the hypervisor shadow ring. */
+    Time swptShadowCopyPerDesc = sim::nanoseconds(120);
+    /** Per-byte software demux copy of a received frame into the
+     *  destination guest's posted buffer (same mechanism class as
+     *  copy-mode netback, minus the bridge/vif machinery). */
+    double swptRxCopyPerByteNs = 0.45;
+
     // ---- background OS load ---------------------------------------------
     /** Periodic timer tick cost per domain. */
     Time timerTickCost = sim::microseconds(4.0);

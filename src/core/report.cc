@@ -137,6 +137,7 @@ reportToJson(const Report &r)
     add("rpc_lat_p999_us", r.rpcLatP999Us);
     add("rpc_offered_rps", r.rpcOfferedRps);
     add("rpc_achieved_rps", r.rpcAchievedRps);
+    add("swpt_validation_us", r.swptValidationUs);
     addU("protection_faults", r.protectionFaults);
     addU("dma_violations", r.dmaViolations);
     addU("rx_drops_no_desc", r.rxDropsNoDesc);
@@ -177,6 +178,9 @@ reportToJson(const Report &r)
     addU("rpc_timeouts", r.rpcTimeouts);
     addU("flows_started", r.flowsStarted);
     addU("flows_completed", r.flowsCompleted);
+    addU("swpt_doorbell_traps", r.swptDoorbellTraps);
+    addU("swpt_desc_validated", r.swptDescValidated);
+    addU("swpt_desc_rejected", r.swptDescRejected);
     auto addArr = [&](const char *key, const std::vector<double> &v,
                       const char *fmt, bool last = false) {
         out += "  \"";

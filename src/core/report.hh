@@ -59,8 +59,13 @@ namespace cdna::core {
  *      (all zero unless the run carries an engine-backed
  *      WorkloadSpec).  All version-5 keys keep their order and
  *      formatting.
+ *   7  software-only passthrough: "swpt_validation_us" appended after
+ *      "rpc_achieved_rps"; "swpt_doorbell_traps", "swpt_desc_validated",
+ *      and "swpt_desc_rejected" appended after "flows_completed" (all
+ *      zero outside swPassthrough mode).  All version-6 keys keep
+ *      their order and formatting.
  */
-inline constexpr int kReportSchemaVersion = 6;
+inline constexpr int kReportSchemaVersion = 7;
 
 struct Report
 {
@@ -187,6 +192,17 @@ struct Report
     std::uint64_t flowsStarted = 0;
     std::uint64_t flowsCompleted = 0;
 
+    /**
+     * Software-only passthrough activity (schema 7; all zero outside
+     * swPassthrough mode).  Validation time is the hypervisor time
+     * spent on the doorbell path -- trap plus per-descriptor audit and
+     * shadow copy -- in microseconds over the window.
+     */
+    double swptValidationUs = 0.0;
+    std::uint64_t swptDoorbellTraps = 0;
+    std::uint64_t swptDescValidated = 0;
+    std::uint64_t swptDescRejected = 0;
+
     sim::Time window = 0;
 
     /** Paper-style table row. */
@@ -218,15 +234,17 @@ struct Report
  *   schema_version, label, then the double-valued metrics (mbps, the
  *   six profile percentages, the five rate counters, the three latency
  *   quantiles, fairness, wire_mbps, then the schema-6 RPC latency
- *   quantiles and offered/achieved rates), then the integer counters
- *   (protection/drop counters, the fault/recovery counters, then the
+ *   quantiles and offered/achieved rates, then schema 7's
+ *   swpt_validation_us), then the integer counters (protection/drop
+ *   counters, the fault/recovery counters, then the
  *   checksum/backlog/TCP counters added in schema 2, then the outage
  *   counters added in schema 3, the context-paging counters added in
- *   schema 4, the switch counters added in schema 5, and the
- *   RPC/flow counters added in schema 6), then per_guest_mbps followed
- *   by the schema-3 per_guest_downtime_us and per_guest_ttfp_us
- *   arrays.  New keys are only ever appended at the end of
- *   their block so older goldens remain a line-subset of newer reports.
+ *   schema 4, the switch counters added in schema 5, the RPC/flow
+ *   counters added in schema 6, and the swpt counters added in schema
+ *   7), then per_guest_mbps followed by the schema-3
+ *   per_guest_downtime_us and per_guest_ttfp_us arrays.  New keys are
+ *   only ever appended at the end of their block so older goldens
+ *   remain a line-subset of newer reports.
  *
  * Doubles are printed with "%.4f", integers as decimal, arrays in
  * index order; no locale-dependent formatting is used anywhere.

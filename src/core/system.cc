@@ -54,6 +54,9 @@ System::System(SystemConfig cfg, sim::SimContext *shared,
       case IoMode::kCdna:
         buildCdna();
         break;
+      case IoMode::kSwPassthrough:
+        buildSwpt();
+        break;
     }
     startTimers();
     registerGauges();
@@ -95,8 +98,10 @@ System::buildCommon()
     if (cfg_.iommuMode != mem::Iommu::Mode::kNone)
         iommu_ = std::make_unique<mem::Iommu>(ctx_, *mem_, cfg_.iommuMode);
 
-    NicKind kind = cfg_.mode == IoMode::kNative ? NicKind::kIntel
-                                                : cfg_.nicKind;
+    NicKind kind = (cfg_.mode == IoMode::kNative ||
+                    cfg_.mode == IoMode::kSwPassthrough)
+                       ? NicKind::kIntel
+                       : cfg_.nicKind;
     for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
         std::string suffix = std::to_string(i);
         buses_.push_back(
@@ -113,9 +118,11 @@ System::buildCommon()
                 std::make_unique<net::EthLink>(ctx_, nm("eth" + suffix)));
             peers_.push_back(std::make_unique<net::TrafficPeer>(
                 ctx_, nm("peer" + suffix), *links_.back()));
-            peers_.back()->setAckEvery(cfg_.costs.ackPerFrames);
+            net::workload::WorkloadSpec knobs;
+            knobs.ackingEvery(cfg_.costs.ackPerFrames);
             if (cfg_.transportKind == TransportKind::kTcp)
-                peers_.back()->enableTcp(cfg_.tcpParams);
+                knobs.overTcp(cfg_.tcpParams);
+            peers_.back()->applyWorkload(knobs);
             fab = links_.back().get();
         }
         if (kind == NicKind::kIntel) {
@@ -498,6 +505,62 @@ System::buildCdna()
 }
 
 void
+System::buildSwpt()
+{
+    // dom0 exists as the control domain only (so driver-domain fault
+    // plans compose); the datapath never touches it -- descriptor
+    // validation runs in the hypervisor itself.
+    driverDom_ = &hv_->createDomain(vmm::Domain::Kind::kDriver,
+                                    nm("dom0"));
+    for (std::uint32_t g = 0; g < cfg_.numGuests; ++g)
+        guests_.push_back(&hv_->createDomain(
+            vmm::Domain::Kind::kGuest, nm("guest" + std::to_string(g))));
+
+    for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
+        swptValidators_.push_back(std::make_unique<vmm::SwptValidator>(
+            ctx_, nm("swptval" + std::to_string(i)), *hv_,
+            *intelNics_[i], cfg_.costs));
+        vmm::SwptValidator &val = *swptValidators_.back();
+        val.attach();
+        if (iommu_) {
+            // The shared NIC DMAs on the hypervisor's behalf: only
+            // validated (hypervisor grant-mapped) pages are reachable.
+            iommu_->bindDevice(i, mem::kDomHypervisor);
+        }
+
+        for (std::uint32_t g = 0; g < cfg_.numGuests; ++g) {
+            vmm::Domain &guest = *guests_[g];
+            auto mac = guestMac(g, i);
+            swptDrivers_.push_back(std::make_unique<os::SwptDriver>(
+                ctx_,
+                nm("swptdrv" + std::to_string(g) + "." +
+                   std::to_string(i)),
+                guest, val, cfg_.costs, mac));
+            os::SwptDriver *drv = swptDrivers_.back().get();
+            drv->attach();
+
+            guestDevs_.push_back(drv);
+            stacks_.push_back(std::make_unique<os::NetStack>(
+                ctx_,
+                nm("stack" + std::to_string(g) + "." + std::to_string(i)),
+                guest, *drv, cfg_.costs));
+            if (peers_[i])
+                stacks_.back()->setDefaultDst(peers_[i]->mac());
+            if (cfg_.transportKind == TransportKind::kTcp)
+                stacks_.back()->enableTcp(cfg_.tcpParams);
+            workload::TrafficApp::Params ap;
+            ap.connections = cfg_.connectionsPerVif;
+            ap.transmit = cfg_.transmitDir;
+            ap.rpcServer = cfg_.workload.hasRpc();
+            apps_.push_back(std::make_unique<workload::TrafficApp>(
+                ctx_,
+                nm("app" + std::to_string(g) + "." + std::to_string(i)),
+                *stacks_.back(), cfg_.costs, ap));
+        }
+    }
+}
+
+void
 System::startTimers()
 {
     sim::Time period = sim::kSecond / cfg_.costs.timerHz;
@@ -572,9 +635,12 @@ System::start()
             net::TrafficPeer *p = peers_[i].get();
             if (!p)
                 continue; // external fabric: the topology drives sources
+            net::workload::WorkloadSpec flood;
+            flood.toward(std::move(dsts))
+                .withClass(net::workload::FlowClass::saturating());
             ctx_.events().schedule(sim::milliseconds(1.0),
-                                   [p, dsts = std::move(dsts)] {
-                                       p->startSource(dsts);
+                                   [p, flood = std::move(flood)] {
+                                       p->applyWorkload(flood);
                                    });
         }
     }
@@ -697,6 +763,13 @@ System::snapshot() const
         s.cxtEvictions += n->pageEvictions();
         s.cxtPageIns += n->pageIns();
         s.cxtResidentPeak += n->residentPeak();
+    }
+    for (const auto &v : swptValidators_) {
+        s.swptDoorbellTraps += v->doorbellTraps();
+        s.swptDescValidated += v->descValidated();
+        s.swptDescRejected += v->descRejected();
+        s.swptValidationPs +=
+            static_cast<std::uint64_t>(v->validationTime());
     }
     for (const auto &d : ddns_) {
         s.outagePacketsLost += d->outageRxDrops();
@@ -821,6 +894,12 @@ System::buildReport(const Snapshot &a, const Snapshot &b, sim::Time window)
     r.switchDropBytes = b.switchDropBytes - a.switchDropBytes;
     // Like the other peaks, a lifetime high-watermark.
     r.switchQueuePeakBytes = b.switchQueuePeak;
+    r.swptDoorbellTraps = b.swptDoorbellTraps - a.swptDoorbellTraps;
+    r.swptDescValidated = b.swptDescValidated - a.swptDescValidated;
+    r.swptDescRejected = b.swptDescRejected - a.swptDescRejected;
+    r.swptValidationUs =
+        static_cast<double>(b.swptValidationPs - a.swptValidationPs) /
+        1.0e6;
 
     r.perGuestMbps.resize(guests_.size());
     for (std::size_t g = 0; g < guests_.size(); ++g) {
@@ -1020,6 +1099,14 @@ System::killDriverDomain()
                 iommu_->unbindContext(static_cast<std::uint32_t>(i), cxt);
         }
     }
+    if (cfg_.mode == IoMode::kSwPassthrough) {
+        // The validator is the dom0-equivalent: descriptor auditing
+        // stops, so doorbells latch unprocessed, completions sit in the
+        // NIC, and the shared RX ring runs dry.  Everything drains at
+        // restart.
+        for (auto &v : swptValidators_)
+            v->stall();
+    }
     // CDNA mode: guests drive their own contexts, so the kill has no
     // datapath effect at all -- exactly the paper's failure-domain
     // argument.
@@ -1068,7 +1155,11 @@ System::restartDriverDomain()
         for (auto &ddn : ddns_)
             ddn->restart();
     }
-    if (avail_ && cfg_.mode == IoMode::kCdna) {
+    if (cfg_.mode == IoMode::kSwPassthrough)
+        for (auto &v : swptValidators_)
+            v->restart();
+    if (avail_ && (cfg_.mode == IoMode::kCdna ||
+                   cfg_.mode == IoMode::kSwPassthrough)) {
         // No reconnection protocol to wait for: the control plane is
         // simply back.  (Xen guests note recovery at vif reconnect.)
         for (std::uint32_t g = 0; g < avail_->guests(); ++g)
@@ -1081,6 +1172,27 @@ System::restartDriverDomain()
 bool
 System::rebootNicFirmware(std::uint32_t nic)
 {
+    if (cfg_.mode == IoMode::kSwPassthrough) {
+        if (nic >= swptValidators_.size())
+            return false;
+        // Full device reset of the shared IntelNic: in-flight TX is
+        // dropped (attributed as zero-byte completions so guest TX
+        // windows recover) and the validator re-rings its shadow queue
+        // once the firmware is back.
+        if (faults_)
+            faults_->noteFirmwareReboot();
+        if (avail_)
+            for (std::uint32_t g = 0; g < avail_->guests(); ++g)
+                avail_->noteOutageStart(g);
+        swptValidators_[nic]->resetNic();
+        ctx_.events().schedule(cfg_.costs.firmwareReboot, [this, nic] {
+            swptValidators_[nic]->reconcileAfterReset();
+            if (avail_)
+                for (std::uint32_t g = 0; g < avail_->guests(); ++g)
+                    avail_->noteRecovery(g);
+        });
+        return true;
+    }
     if (nic >= cdnaNics_.size())
         return false; // no CDNA NIC with that index in this mode
     if (avail_)
@@ -1103,8 +1215,18 @@ bool
 System::killGuest(std::uint32_t guest)
 {
     bool any = false;
-    for (std::uint32_t i = 0; i < cfg_.numNics; ++i)
-        any = revokeGuestContext(guest, i) || any;
+    if (cfg_.mode == IoMode::kSwPassthrough) {
+        for (std::uint32_t i = 0; i < cfg_.numNics; ++i) {
+            os::SwptDriver *drv = swptDriver(guest, i);
+            if (drv && !drv->detached()) {
+                drv->detach();
+                any = true;
+            }
+        }
+    } else {
+        for (std::uint32_t i = 0; i < cfg_.numNics; ++i)
+            any = revokeGuestContext(guest, i) || any;
+    }
     if (!any)
         return false;
     // Silence the dead guest's software: stop its workload, cancel
@@ -1138,6 +1260,22 @@ System::revokeGuestContext(std::uint32_t guest, std::uint32_t nic)
     if (iommu_ && cfg_.iommuMode == mem::Iommu::Mode::kPerContext)
         iommu_->unbindContext(nic, cxt);
     return true;
+}
+
+vmm::SwptValidator *
+System::swptValidator(std::uint32_t i)
+{
+    return i < swptValidators_.size() ? swptValidators_[i].get()
+                                      : nullptr;
+}
+
+os::SwptDriver *
+System::swptDriver(std::uint32_t guest, std::uint32_t nic)
+{
+    // NIC-major layout: index = nic * numGuests + guest.
+    std::size_t idx =
+        static_cast<std::size_t>(nic) * cfg_.numGuests + guest;
+    return idx < swptDrivers_.size() ? swptDrivers_[idx].get() : nullptr;
 }
 
 CdnaGuestDriver *
@@ -1205,6 +1343,16 @@ SystemConfig::cdna(std::uint32_t guests)
     return cfg;
 }
 
+SystemConfig
+SystemConfig::swPassthrough(std::uint32_t guests)
+{
+    SystemConfig cfg;
+    cfg.mode = IoMode::kSwPassthrough;
+    cfg.nicKind = NicKind::kIntel;
+    cfg.numGuests = guests;
+    return cfg;
+}
+
 std::string
 SystemConfig::effectiveLabel() const
 {
@@ -1220,6 +1368,9 @@ SystemConfig::effectiveLabel() const
         break;
       case IoMode::kCdna:
         base = "cdna";
+        break;
+      case IoMode::kSwPassthrough:
+        base = "swpt";
         break;
     }
     base += transmitDir ? "/tx" : "/rx";

@@ -2,7 +2,7 @@
  * @file
  * Whole-system assembly: the public entry point of the library.
  *
- * A System instantiates the paper's testbed in one of three I/O
+ * A System instantiates the paper's testbed in one of four I/O
  * architectures:
  *
  *  - kNative: one OS owning the NICs directly (Table 1 baseline);
@@ -13,7 +13,13 @@
  *             rows of Tables 2-3);
  *  - kCdna:   each guest owns a private hardware context on every NIC
  *             (section 3), with DMA protection on or off (Table 4) and
- *             optional IOMMU modes (section 5.3).
+ *             optional IOMMU modes (section 5.3);
+ *  - kSwPassthrough: software-only passthrough (Kedia & Bansal's
+ *             competing design point): guests program real Intel-style
+ *             descriptor rings, every doorbell traps into a hypervisor
+ *             validator (vmm/swpt_validator.hh) that audits and
+ *             shadow-copies descriptors onto ONE shared single-context
+ *             IntelNic, with software RX demux by destination MAC.
  *
  * Usage:
  *   core::SystemConfig cfg;
@@ -49,14 +55,16 @@
 #include "nic/intel_nic.hh"
 #include "os/native_driver.hh"
 #include "os/net_stack.hh"
+#include "os/swpt_driver.hh"
 #include "os/xen_net.hh"
 #include "vmm/hypervisor.hh"
+#include "vmm/swpt_validator.hh"
 #include "workload/traffic_app.hh"
 
 namespace cdna::core {
 
 /** I/O virtualization architecture under test. */
-enum class IoMode { kNative, kXen, kCdna };
+enum class IoMode { kNative, kXen, kCdna, kSwPassthrough };
 
 /** Transport model aliases, so configs read as `.transport(kTcp)`. */
 using net::transport::TransportKind;
@@ -159,6 +167,9 @@ struct SystemConfig
     static SystemConfig xenRice(std::uint32_t guests = 1);
     /** CDNA: per-guest hardware contexts (section 3). */
     static SystemConfig cdna(std::uint32_t guests = 1);
+    /** Software-only passthrough: guest-programmed real rings, doorbell
+     *  validation in the hypervisor, one shared IntelNic. */
+    static SystemConfig swPassthrough(std::uint32_t guests = 1);
 
     // --- fluent setters ---------------------------------------------------
     /** Workload direction: guests transmit (default) or receive. */
@@ -395,6 +406,11 @@ class System
     vmm::Domain *guestDomain(std::uint32_t g);
     CdnaGuestDriver *cdnaDriver(std::uint32_t guest, std::uint32_t nic);
 
+    /** Software-passthrough validator of NIC @p i (swPassthrough only). */
+    vmm::SwptValidator *swptValidator(std::uint32_t i);
+    /** Software-passthrough guest driver (swPassthrough mode only). */
+    os::SwptDriver *swptDriver(std::uint32_t guest, std::uint32_t nic);
+
     /**
      * Revoke a guest's hardware context on one NIC at runtime (section
      * 3.1): the driver is detached (its DMA pins dropped, making the
@@ -411,8 +427,12 @@ class System
      * the dead guest's software -- its apps stop, its stacks cancel
      * every pending transport timer (RTO, delayed ACK), and its timer
      * tick stops -- so no scheduled event can fire into the dead
-     * domain.  CDNA mode only.
-     * @retval true at least one context was revoked
+     * domain.  In swPassthrough mode the validator port is detached
+     * instead: queued descriptors are flushed and RX demux to the dead
+     * guest stops, while pages referenced by descriptors already on
+     * the NIC stay pinned until the device consumes them.  CDNA and
+     * swPassthrough modes.
+     * @retval true at least one context/port was revoked
      */
     bool killGuest(std::uint32_t guest);
 
@@ -424,6 +444,9 @@ class System
      * with in-flight DMA targets quarantined until the drain delay
      * passes.  Under CDNA the kill is control-plane only: guest
      * datapaths never touch dom0, so traffic continues unaffected.
+     * Under swPassthrough the dom0-equivalent is the validator itself:
+     * it stalls (doorbells latch unprocessed, the shared NIC's RX ring
+     * runs dry) until the reboot delay passes and it restarts.
      * @retval true the fault applied (false in native mode / already down)
      */
     bool killDriverDomain();
@@ -434,7 +457,10 @@ class System
      * volatile firmware state is lost and per-context descriptor
      * positions are reconciled against hypervisor-validated ring
      * state; guest watchdogs re-ring lost doorbells without any other
-     * domain's involvement.  CDNA NICs only.
+     * domain's involvement.  In swPassthrough mode this is a full
+     * device reset of the shared IntelNic: in-flight TX is dropped and
+     * the validator re-rings its shadow queue once the reboot delay
+     * passes.  CDNA NICs and swPassthrough Intel NICs.
      */
     bool rebootNicFirmware(std::uint32_t nic);
 
@@ -499,6 +525,10 @@ class System
         std::uint64_t rpcTimeouts = 0;
         std::uint64_t flowsStarted = 0;
         std::uint64_t flowsCompleted = 0;
+        std::uint64_t swptDoorbellTraps = 0;
+        std::uint64_t swptDescValidated = 0;
+        std::uint64_t swptDescRejected = 0;
+        std::uint64_t swptValidationPs = 0;
     };
 
     System(SystemConfig cfg, sim::SimContext *shared,
@@ -512,6 +542,7 @@ class System
     void buildNative();
     void buildXen();
     void buildCdna();
+    void buildSwpt();
     void wireCdnaIsr(std::uint32_t nic_index);
     void startTimers();
     /** @p base prefixed with cfg_.namePrefix (shared-context naming). */
@@ -560,7 +591,12 @@ class System
     std::vector<std::unique_ptr<ContextPager>> pagers_;
     std::vector<std::unique_ptr<CdnaGuestDriver>> guestCdnaDrivers_;
 
-    // Per (guest, nic) plumbing; index = guest * numNics + nic.
+    // swPassthrough path: one validator per NIC, one driver per
+    // (guest, nic) in the same NIC-major order as guestDevs_.
+    std::vector<std::unique_ptr<vmm::SwptValidator>> swptValidators_;
+    std::vector<std::unique_ptr<os::SwptDriver>> swptDrivers_;
+
+    // Per (guest, nic) plumbing; NIC-major: index = nic * guests + guest.
     std::vector<os::NetDevice *> guestDevs_;
     std::vector<std::unique_ptr<os::NetStack>> stacks_;
     std::vector<std::unique_ptr<workload::TrafficApp>> apps_;

@@ -46,11 +46,11 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
     /**
      * Configure this endpoint from one declarative WorkloadSpec: knob
      * optionals that are set are applied (unset ones leave the current
-     * setting alone), a saturating open-loop class starts the legacy
+     * setting alone), a saturating open-loop class starts the classic
      * line-rate source, and every other class is handed to a
      * WorkloadEngine bound to this peer's port and transport.  This is
-     * the one entry point the legacy setters below are shims over; it
-     * has no call-order constraints.
+     * the single configuration entry point; it has no call-order
+     * constraints.
      */
     void applyWorkload(const workload::WorkloadSpec &spec);
 
@@ -86,74 +86,14 @@ class TrafficPeer : public sim::SimObject, public LinkEndpoint
     /** Frames discarded by the MAC filter. */
     std::uint64_t rxFiltered() const { return nRxFiltered_.value(); }
 
-    /**
-     * Begin sourcing back-to-back frames, cycling round-robin over
-     * @p dsts, each frame carrying @p payload bytes.
-     *
-     * Legacy shim over applyWorkload() with one saturating class.
-     */
-    void
-    startSource(std::vector<MacAddr> dsts, std::uint32_t payload = kMss)
-    {
-        applyWorkload(workload::WorkloadSpec{}
-                          .toward(std::move(dsts))
-                          .withClass(workload::FlowClass::saturating(
-                              payload)));
-    }
-
     /** Stop sourcing (pending frame still completes). */
     void stopSource();
-
-    /**
-     * Acknowledge received data: send one zero-payload ACK frame back
-     * per @p every wire frames received from a source (0 disables).
-     * Models the TCP reverse path of the paper's transmit experiments.
-     *
-     * Legacy shim over applyWorkload(spec.ackingEvery(every)).
-     */
-    void
-    setAckEvery(std::uint32_t every)
-    {
-        applyWorkload(workload::WorkloadSpec{}.ackingEvery(every));
-    }
-
-    /**
-     * Run a full transport endpoint on the peer: received data segments
-     * are sequenced and cumulatively ACKed (the ACKs traverse the link,
-     * NIC, and guest RX path), and receive-experiment sources become
-     * closed-loop Reno flows instead of the open-loop line-rate source.
-     * Must be applied before traffic flows.
-     *
-     * Legacy shim over applyWorkload(spec.overTcp(params)).
-     */
-    void
-    enableTcp(const transport::TcpParams &params)
-    {
-        applyWorkload(workload::WorkloadSpec{}.overTcp(params));
-    }
 
     /** The transport endpoint, or null in open-loop mode. */
     transport::TcpEndpoint *tcp() { return tcp_.get(); }
 
     /** Frames dropped by the modeled checksum check. */
     std::uint64_t rxDropsBadCsum() const { return nRxBadCsum_.value(); }
-
-    /**
-     * TCP-like source flow control: at most @p frames unacknowledged
-     * frames per destination.  Receiver ACKs (which the guests send
-     * for delivered data) open the window; a stalled destination is
-     * retried after an RTO-like timeout (models retransmission).  Only
-     * active when ACKs are enabled; keeps receive experiments
-     * closed-loop so a slow receiver throttles the source instead of
-     * being buried, as real TCP did in the paper's testbed.
-     *
-     * Legacy shim over applyWorkload(spec.windowed(frames)).
-     */
-    void
-    setSourceWindow(std::uint32_t frames)
-    {
-        applyWorkload(workload::WorkloadSpec{}.windowed(frames));
-    }
 
     /** Frames and payload bytes absorbed by the sink side. */
     std::uint64_t framesReceived() const { return nRxFrames_.value(); }

@@ -4,12 +4,11 @@
  * stochastic arrival processes and (heavy-tailed) size distributions.
  *
  * A WorkloadSpec is a value type in the fluent house style of
- * SystemConfig / ExperimentSpec.  It replaces TrafficPeer's
- * order-sensitive imperative setter sequence (setMacFilter ->
- * setAckEvery -> setSourceWindow -> enableTcp -> startSource) with one
- * idempotent `applyWorkload(spec)` call, and it describes traffic that
- * the legacy setters could not: Poisson / ON-OFF arrivals, bounded-
- * Pareto flow sizes, and closed-loop request/response RPC with
+ * SystemConfig / ExperimentSpec.  One idempotent `applyWorkload(spec)`
+ * call is TrafficPeer's single configuration entry point (the old
+ * order-sensitive imperative setters are gone), and a spec describes
+ * traffic those setters never could: Poisson / ON-OFF arrivals,
+ * bounded-Pareto flow sizes, and closed-loop request/response RPC with
  * per-request latency tracking.
  *
  * Determinism contract (mirrors sim/fault_injector.hh): all workload

@@ -1,0 +1,180 @@
+#include "os/swpt_driver.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/assert.hh"
+
+namespace cdna::os {
+
+SwptDriver::SwptDriver(sim::SimContext &ctx, std::string name,
+                       vmm::Domain &dom, vmm::SwptValidator &validator,
+                       const core::CostModel &costs, net::MacAddr mac)
+    : sim::SimObject(ctx, std::move(name)),
+      dom_(dom),
+      validator_(validator),
+      costs_(costs),
+      mac_(mac),
+      nQdiscDrop_(stats().addCounter("qdisc_drops")),
+      nTxPkts_(stats().addCounter("tx_packets")),
+      nRxPkts_(stats().addCounter("rx_packets")),
+      nIrqsHandled_(stats().addCounter("irqs_handled"))
+{
+}
+
+void
+SwptDriver::attach()
+{
+    auto &mem = dom_.hypervisor().mem();
+    // The guest-resident descriptor rings (the pages the guest writes
+    // real Intel descriptors into; the validator reads them on a trap).
+    (void)mem.allocOne(dom_.id());
+    (void)mem.allocOne(dom_.id());
+
+    gid_ = validator_.addGuest(dom_, mac_, [this] { handleIrq(); });
+
+    // Post guest-owned RX buffers through the validated doorbell path.
+    std::vector<mem::PageNum> bufs;
+    bufs.reserve(kRxBufs);
+    for (std::uint32_t i = 0; i < kRxBufs; ++i)
+        bufs.push_back(mem.allocOne(dom_.id()));
+    validator_.rxDoorbell(gid_, std::move(bufs));
+}
+
+void
+SwptDriver::detach()
+{
+    if (detached_)
+        return;
+    detached_ = true;
+    dropQdisc();
+    validator_.detachGuest(gid_);
+}
+
+std::uint64_t
+SwptDriver::dropQdisc()
+{
+    std::uint64_t n = qdisc_.size();
+    qdisc_.clear();
+    txWasFull_ = false;
+    return n;
+}
+
+bool
+SwptDriver::canTransmit() const
+{
+    return !detached_ && qdisc_.size() < qdiscLimit_;
+}
+
+void
+SwptDriver::transmit(net::Packet pkt)
+{
+    if (!canTransmit()) {
+        nQdiscDrop_.inc();
+        txWasFull_ = true;
+        return;
+    }
+    qdisc_.push_back(std::move(pkt));
+    if (!canTransmit())
+        txWasFull_ = true;
+}
+
+void
+SwptDriver::flush()
+{
+    if (flushPending_ || qdisc_.empty() || detached_)
+        return;
+    std::uint32_t outstanding = txPosted_ - txCompleted_;
+    std::uint32_t window = kTxWindow - std::min(kTxWindow, outstanding);
+    std::uint32_t n = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(qdisc_.size()), window);
+    if (n == 0)
+        return; // retried when completions drain
+    flushPending_ = true;
+    // Write n descriptors into the guest ring, one doorbell PIO.
+    sim::Time cost = n * costs_.drvTxPerPacket + costs_.drvPioWrite;
+    dom_.vcpu().post(cpu::Bucket::kOs, cost, [this, n] {
+        flushPending_ = false;
+        doFlush(n);
+    });
+}
+
+void
+SwptDriver::doFlush(std::uint32_t n)
+{
+    if (detached_)
+        return;
+    std::uint32_t outstanding = txPosted_ - txCompleted_;
+    std::uint32_t window = kTxWindow - std::min(kTxWindow, outstanding);
+    n = std::min({n, window, static_cast<std::uint32_t>(qdisc_.size())});
+    if (n == 0)
+        return;
+    std::vector<vmm::SwptValidator::TxReq> batch;
+    batch.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        net::Packet pkt = std::move(qdisc_.front());
+        qdisc_.pop_front();
+        vmm::SwptValidator::TxReq req;
+        req.sg = pkt.hostSg;
+        req.pkt = std::move(pkt);
+        batch.push_back(std::move(req));
+        ++txPosted_;
+        nTxPkts_.inc();
+    }
+    validator_.txDoorbell(gid_, std::move(batch));
+    if (txWasFull_ && canTransmit()) {
+        txWasFull_ = false;
+        deliverTxSpace();
+    }
+}
+
+void
+SwptDriver::handleIrq()
+{
+    nIrqsHandled_.inc();
+    auto comp = validator_.takeCompletions(gid_);
+    auto pkts = validator_.takeRx(gid_);
+
+    sim::Time cost = costs_.drvIrqHandler +
+        comp.count * costs_.drvTxCompletion +
+        static_cast<sim::Time>(pkts.size()) * costs_.drvRxPerPacket;
+    if (!pkts.empty())
+        cost += costs_.drvPioWrite; // RX buffer re-post doorbell
+
+    dom_.vcpu().post(cpu::Bucket::kOs, cost,
+                     [this, comp = std::move(comp),
+                      pkts = std::move(pkts)]() mutable {
+        txCompleted_ += comp.count;
+        for (std::uint64_t bytes : comp.bytes)
+            if (bytes > 0)
+                deliverTxComplete(bytes);
+
+        std::vector<mem::PageNum> recycle;
+        recycle.reserve(pkts.size());
+        for (auto &p : pkts) {
+            nRxPkts_.inc();
+            if (!p.hostSg.empty())
+                recycle.push_back(mem::pageOf(p.hostSg[0].addr));
+            deliverRx(std::move(p));
+        }
+        if (autoRefill_ && !recycle.empty() && !detached_)
+            validator_.rxDoorbell(gid_, std::move(recycle));
+
+        if (!qdisc_.empty())
+            flush();
+        if (txWasFull_ && canTransmit()) {
+            txWasFull_ = false;
+            deliverTxSpace();
+        }
+    });
+}
+
+void
+SwptDriver::refillRx(mem::PageNum page)
+{
+    if (!detached_)
+        validator_.rxDoorbell(gid_, {page});
+}
+
+} // namespace cdna::os

@@ -112,6 +112,8 @@ latency()
         .config("xen", core::SystemConfig::xenRice(4).withNics(1).receive())
         .config("cdna", core::SystemConfig::cdna(4).withNics(1).receive())
         .config("cdna-oversub", oversub)
+        .config("swpt",
+                core::SystemConfig::swPassthrough(4).withNics(1).receive())
         .vary("load",
               {{"load2k", rpcLoad(2000.0)}, {"load10k", rpcLoad(10000.0)}})
         .vary("fault",
@@ -251,6 +253,8 @@ tcpLoss()
     return ExperimentSpec("tcp-loss")
         .config("xen", core::SystemConfig::xenIntel(1).transport(core::kTcp))
         .config("cdna", core::SystemConfig::cdna(1).transport(core::kTcp))
+        .config("swpt",
+                core::SystemConfig::swPassthrough(1).transport(core::kTcp))
         .vary("loss", std::move(loss));
 }
 
@@ -266,6 +270,11 @@ availability()
         .config("xen-rice",
                 core::SystemConfig::xenRice(2).transport(core::kTcp))
         .config("cdna", core::SystemConfig::cdna(2).transport(core::kTcp))
+        // The swpt column stresses both outage classes: a driver-domain
+        // kill stalls the hypervisor validator (all guests down), and a
+        // firmware reboot resets the one shared Intel NIC.
+        .config("swpt",
+                core::SystemConfig::swPassthrough(2).transport(core::kTcp))
         .vary("fault",
               {{"healthy", [](Cfg &) {}},
                {"domkill",
@@ -355,6 +364,10 @@ incast()
                            .withNics(1)
                            .transport(core::kTcp))
         .config("cdna", core::SystemConfig::cdna(1)
+                            .receive()
+                            .withNics(1)
+                            .transport(core::kTcp))
+        .config("swpt", core::SystemConfig::swPassthrough(1)
                             .receive()
                             .withNics(1)
                             .transport(core::kTcp))
@@ -506,6 +519,40 @@ noisyNeighbor()
         });
 }
 
+ExperimentSpec
+swpt()
+{
+    // The three-way headline: as guest count grows, every architecture
+    // multiplexes the same single NIC, but they pay differently --
+    // Xen in driver-domain copies, CDNA in per-guest hardware contexts,
+    // swpt in doorbell traps + per-descriptor validation.  The swpt_*
+    // report keys localize the software cost so the crossover against
+    // CDNA is readable directly from the sweep.
+    return ExperimentSpec("swpt")
+        .config("xen",
+                [](std::uint32_t g) {
+                    return core::SystemConfig::xenIntel(g).withNics(1);
+                })
+        .config("cdna",
+                [](std::uint32_t g) {
+                    return core::SystemConfig::cdna(g).withNics(1);
+                })
+        .config("swpt",
+                [](std::uint32_t g) {
+                    return core::SystemConfig::swPassthrough(g).withNics(1);
+                })
+        .guests({1, 2, 4, 8, 16})
+        .directions(true, true)
+        .probe([](core::System &sys, const RunPoint &,
+                  std::map<std::string, double> &extra) {
+            const vmm::SwptValidator *v = sys.swptValidator(0);
+            extra["swpt_traps"] =
+                v ? static_cast<double>(v->doorbellTraps()) : 0.0;
+            extra["swpt_validated"] =
+                v ? static_cast<double>(v->descValidated()) : 0.0;
+        });
+}
+
 const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &
 all()
 {
@@ -528,6 +575,7 @@ all()
             {"oversub", oversub},
             {"incast", incast},
             {"noisy-neighbor", noisyNeighbor},
+            {"swpt", swpt},
         };
     return presets;
 }

@@ -37,9 +37,9 @@ ExperimentSpec fig4();
 /**
  * Extension: RPC tail latency (p50/p99/p999).  A Poisson
  * request/response workload (512 B requests, 8 KB responses) runs
- * against {xen-rice, cdna, cdna-oversub}, each at two load levels and
- * under {healthy, domkill, fwreboot}; the report's rpc_lat_* keys
- * carry the quantiles per cell.
+ * against {xen-rice, cdna, cdna-oversub, swpt}, each at two load
+ * levels and under {healthy, domkill, fwreboot}; the report's
+ * rpc_lat_* keys carry the quantiles per cell.
  */
 ExperimentSpec latency();
 /** Ablation A: CDNA interrupt-coalescing window sweep. */
@@ -54,17 +54,18 @@ ExperimentSpec iommu();
 ExperimentSpec flipcopy();
 /**
  * Extension: closed-loop TCP goodput under wire loss.  Sweeps frame
- * drop rate (plus one corruption point) x {xen, cdna}, both with the
- * Reno transport, showing retransmission cost and loss recovery.
+ * drop rate (plus one corruption point) x {xen, cdna, swpt}, all with
+ * the Reno transport, showing retransmission cost and loss recovery.
  */
 ExperimentSpec tcpLoss();
 /**
- * Extension: failure-domain availability.  Xen vs CDNA, two guests on
- * TCP transport, crossed with {fault-free, driver-domain crash at
- * 150 ms, NIC-0 firmware reboot at 150 ms}.  The per-guest downtime
- * and time-to-first-packet columns show the paper's failure-isolation
- * argument: a dom0 crash stalls every Xen guest, while CDNA guests
- * ride out both faults with zero downtime.
+ * Extension: failure-domain availability.  Xen vs CDNA vs swpt, two
+ * guests on TCP transport, crossed with {fault-free, driver-domain
+ * crash at 150 ms, NIC-0 firmware reboot at 150 ms}.  The per-guest
+ * downtime and time-to-first-packet columns show the paper's
+ * failure-isolation argument: a dom0 crash stalls every Xen guest (and
+ * stalls the swpt validator), while CDNA guests ride out both faults
+ * with zero downtime.
  */
 ExperimentSpec availability();
 /**
@@ -79,8 +80,8 @@ ExperimentSpec availability();
 ExperimentSpec oversub();
 /**
  * Extension: switch incast.  N TCP senders on one output-queued switch
- * converge on a single receiving guest -- Xen vs CDNA receivers,
- * crossed with fanout {2,4,8,16} and per-port switch buffer
+ * converge on a single receiving guest -- Xen vs CDNA vs swpt
+ * receivers, crossed with fanout {2,4,8,16} and per-port switch buffer
  * {32 KiB, 256 KiB}.  Reports switch tail drops, per-flow goodput
  * spread, and sender retransmissions; the shallow-buffer high-fanout
  * cells are loss-limited rather than receiver-limited.
@@ -95,6 +96,15 @@ ExperimentSpec incast();
  * trunk-queue drops.
  */
 ExperimentSpec noisyNeighbor();
+/**
+ * Extension: software-only passthrough three-way.  Sweeps guest count
+ * {1, 2, 4, 8, 16} on one NIC across {xen, cdna, swpt} in both
+ * directions: guests program real descriptor rings and every doorbell
+ * traps into the hypervisor validator.  The swpt_* report keys show
+ * where per-descriptor software validation crosses CDNA's per-guest
+ * hardware contexts as guest count (and therefore trap rate) grows.
+ */
+ExperimentSpec swpt();
 
 /** Every preset, keyed by CLI name, in documentation order. */
 const std::vector<std::pair<std::string, ExperimentSpec (*)()>> &all();

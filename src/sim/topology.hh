@@ -10,7 +10,9 @@
  *   auto &victim = topo.addHost(core::SystemConfig::cdna(1).receive(),
  *                               {&sw});
  *   auto &sender = topo.addPeer("sender", sw);
- *   sender.startSource({victim.guestMac(0, 0)});
+ *   sender.applyWorkload(net::workload::WorkloadSpec{}
+ *       .toward({victim.guestMac(0, 0)})
+ *       .withClass(net::workload::FlowClass::saturating()));
  *   topo.run(warmup, measure);
  *   core::Report r = topo.report(victim);
  *

@@ -535,13 +535,14 @@ TEST(TcpGolden, HeadlineConfigsUnchangedWithTransportOff)
         }
         // Schema 3 appended the failure-domain counters and the
         // availability arrays, schema 4 the context-paging counters,
-        // schema 5 the switch-fabric counters, and schema 6 the
-        // RPC/workload metrics; a fault-free headline run on a
-        // dedicated link without oversubscription or a workload spec
-        // must report every one of them as zero (the machineries are
-        // inert unless enabled).
+        // schema 5 the switch-fabric counters, schema 6 the
+        // RPC/workload metrics, and schema 7 the software-passthrough
+        // validator counters; a fault-free headline run on a dedicated
+        // link without oversubscription or a workload spec must report
+        // every one of them as zero (the machineries are inert unless
+        // enabled, and none of these headline configs run swpt).
         for (const char *key :
-             {"\"schema_version\": 6", "\"driver_domain_kills\": 0",
+             {"\"schema_version\": 7", "\"driver_domain_kills\": 0",
               "\"firmware_reboots\": 0", "\"fe_reconnects\": 0",
               "\"grants_revoked\": 0", "\"pages_quarantined\": 0",
               "\"quarantine_released\": 0", "\"mailbox_throttled\": 0",
@@ -554,7 +555,9 @@ TEST(TcpGolden, HeadlineConfigsUnchangedWithTransportOff)
               "\"rpc_offered_rps\": 0.0000", "\"rpc_achieved_rps\": 0.0000",
               "\"rpc_requests\": 0", "\"rpc_responses\": 0",
               "\"rpc_timeouts\": 0", "\"flows_started\": 0",
-              "\"flows_completed\": 0",
+              "\"flows_completed\": 0", "\"swpt_validation_us\": 0.0000",
+              "\"swpt_doorbell_traps\": 0", "\"swpt_desc_validated\": 0",
+              "\"swpt_desc_rejected\": 0",
               "\"per_guest_downtime_us\"", "\"per_guest_ttfp_us\""})
             EXPECT_NE(json.find(key), std::string::npos)
                 << c.file << ": missing appended schema key: " << key;

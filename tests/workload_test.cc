@@ -197,38 +197,6 @@ TEST(Workload, SpecFluencyAndPredicates)
     EXPECT_FALSE(flood.hasRpc());
 }
 
-TEST(Workload, ApplyWorkloadMatchesLegacyShimSequence)
-{
-    // One declarative call must reproduce what the order-sensitive
-    // imperative sequence produced (the shims are built on top of it).
-    namespace wl = net::workload;
-    auto frames_sent = [](bool declarative) {
-        sim::SimContext ctx;
-        net::EthLink link(ctx, "eth");
-        net::TrafficPeer peer(ctx, "peer", link);
-        FrameSink sink;
-        link.bind(sink);
-        auto dst = net::MacAddr::fromId(1);
-        if (declarative) {
-            peer.applyWorkload(wl::WorkloadSpec{}
-                                   .ackingEvery(2)
-                                   .windowed(8)
-                                   .toward({dst})
-                                   .withClass(wl::FlowClass::saturating()));
-        } else {
-            peer.setAckEvery(2);
-            peer.setSourceWindow(8);
-            peer.startSource({dst});
-        }
-        ctx.events().runUntil(sim::milliseconds(2));
-        return sink.got.size();
-    };
-    std::size_t legacy = frames_sent(false);
-    std::size_t spec = frames_sent(true);
-    EXPECT_GT(legacy, 0u);
-    EXPECT_EQ(legacy, spec);
-}
-
 TEST(Workload, PoissonArrivalsAreSeededDeterministically)
 {
     // Same seed => identical arrival sequence; different seed =>
